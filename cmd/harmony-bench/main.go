@@ -1,0 +1,182 @@
+// Command harmony-bench regenerates the figures of the paper's evaluation
+// against the simulated cluster. Each experiment prints an aligned table
+// (one row per x value, one column per curve) mirroring the corresponding
+// plot, and optionally writes long-form CSV.
+//
+// Usage:
+//
+//	harmony-bench -experiment all
+//	harmony-bench -experiment fig5 -scenario grid5000 -ops 100000
+//	harmony-bench -experiment fig4a -csv out/
+//
+// Experiments: fig4a fig4b fig5 fig6 headline ablations all. fig5 and fig6
+// derive from the same measurement grid; requesting either runs the grid for
+// the selected scenario(s).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"harmony/internal/bench"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|all")
+		scenario   = flag.String("scenario", "both", "grid5000|ec2|both")
+		ops        = flag.Int64("ops", 30000, "operations per measurement point")
+		seed       = flag.Int64("seed", 1, "root random seed")
+		threads    = flag.String("threads", "", "comma-separated thread sweep override, e.g. 1,15,40,70,90,100")
+		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files")
+		quiet      = flag.Bool("quiet", false, "suppress progress lines")
+	)
+	flag.Parse()
+
+	opts := bench.Options{OpsPerPoint: *ops, Seed: *seed}
+	if !*quiet {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
+	}
+	if *threads != "" {
+		for _, part := range strings.Split(*threads, ",") {
+			var t int
+			if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &t); err != nil || t <= 0 {
+				fatalf("bad -threads entry %q", part)
+			}
+			opts.Threads = append(opts.Threads, t)
+		}
+	}
+
+	scenarios := selectScenarios(*scenario)
+	start := time.Now()
+	var figures []bench.Figure
+
+	runGridFigures := func() {
+		ids := map[string][2]string{
+			"grid5000": {"fig5a", "fig5c"},
+			"ec2":      {"fig5b", "fig5d"},
+		}
+		staleIDs := map[string]string{"grid5000": "fig6a", "ec2": "fig6b"}
+		for _, sc := range scenarios {
+			g, err := bench.RunGrid(sc, bench.StandardPolicies(sc), opts)
+			if err != nil {
+				fatalf("grid %s: %v", sc.Name, err)
+			}
+			pair := ids[sc.Name]
+			if wants(*experiment, "fig5") {
+				figures = append(figures, g.LatencyFigure(pair[0]), g.ThroughputFigure(pair[1]))
+			}
+			if wants(*experiment, "fig6") {
+				figures = append(figures, g.StalenessFigure(staleIDs[sc.Name]))
+			}
+		}
+	}
+
+	switch {
+	case wants(*experiment, "fig4a"):
+	case wants(*experiment, "fig4b"):
+	case wants(*experiment, "fig5"), wants(*experiment, "fig6"),
+		wants(*experiment, "headline"), wants(*experiment, "ablations"):
+	default:
+		fatalf("unknown experiment %q", *experiment)
+	}
+
+	if wants(*experiment, "fig4a") {
+		fig, err := bench.Fig4a(opts)
+		if err != nil {
+			fatalf("fig4a: %v", err)
+		}
+		figures = append(figures, fig)
+	}
+	if wants(*experiment, "fig4b") {
+		fig, err := bench.Fig4b(opts)
+		if err != nil {
+			fatalf("fig4b: %v", err)
+		}
+		figures = append(figures, fig)
+	}
+	if wants(*experiment, "fig5") || wants(*experiment, "fig6") {
+		runGridFigures()
+	}
+	if wants(*experiment, "headline") {
+		for _, sc := range scenarios {
+			sum, err := bench.Headline(sc, opts)
+			if err != nil {
+				fatalf("headline %s: %v", sc.Name, err)
+			}
+			fmt.Println(sum.Format())
+		}
+	}
+	if wants(*experiment, "ablations") {
+		runAblations(opts, &figures)
+	}
+
+	for _, f := range figures {
+		fmt.Println(f.Format())
+		if *csvDir != "" {
+			if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+				fatalf("csv dir: %v", err)
+			}
+			path := filepath.Join(*csvDir, f.ID+".csv")
+			if err := os.WriteFile(path, []byte(f.CSV()), 0o644); err != nil {
+				fatalf("write %s: %v", path, err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+func runAblations(opts bench.Options, figures *[]bench.Figure) {
+	if fig, err := bench.AblationFixedTp(opts); err != nil {
+		fatalf("ablation fixedtp: %v", err)
+	} else {
+		*figures = append(*figures, fig)
+	}
+	if fig, err := bench.AblationMonitorInterval(opts); err != nil {
+		fatalf("ablation interval: %v", err)
+	} else {
+		*figures = append(*figures, fig)
+	}
+	if fig, err := bench.AblationReadRepair(opts); err != nil {
+		fatalf("ablation read-repair: %v", err)
+	} else {
+		*figures = append(*figures, fig)
+	}
+	if figs, err := bench.AblationVsQuorum(opts); err != nil {
+		fatalf("ablation quorum: %v", err)
+	} else {
+		*figures = append(*figures, figs...)
+	}
+	if fig, err := bench.AblationStrategy(opts); err != nil {
+		fatalf("ablation strategy: %v", err)
+	} else {
+		*figures = append(*figures, fig)
+	}
+}
+
+func selectScenarios(name string) []bench.Scenario {
+	switch name {
+	case "grid5000":
+		return []bench.Scenario{bench.Grid5000()}
+	case "ec2":
+		return []bench.Scenario{bench.EC2()}
+	case "both":
+		return []bench.Scenario{bench.Grid5000(), bench.EC2()}
+	}
+	fatalf("unknown scenario %q", name)
+	return nil
+}
+
+func wants(experiment, which string) bool {
+	return experiment == which || experiment == "all"
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "harmony-bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Categorized: the paper's §VII future work, running end to end — "divide
+// data into different consistency categories without any human interaction
+// by applying clustering techniques". A mixed application holds account
+// balances (hot, update-contended — staleness is costly) and profile pages
+// (cold, read-mostly — staleness is invisible) in one keyspace. KeyStats
+// observes the access pattern, k-means separates the two populations, and
+// each read is served at the level its key's category demands.
+//
+//	go run ./examples/categorized
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/sim"
+	"harmony/internal/wire"
+)
+
+const (
+	accounts = 40  // hot keys: balances updated constantly
+	profiles = 400 // cold keys: rarely written
+)
+
+func main() {
+	s := sim.New(7)
+	spec := cluster.DefaultSpec()
+	c, err := cluster.BuildSim(s, spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Track per-key access patterns while the application runs.
+	stats := core.NewKeyStats(0.8)
+
+	drv, err := client.New(client.Options{
+		ID: "app", Coordinators: c.NodeIDs(), WriteLevel: wire.One,
+	}, s, c.Bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Bus.Register("app", s, drv)
+
+	// Phase 1: observe the mixed workload. Balances take a write per read;
+	// profiles are almost purely read.
+	fmt.Println("phase 1: observing the mixed workload...")
+	rng := s.NewStream()
+	var pending int
+	for i := 0; i < 12000; i++ {
+		var key []byte
+		write := false
+		if rng.Intn(2) == 0 {
+			key = []byte(fmt.Sprintf("balance-%03d", rng.Intn(accounts)))
+			write = rng.Intn(2) == 0
+		} else {
+			key = []byte(fmt.Sprintf("profile-%04d", rng.Intn(profiles)))
+			write = rng.Intn(50) == 0
+		}
+		pending++
+		if write {
+			stats.ObserveWrite(key)
+			drv.Write(key, []byte("v"), func(client.WriteResult) { pending-- })
+		} else {
+			stats.ObserveRead(key)
+			drv.Read(key, func(client.ReadResult) { pending-- })
+		}
+		if i%200 == 0 {
+			s.RunFor(50 * time.Millisecond)
+		}
+	}
+	s.RunFor(5 * time.Second)
+	fmt.Printf("tracked %d distinct keys\n", stats.Len())
+
+	// Phase 2: cluster the keyspace into two consistency categories.
+	cat, err := core.NewCategorizer(2, 0.5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := cat.Recluster(stats, 0.05, 0.80); err != nil {
+		log.Fatal(err)
+	}
+	for i, cg := range cat.Categories() {
+		fmt.Printf("category %d: %4d keys, tolerance %.0f%% (centroid writeShare=%.2f)\n",
+			i, cg.Keys, cg.Tolerance*100, cg.Centroid[1])
+	}
+
+	// Phase 3: serve reads per category. The per-key source combines the
+	// category tolerance with the live estimation model.
+	pkl := &core.PerKeyLevels{Cat: cat}
+	pkl.SetN(spec.RF)
+	// A contended moment: high rates, visible propagation delay.
+	pkl.Observe(core.Observation{ReadRate: 400, WriteInterval: 0.004, Latency: time.Millisecond})
+
+	balanceLvl := pkl.ReadLevelFor([]byte("balance-001"))
+	profileLvl := pkl.ReadLevelFor([]byte("profile-0001"))
+	fmt.Printf("\nunder load: balance reads use %s, profile reads use %s\n", balanceLvl, profileLvl)
+
+	// Quiet moment: everyone can relax to eventual consistency.
+	pkl.Observe(core.Observation{ReadRate: 5, WriteInterval: 1, Latency: 200 * time.Microsecond})
+	fmt.Printf("when quiet: balance reads use %s, profile reads use %s\n",
+		pkl.ReadLevelFor([]byte("balance-001")), pkl.ReadLevelFor([]byte("profile-0001")))
+
+	// The driver consumes the per-key source directly:
+	drv2, err := client.New(client.Options{
+		ID: "app2", Coordinators: c.NodeIDs(), KeyLevels: pkl,
+	}, s, c.Bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Bus.Register("app2", s, drv2)
+	pkl.Observe(core.Observation{ReadRate: 400, WriteInterval: 0.004, Latency: time.Millisecond})
+	done := false
+	var got client.ReadResult
+	drv2.Read([]byte("balance-001"), func(r client.ReadResult) { got = r; done = true })
+	s.RunFor(time.Second)
+	if done {
+		fmt.Printf("\nbalance-001 read served at level %s — no per-operation code needed\n", got.Achieved)
+	}
+}

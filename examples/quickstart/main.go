@@ -1,0 +1,139 @@
+// Quickstart: bring up a real (goroutine-backed) 6-node replicated store in
+// process, write and read a few keys at different consistency levels, then
+// let Harmony's monitor+controller pick the level automatically while a
+// synthetic workload runs.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/sim"
+	"harmony/internal/simnet"
+	"harmony/internal/wire"
+)
+
+func main() {
+	// A small LAN cluster: 2 racks x 3 nodes, 3-way replication.
+	spec := cluster.DefaultSpec()
+	spec.RacksPerDC = 2
+	spec.NodesPerRack = 3
+	spec.RF = 3
+	spec.Profile = simnet.Grid5000Profile()
+
+	c, err := cluster.BuildReal(spec, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Stop()
+	fmt.Printf("cluster up: %d nodes, RF=%d, strategy=%s\n",
+		len(c.Nodes), spec.RF, c.Strategy.Name())
+
+	// Harmony: tolerate at most 10% stale reads.
+	ctl := core.NewController(core.ControllerConfig{
+		Policy: core.Policy{Name: "Harmony-10%", ToleratedStaleRate: 0.10},
+		N:      spec.RF,
+	})
+	rt := sim.NewRealRuntime()
+	defer rt.Stop()
+	mon := core.NewMonitor(core.MonitorConfig{
+		ID:             "monitor",
+		Nodes:          c.NodeIDs(),
+		Interval:       300 * time.Millisecond,
+		ReplicaSetSize: spec.RF,
+		OnObservation:  ctl.Observe,
+	}, rt, c.Bus)
+	c.Net.Colocate("monitor", c.NodeIDs()[0])
+	c.Bus.Register("monitor", rt, mon)
+	mon.Start()
+	defer mon.Stop()
+
+	// A client whose read level is chosen by Harmony at run time.
+	drv, err := client.New(client.Options{
+		ID:           "app",
+		Coordinators: c.NodeIDs(),
+		Levels:       ctl, // adaptive consistency
+		WriteLevel:   wire.One,
+	}, rt, c.Bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Bus.Register("app", rt, drv)
+
+	// Basic usage: write then read back.
+	do(rt, func(done func()) {
+		drv.Write([]byte("greeting"), []byte("hello, adaptive world"), func(r client.WriteResult) {
+			if r.Err != nil {
+				log.Fatalf("write: %v", r.Err)
+			}
+			fmt.Printf("wrote greeting at ts=%d\n", r.Ts)
+			done()
+		})
+	})
+	do(rt, func(done func()) {
+		drv.Read([]byte("greeting"), func(r client.ReadResult) {
+			if r.Err != nil {
+				log.Fatalf("read: %v", r.Err)
+			}
+			fmt.Printf("read %q (level %s chosen by Harmony)\n", r.Value, r.Achieved)
+			done()
+		})
+	})
+
+	// Drive a burst of updates and reads so the monitor sees real rates,
+	// then show the decision Harmony reached.
+	fmt.Println("running a 2s update-heavy burst...")
+	stop := make(chan struct{})
+	go burst(rt, drv, stop)
+	time.Sleep(2 * time.Second)
+	close(stop)
+
+	d := ctl.Last()
+	fmt.Printf("harmony decision: estimate=%.3f -> read level %s (Xn=%d)\n",
+		d.Estimate, d.Level, d.Xn)
+	fmt.Printf("model inputs: %s\n", d.Model)
+
+	// Explicit levels remain available for critical operations.
+	do(rt, func(done func()) {
+		drv.ReadAt([]byte("greeting"), wire.All, func(r client.ReadResult) {
+			fmt.Printf("strong read: %q (level %s)\n", r.Value, r.Achieved)
+			done()
+		})
+	})
+}
+
+func burst(rt *sim.RealRuntime, drv *client.Driver, stop <-chan struct{}) {
+	i := 0
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		i++
+		key := []byte(fmt.Sprintf("item%d", i%8))
+		done := make(chan struct{})
+		rt.Post(func() {
+			drv.Write(key, []byte(fmt.Sprintf("v%d", i)), func(client.WriteResult) {
+				drv.Read(key, func(client.ReadResult) { close(done) })
+			})
+		})
+		<-done
+	}
+}
+
+func do(rt *sim.RealRuntime, fn func(done func())) {
+	done := make(chan struct{})
+	rt.Post(func() { fn(func() { close(done) }) })
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		log.Fatal("operation timed out")
+	}
+}

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"harmony/internal/ycsb"
+)
+
+// Ablations isolate the design choices DESIGN.md §6 calls out. Each returns
+// a Figure comparing the variants along the thread sweep (or another
+// controlled variable).
+
+// AblationFixedTp compares Harmony with monitored network latency against a
+// variant whose propagation time is frozen at a small constant — showing why
+// Fig. 4(b)'s latency sensitivity motivates live monitoring: the frozen
+// variant under-escalates when latency spikes, letting stale reads through.
+func AblationFixedTp(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	sc := EC2() // high, variable latency is where the term matters
+	tolerance := sc.HarmonyTolerances[0]
+	policies := []PolicySpec{
+		{Kind: PolicyHarmony, Tolerance: tolerance},
+		{Kind: PolicyHarmony, Tolerance: tolerance, FixedTp: 100 * time.Microsecond},
+	}
+	g, err := RunGrid(sc, policies, opts)
+	if err != nil {
+		return Figure{}, err
+	}
+	f := g.StalenessFigure("ablation-fixedtp")
+	f.Title = "stale reads with monitored vs frozen propagation time (ec2)"
+	return f, nil
+}
+
+// AblationMonitorInterval sweeps the monitoring cadence: a slow monitor
+// reacts late to load shifts and admits more staleness; a fast one costs
+// more probe traffic for little extra benefit.
+func AblationMonitorInterval(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "ablation-monitor-interval",
+		Title:  "stale reads vs monitoring interval (grid5000, 90 threads)",
+		XLabel: "monitor interval (s)",
+		YLabel: "stale reads per 100k reads",
+	}
+	series := Series{Name: "Harmony-20%"}
+	for i, interval := range []time.Duration{250 * time.Millisecond, 500 * time.Millisecond, time.Second, 2 * time.Second, 5 * time.Second} {
+		sc := Grid5000()
+		sc.MonitorInterval = interval
+		res, err := RunPolicy(RunSpec{
+			Scenario: sc,
+			Policy:   PolicySpec{Kind: PolicyHarmony, Tolerance: 0.2},
+			Workload: ycsb.WorkloadA(),
+			Threads:  90,
+			Ops:      opts.OpsPerPoint,
+			Seed:     opts.Seed + int64(i),
+		})
+		if err != nil {
+			return Figure{}, err
+		}
+		y := 0.0
+		if res.Report.ShadowSamples > 0 {
+			y = float64(res.Report.StaleReads) / float64(res.Report.ShadowSamples) * 100000
+		}
+		series.Points = append(series.Points, Point{X: interval.Seconds(), Y: y})
+		opts.progress("ablation interval=%v stale/100k=%.0f", interval, y)
+	}
+	fig.Series = append(fig.Series, series)
+	return fig, nil
+}
+
+// AblationReadRepair compares staleness with background read repair enabled
+// (the paper's Cassandra configuration) and disabled: repair narrows the
+// window during which replicas diverge.
+func AblationReadRepair(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "ablation-read-repair",
+		Title:  "stale reads with and without background read repair (grid5000, eventual consistency)",
+		XLabel: "threads",
+		YLabel: "stale reads per 100k reads",
+	}
+	for _, repair := range []bool{true, false} {
+		name := "read-repair on"
+		if !repair {
+			name = "read-repair off"
+		}
+		series := Series{Name: name}
+		for ti, th := range opts.Threads {
+			sc := Grid5000()
+			sc.Spec.ReadRepairChance = 0
+			if repair {
+				sc.Spec.ReadRepairChance = 0.1
+			}
+			res, err := RunPolicy(RunSpec{
+				Scenario: sc,
+				Policy:   PolicySpec{Kind: PolicyEventual},
+				Workload: ycsb.WorkloadA(),
+				Threads:  th,
+				Ops:      opts.OpsPerPoint,
+				Seed:     opts.Seed + int64(ti),
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			y := 0.0
+			if res.Report.ShadowSamples > 0 {
+				y = float64(res.Report.StaleReads) / float64(res.Report.ShadowSamples) * 100000
+			}
+			series.Points = append(series.Points, Point{X: float64(th), Y: y})
+		}
+		opts.progress("ablation read-repair=%v done", repair)
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// AblationVsQuorum compares Harmony against the obvious static middle
+// ground, fixed QUORUM reads: Harmony matches quorum's staleness where it
+// matters while keeping eventual-like latency when the estimate is low.
+func AblationVsQuorum(opts Options) ([]Figure, error) {
+	opts = opts.withDefaults()
+	sc := Grid5000()
+	policies := []PolicySpec{
+		{Kind: PolicyHarmony, Tolerance: sc.HarmonyTolerances[0]},
+		{Kind: PolicyQuorum},
+		{Kind: PolicyEventual},
+	}
+	g, err := RunGrid(sc, policies, opts)
+	if err != nil {
+		return nil, err
+	}
+	lat := g.LatencyFigure("ablation-quorum-latency")
+	lat.Title = "Harmony vs static QUORUM: p99 read latency (grid5000)"
+	stale := g.StalenessFigure("ablation-quorum-staleness")
+	stale.Title = "Harmony vs static QUORUM: stale reads (grid5000)"
+	return []Figure{lat, stale}, nil
+}
+
+// AblationStrategy compares replica placement strategies: the paper's
+// topology-aware placement (replicas spread over racks) against
+// SimpleStrategy's ring-order placement, measuring p99 latency.
+func AblationStrategy(opts Options) (Figure, error) {
+	opts = opts.withDefaults()
+	fig := Figure{
+		ID:     "ablation-strategy",
+		Title:  "replica placement: NetworkTopologyStrategy vs SimpleStrategy (grid5000, eventual)",
+		XLabel: "threads",
+		YLabel: "99th percentile latency (ms)",
+	}
+	for _, topoAware := range []bool{true, false} {
+		name := "NetworkTopologyStrategy"
+		if !topoAware {
+			name = "SimpleStrategy"
+		}
+		series := Series{Name: name}
+		for ti, th := range opts.Threads {
+			sc := Grid5000()
+			sc.Spec.NetworkTopologyAware = topoAware
+			res, err := RunPolicy(RunSpec{
+				Scenario: sc,
+				Policy:   PolicySpec{Kind: PolicyEventual},
+				Workload: ycsb.WorkloadA(),
+				Threads:  th,
+				Ops:      opts.OpsPerPoint,
+				Seed:     opts.Seed + int64(ti),
+			})
+			if err != nil {
+				return Figure{}, err
+			}
+			series.Points = append(series.Points, Point{X: float64(th), Y: float64(res.Report.ReadLatency.P99()) / 1e6})
+		}
+		opts.progress("ablation strategy=%s done", name)
+		fig.Series = append(fig.Series, series)
+	}
+	return fig, nil
+}
+
+// ErrIgnore standardizes skip messages for optional ablations.
+var ErrIgnore = fmt.Errorf("bench: ablation skipped")

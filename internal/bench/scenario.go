@@ -1,0 +1,135 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/simnet"
+	"harmony/internal/wire"
+	"harmony/internal/ycsb"
+)
+
+// Scenario bundles a testbed profile with the cluster and monitoring
+// parameters the experiments share.
+type Scenario struct {
+	Name string
+	Spec cluster.Spec
+	// MonitorInterval is Harmony's collection cadence (virtual time).
+	MonitorInterval time.Duration
+	// HarmonyTolerances are the two tolerable-stale-rate settings the
+	// paper evaluates on this testbed (Grid'5000: 20%/40%; EC2: 40%/60%).
+	HarmonyTolerances [2]float64
+}
+
+// Grid5000 is the paper's first testbed scaled to simulation: 20 physical
+// LAN nodes (the paper used 84; staleness and percentile shapes are
+// governed by rate×latency products, not node count), RF=5,
+// topology-aware placement, read repair on.
+func Grid5000() Scenario {
+	spec := cluster.DefaultSpec()
+	spec.Profile = simnet.Grid5000Profile()
+	return Scenario{
+		Name:              "grid5000",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.20, 0.40},
+	}
+}
+
+// EC2 is the paper's second testbed: 20 virtualized nodes with ~5x the
+// base latency, heavy-tailed jitter, and slower (virtualized) per-message
+// service times.
+func EC2() Scenario {
+	spec := cluster.DefaultSpec()
+	spec.Profile = simnet.EC2Profile()
+	spec.Service = cluster.DefaultServiceProfile().Scale(1.5)
+	return Scenario{
+		Name:              "ec2",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.40, 0.60},
+	}
+}
+
+// PolicyKind selects how read consistency levels are chosen during a run.
+type PolicyKind int
+
+// Policy kinds.
+const (
+	// PolicyEventual is Cassandra's static eventual consistency (CL=ONE).
+	PolicyEventual PolicyKind = iota
+	// PolicyStrong is static strong consistency (CL=ALL).
+	PolicyStrong
+	// PolicyQuorum is static quorum reads (ablation baseline).
+	PolicyQuorum
+	// PolicyHarmony adapts the level with the monitor + controller.
+	PolicyHarmony
+)
+
+// PolicySpec names a consistency policy for a run.
+type PolicySpec struct {
+	Kind PolicyKind
+	// Tolerance is app_stale_rate for PolicyHarmony.
+	Tolerance float64
+	// FixedTp, when positive, runs Harmony with a constant propagation
+	// time — the no-latency-monitoring ablation.
+	FixedTp time.Duration
+}
+
+// Name renders the policy the way the paper labels its curves.
+func (p PolicySpec) Name() string {
+	switch p.Kind {
+	case PolicyEventual:
+		return "Eventual"
+	case PolicyStrong:
+		return "Strong"
+	case PolicyQuorum:
+		return "Quorum"
+	case PolicyHarmony:
+		if p.FixedTp > 0 {
+			return fmt.Sprintf("Harmony-%d%%-fixedTp", int(p.Tolerance*100+0.5))
+		}
+		return fmt.Sprintf("Harmony-%d%%", int(p.Tolerance*100+0.5))
+	}
+	return "unknown"
+}
+
+// levelSource builds the client.LevelSource and (for Harmony) the
+// controller that must be fed by a monitor.
+func (p PolicySpec) levelSource(n int, w ycsb.Workload, profile simnet.Profile) (client.LevelSource, *core.Controller) {
+	switch p.Kind {
+	case PolicyStrong:
+		return client.Fixed(wire.All), nil
+	case PolicyQuorum:
+		return client.Fixed(wire.Quorum), nil
+	case PolicyHarmony:
+		ctl := core.NewController(core.ControllerConfig{
+			Policy:               core.Policy{Name: p.Name(), ToleratedStaleRate: p.Tolerance},
+			N:                    n,
+			AvgWriteBytes:        float64(w.ValueBytes),
+			BandwidthBytesPerSec: profile.BandwidthBytesPerSec,
+			FixedTp:              p.FixedTp,
+		})
+		return ctl, ctl
+	default:
+		return client.Fixed(wire.One), nil
+	}
+}
+
+// StandardPolicies returns the four curves of Fig. 5/6 for a scenario: the
+// two Harmony tolerances plus the two static baselines, in the paper's
+// legend order.
+func StandardPolicies(sc Scenario) []PolicySpec {
+	return []PolicySpec{
+		{Kind: PolicyHarmony, Tolerance: sc.HarmonyTolerances[1]},
+		{Kind: PolicyHarmony, Tolerance: sc.HarmonyTolerances[0]},
+		{Kind: PolicyEventual},
+		{Kind: PolicyStrong},
+	}
+}
+
+// ThreadSweep is the client-thread x-axis of Fig. 5 and 6.
+var ThreadSweep = []int{1, 15, 40, 70, 90, 100}

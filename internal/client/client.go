@@ -1,0 +1,256 @@
+// Package client implements the store's client driver: the counterpart of
+// the paper's modified YCSB Cassandra client. It routes operations to
+// coordinator nodes round-robin, attaches a per-operation consistency level
+// obtained from a pluggable LevelSource (Harmony's adaptive controller, or a
+// static policy), correlates responses, and enforces timeouts. It also
+// offers the dual-read staleness probe of §V-F.
+//
+// The driver is event-driven like the rest of the system: operations take a
+// callback and complete on the driver's runtime.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// Driver errors.
+var (
+	ErrTimeout     = errors.New("client: operation timed out")
+	ErrUnavailable = errors.New("client: not enough replicas")
+	ErrServer      = errors.New("client: server error")
+)
+
+// LevelSource supplies the consistency level for the next read operation.
+// Harmony's controller implements it; static policies use Fixed.
+type LevelSource interface {
+	ReadLevel() wire.ConsistencyLevel
+}
+
+// KeyLevelSource supplies per-key consistency levels — the interface behind
+// the paper's future-work data categorization (core.PerKeyLevels): keys in
+// write-contended categories read at higher levels than cold ones.
+type KeyLevelSource interface {
+	ReadLevelFor(key []byte) wire.ConsistencyLevel
+}
+
+// Fixed is a LevelSource always returning a constant level.
+type Fixed wire.ConsistencyLevel
+
+// ReadLevel implements LevelSource.
+func (f Fixed) ReadLevel() wire.ConsistencyLevel { return wire.ConsistencyLevel(f) }
+
+// Options configure a Driver.
+type Options struct {
+	// ID is the driver's endpoint identity on the fabric.
+	ID ring.NodeID
+	// Coordinators are the nodes the driver spreads requests over.
+	Coordinators []ring.NodeID
+	// Levels supplies per-read consistency levels; nil means Fixed(One).
+	Levels LevelSource
+	// KeyLevels, when set, takes precedence over Levels and chooses the
+	// level per key (core.PerKeyLevels for category-based consistency).
+	KeyLevels KeyLevelSource
+	// WriteLevel is the consistency level for writes; zero means One (the
+	// paper's setting: "a write of consistency level one", §II-B).
+	WriteLevel wire.ConsistencyLevel
+	// Timeout bounds each operation; zero means 2s.
+	Timeout time.Duration
+	// ShadowEvery requests the dual-read staleness probe (§V-F) on every
+	// k-th read; 0 disables probing, 1 probes every read. Sampling keeps
+	// the measurement from perturbing the run the way the paper's
+	// probe-every-read method admits to doing.
+	ShadowEvery int
+}
+
+// ReadResult is delivered to read callbacks.
+type ReadResult struct {
+	Found    bool
+	Value    []byte
+	Ts       int64
+	Achieved wire.ConsistencyLevel
+	Err      error
+}
+
+// WriteResult is delivered to write callbacks.
+type WriteResult struct {
+	Ts  int64
+	Err error
+}
+
+// Driver issues operations against the cluster. All methods must be called
+// from the driver's runtime context; callbacks run there too.
+type Driver struct {
+	opts    Options
+	rt      sim.Runtime
+	send    transport.Sender
+	nextID  uint64
+	nextCo  int
+	reads   uint64
+	pending map[uint64]*pendingOp
+}
+
+type pendingOp struct {
+	onRead  func(ReadResult)
+	onWrite func(WriteResult)
+	cancel  func()
+}
+
+// New creates a driver and registers nothing: the caller must register the
+// driver on the fabric (bus.Register(opts.ID, rt, driver)).
+func New(opts Options, rt sim.Runtime, send transport.Sender) (*Driver, error) {
+	if len(opts.Coordinators) == 0 {
+		return nil, fmt.Errorf("client: no coordinators")
+	}
+	if opts.Levels == nil {
+		opts.Levels = Fixed(wire.One)
+	}
+	if opts.WriteLevel == 0 {
+		opts.WriteLevel = wire.One
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 2 * time.Second
+	}
+	return &Driver{
+		opts:    opts,
+		rt:      rt,
+		send:    send,
+		pending: make(map[uint64]*pendingOp),
+	}, nil
+}
+
+// ID returns the driver's fabric identity.
+func (d *Driver) ID() ring.NodeID { return d.opts.ID }
+
+func (d *Driver) coordinator() ring.NodeID {
+	c := d.opts.Coordinators[d.nextCo%len(d.opts.Coordinators)]
+	d.nextCo++
+	return c
+}
+
+func (d *Driver) newOp() uint64 {
+	d.nextID++
+	return d.nextID
+}
+
+// Read fetches key at the level the configured source chooses: per key when
+// KeyLevels is set, otherwise the global LevelSource.
+func (d *Driver) Read(key []byte, cb func(ReadResult)) {
+	level := d.opts.Levels.ReadLevel()
+	if d.opts.KeyLevels != nil {
+		level = d.opts.KeyLevels.ReadLevelFor(key)
+	}
+	d.ReadAt(key, level, cb)
+}
+
+// ReadAt fetches key at an explicit consistency level.
+func (d *Driver) ReadAt(key []byte, level wire.ConsistencyLevel, cb func(ReadResult)) {
+	id := d.newOp()
+	op := &pendingOp{onRead: cb}
+	d.pending[id] = op
+	op.cancel = d.rt.After(d.opts.Timeout, func() {
+		if _, ok := d.pending[id]; ok {
+			delete(d.pending, id)
+			cb(ReadResult{Err: ErrTimeout})
+		}
+	})
+	d.reads++
+	shadow := d.opts.ShadowEvery > 0 && d.reads%uint64(d.opts.ShadowEvery) == 0
+	d.send.Send(d.opts.ID, d.coordinator(), wire.ReadRequest{
+		ID: id, Key: key, Level: level, Shadow: shadow,
+	})
+}
+
+// Write stores value under key at the configured write level.
+func (d *Driver) Write(key, value []byte, cb func(WriteResult)) {
+	d.write(key, value, false, cb)
+}
+
+// Delete removes key (tombstone write).
+func (d *Driver) Delete(key []byte, cb func(WriteResult)) {
+	d.write(key, nil, true, cb)
+}
+
+func (d *Driver) write(key, value []byte, del bool, cb func(WriteResult)) {
+	id := d.newOp()
+	op := &pendingOp{onWrite: cb}
+	d.pending[id] = op
+	op.cancel = d.rt.After(d.opts.Timeout, func() {
+		if _, ok := d.pending[id]; ok {
+			delete(d.pending, id)
+			cb(WriteResult{Err: ErrTimeout})
+		}
+	})
+	d.send.Send(d.opts.ID, d.coordinator(), wire.WriteRequest{
+		ID: id, Key: key, Value: value, Delete: del, Level: d.opts.WriteLevel,
+	})
+}
+
+// VerifyRead performs the paper's literal dual-read staleness measurement:
+// one read at the adaptive level followed by one at ALL, comparing
+// timestamps. The callback receives the primary result and whether it was
+// stale relative to the strong read. Note the measurement perturbs the
+// system exactly as §V-F warns.
+func (d *Driver) VerifyRead(key []byte, cb func(primary ReadResult, stale bool)) {
+	d.Read(key, func(primary ReadResult) {
+		if primary.Err != nil {
+			cb(primary, false)
+			return
+		}
+		d.ReadAt(key, wire.All, func(strong ReadResult) {
+			stale := strong.Err == nil && strong.Found && strong.Ts > primary.Ts
+			cb(primary, stale)
+		})
+	})
+}
+
+// Deliver implements transport.Handler: correlate responses to callbacks.
+func (d *Driver) Deliver(_ ring.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.ReadResponse:
+		if op, ok := d.pending[msg.ID]; ok && op.onRead != nil {
+			delete(d.pending, msg.ID)
+			op.cancel()
+			op.onRead(ReadResult{
+				Found:    msg.Found,
+				Value:    msg.Value.Data,
+				Ts:       msg.Value.Timestamp,
+				Achieved: msg.Achieved,
+			})
+		}
+	case wire.WriteResponse:
+		if op, ok := d.pending[msg.ID]; ok && op.onWrite != nil {
+			delete(d.pending, msg.ID)
+			op.cancel()
+			op.onWrite(WriteResult{Ts: msg.Timestamp})
+		}
+	case wire.Error:
+		if op, ok := d.pending[msg.ID]; ok {
+			delete(d.pending, msg.ID)
+			op.cancel()
+			err := fmt.Errorf("%w: %s (%s)", ErrServer, msg.Msg, msg.Code)
+			if msg.Code == wire.ErrTimeout {
+				err = fmt.Errorf("%w: %s", ErrTimeout, msg.Msg)
+			}
+			if msg.Code == wire.ErrUnavailable {
+				err = fmt.Errorf("%w: %s", ErrUnavailable, msg.Msg)
+			}
+			if op.onRead != nil {
+				op.onRead(ReadResult{Err: err})
+			} else if op.onWrite != nil {
+				op.onWrite(WriteResult{Err: err})
+			}
+		}
+	}
+}
+
+// Pending reports in-flight operations (tests).
+func (d *Driver) Pending() int { return len(d.pending) }
+
+var _ transport.Handler = (*Driver)(nil)

@@ -1,0 +1,288 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harmony/internal/dist"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/simnet"
+	"harmony/internal/storage"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// Spec describes a whole cluster to assemble; it is the shared entry point
+// for tests, benchmarks and examples.
+type Spec struct {
+	// DCs is the number of datacenters; RacksPerDC and NodesPerRack shape
+	// each one identically.
+	DCs, RacksPerDC, NodesPerRack int
+	// RF is the replication factor (the paper uses 5).
+	RF int
+	// VNodes per physical node; zero means 16.
+	VNodes int
+	// NetworkTopologyAware selects NetworkTopologyStrategy (the paper's
+	// placement) instead of SimpleStrategy.
+	NetworkTopologyAware bool
+	// Profile is the network latency profile.
+	Profile simnet.Profile
+	// ReadRepairChance is the probability a read fans out to all replicas
+	// for background repair (Cassandra's read_repair_chance; the paper's
+	// deployment era defaulted to sampled repair).
+	ReadRepairChance float64
+	// HintedHandoff toggles hint queues for down replicas.
+	HintedHandoff bool
+	// ReadTimeout/WriteTimeout propagate to every node.
+	ReadTimeout, WriteTimeout time.Duration
+	// Engine configures node-local storage.
+	Engine storage.Options
+	// Service models each node's finite processing capacity; the zero
+	// value selects DefaultServiceProfile. Set Disabled to bypass queueing
+	// (pure-network experiments).
+	Service ServiceProfile
+}
+
+// ServiceProfile gives per-message-class service times for the node queue.
+// Actual service times are the class mean multiplied by a lognormal jitter
+// with unit mean and the configured 99th percentile, modeling the variance
+// real storage nodes exhibit (page-cache misses, GC pauses, compaction
+// interference). The jitter is what separates "wait for the first replica"
+// from "wait for the slowest of five" in the latency distributions.
+type ServiceProfile struct {
+	CoordRead    time.Duration // coordinating a client read
+	CoordWrite   time.Duration // coordinating a client write
+	ReplicaRead  time.Duration // serving a replica-local read
+	ReplicaWrite time.Duration // applying a mutation or repair
+	Response     time.Duration // handling replica responses/acks
+	Other        time.Duration // stats, ping, gossip
+	// JitterP99 is the 99th percentile of the unit-mean multiplier; zero
+	// means 3.0, values <= 1 disable jitter.
+	JitterP99 float64
+	Disabled  bool
+}
+
+// DefaultServiceProfile bounds the 20-node cluster at roughly 30k
+// Workload-A ops/s at consistency level ONE, so closed-loop saturation
+// lands in the same client-thread regime as the paper's testbeds (peak
+// near 90 threads, Fig. 5(c)).
+func DefaultServiceProfile() ServiceProfile {
+	return ServiceProfile{
+		CoordRead:    50 * time.Microsecond,
+		CoordWrite:   50 * time.Microsecond,
+		ReplicaRead:  160 * time.Microsecond,
+		ReplicaWrite: 200 * time.Microsecond,
+		Response:     8 * time.Microsecond,
+		Other:        5 * time.Microsecond,
+		JitterP99:    3.0,
+	}
+}
+
+// Scale returns the profile with every service time multiplied by f;
+// virtualized testbeds (the EC2 scenario) use f > 1.
+func (p ServiceProfile) Scale(f float64) ServiceProfile {
+	mul := func(d time.Duration) time.Duration { return time.Duration(float64(d) * f) }
+	return ServiceProfile{
+		CoordRead:    mul(p.CoordRead),
+		CoordWrite:   mul(p.CoordWrite),
+		ReplicaRead:  mul(p.ReplicaRead),
+		ReplicaWrite: mul(p.ReplicaWrite),
+		Response:     mul(p.Response),
+		Other:        mul(p.Other),
+		Disabled:     p.Disabled,
+	}
+}
+
+// Timer converts the profile into a transport.ServiceTimer drawing jitter
+// from rng (which must belong to the node's runtime).
+func (p ServiceProfile) Timer(rng *rand.Rand) transport.ServiceTimer {
+	jp99 := p.JitterP99
+	if jp99 == 0 {
+		jp99 = 3.0
+	}
+	var jitter dist.Sampler = dist.Constant{V: 1}
+	if jp99 > 1 {
+		jitter = dist.LognormalFromMeanP99(1.0, jp99)
+	}
+	return func(m wire.Message) time.Duration {
+		var base time.Duration
+		switch m.(type) {
+		case wire.ReadRequest:
+			base = p.CoordRead
+		case wire.WriteRequest:
+			base = p.CoordWrite
+		case wire.ReplicaRead:
+			base = p.ReplicaRead
+		case wire.Mutation, wire.Repair:
+			base = p.ReplicaWrite
+		case wire.ReplicaReadResp, wire.MutationAck:
+			return p.Response // cheap fixed-cost handling
+		default:
+			return p.Other
+		}
+		return time.Duration(float64(base) * jitter.Sample(rng))
+	}
+}
+
+func (p ServiceProfile) isZero() bool {
+	return p == ServiceProfile{}
+}
+
+// DefaultSpec mirrors the paper's Grid'5000 configuration scaled to
+// simulation: one DC, four racks of five nodes (20 nodes), RF=5,
+// topology-aware placement, read repair on.
+func DefaultSpec() Spec {
+	return Spec{
+		DCs:                  1,
+		RacksPerDC:           4,
+		NodesPerRack:         5,
+		RF:                   5,
+		VNodes:               16,
+		NetworkTopologyAware: true,
+		Profile:              simnet.Grid5000Profile(),
+		ReadRepairChance:     0.1,
+	}
+}
+
+// Cluster bundles a running set of nodes with the fabric connecting them.
+type Cluster struct {
+	Topo     *ring.Topology
+	Ring     *ring.Ring
+	Strategy ring.Strategy
+	Net      *simnet.Net
+	Bus      *transport.Bus
+	Nodes    []*Node
+	byID     map[ring.NodeID]*Node
+}
+
+// BuildSim assembles the cluster on a discrete-event simulator. All nodes
+// share the simulator as their runtime (the DES is single-threaded, so this
+// preserves the per-node serialization contract).
+func BuildSim(s *sim.Sim, spec Spec) (*Cluster, error) {
+	return build(spec, func(ring.NodeID) sim.Runtime { return s }, s)
+}
+
+// BuildReal assembles the cluster on real-time mailbox runtimes (one
+// goroutine per node). The caller must Stop the returned cluster.
+func BuildReal(spec Spec, seed int64) (*Cluster, error) {
+	seedSim := sim.New(seed) // used only as a deterministic RNG source
+	return build(spec, func(ring.NodeID) sim.Runtime { return sim.NewRealRuntime() }, seedSim)
+}
+
+func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster, error) {
+	if spec.DCs <= 0 || spec.RacksPerDC <= 0 || spec.NodesPerRack <= 0 {
+		return nil, fmt.Errorf("cluster: spec must have positive dimensions, got %+v", spec)
+	}
+	if spec.RF <= 0 {
+		return nil, fmt.Errorf("cluster: replication factor must be positive")
+	}
+	if spec.VNodes == 0 {
+		spec.VNodes = 16
+	}
+	var infos []ring.NodeInfo
+	for dc := 1; dc <= spec.DCs; dc++ {
+		for rack := 1; rack <= spec.RacksPerDC; rack++ {
+			for i := 1; i <= spec.NodesPerRack; i++ {
+				infos = append(infos, ring.NodeInfo{
+					ID:   ring.NodeID(fmt.Sprintf("dc%d-r%d-n%d", dc, rack, i)),
+					DC:   fmt.Sprintf("dc%d", dc),
+					Rack: fmt.Sprintf("r%d", rack),
+				})
+			}
+		}
+	}
+	topo, err := ring.NewTopology(infos)
+	if err != nil {
+		return nil, err
+	}
+	rng, err := ring.Build(topo, spec.VNodes)
+	if err != nil {
+		return nil, err
+	}
+	var strat ring.Strategy
+	if spec.NetworkTopologyAware {
+		strat = ring.NetworkTopologyStrategy{RF: spec.RF}
+	} else {
+		strat = ring.SimpleStrategy{RF: spec.RF}
+	}
+	net := simnet.New(topo, spec.Profile, s.NewStream())
+	bus := transport.NewBus(net)
+	c := &Cluster{
+		Topo:     topo,
+		Ring:     rng,
+		Strategy: strat,
+		Net:      net,
+		Bus:      bus,
+		byID:     make(map[ring.NodeID]*Node),
+	}
+	svc := spec.Service
+	if svc.isZero() {
+		svc = DefaultServiceProfile()
+	}
+	for _, info := range infos {
+		rt := rtFor(info.ID)
+		n := New(Config{
+			ID:               info.ID,
+			Ring:             rng,
+			Strategy:         strat,
+			ReadTimeout:      spec.ReadTimeout,
+			WriteTimeout:     spec.WriteTimeout,
+			ReadRepairChance: spec.ReadRepairChance,
+			HintedHandoff:    spec.HintedHandoff,
+			Engine:           spec.Engine,
+			Rand:             s.NewStream(),
+		}, rt, bus)
+		var h transport.Handler = n
+		if !svc.Disabled {
+			h = transport.NewServiceQueue(rt, n, svc.Timer(s.NewStream()))
+		}
+		bus.Register(info.ID, rt, h)
+		n.Start()
+		c.Nodes = append(c.Nodes, n)
+		c.byID[info.ID] = n
+	}
+	return c, nil
+}
+
+// Node returns the node with the given ID, or nil.
+func (c *Cluster) Node(id ring.NodeID) *Node { return c.byID[id] }
+
+// NodeIDs returns all node IDs in deterministic order.
+func (c *Cluster) NodeIDs() []ring.NodeID { return c.Topo.Nodes() }
+
+// AggregateMetrics sums metrics across all nodes.
+func (c *Cluster) AggregateMetrics() Metrics {
+	var total Metrics
+	for _, n := range c.Nodes {
+		s := n.Snapshot()
+		total.Reads += s.Reads
+		total.Writes += s.Writes
+		total.ReplicaOps += s.ReplicaOps
+		total.BytesRead += s.BytesRead
+		total.BytesWritten += s.BytesWritten
+		total.RepairsSent += s.RepairsSent
+		total.HintsQueued += s.HintsQueued
+		total.HintsReplayed += s.HintsReplayed
+		total.ReadTimeouts += s.ReadTimeouts
+		total.WriteTimeouts += s.WriteTimeouts
+		total.ShadowSamples += s.ShadowSamples
+		total.ShadowStale += s.ShadowStale
+		for i := range s.LevelUse {
+			total.LevelUse[i] += s.LevelUse[i]
+		}
+	}
+	return total
+}
+
+// Stop shuts down node maintenance and, for real-time runtimes, their
+// mailbox goroutines.
+func (c *Cluster) Stop() {
+	for _, n := range c.Nodes {
+		n.Stop()
+		if rr, ok := n.rt.(*sim.RealRuntime); ok {
+			rr.Stop()
+		}
+	}
+}

@@ -1,0 +1,629 @@
+// Package cluster implements the replicated key-value store Harmony tunes: a
+// Dynamo/Cassandra-style system where every node can coordinate client
+// operations over the token ring, writes propagate asynchronously to all
+// replicas while the coordinator blocks for only as many acknowledgements as
+// the operation's consistency level demands, and reads reconcile replica
+// responses by timestamp with background read repair (the exact quorum
+// machinery of the paper's §II-B and Fig. 1).
+//
+// Node logic is event-driven and single-threaded per node: all message and
+// timer callbacks execute on the node's sim.Runtime. The same code therefore
+// runs under the discrete-event simulator, on real-time in-process mailboxes,
+// and behind the TCP server.
+package cluster
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/storage"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// Config parameterizes a storage node.
+type Config struct {
+	ID       ring.NodeID
+	Ring     *ring.Ring
+	Strategy ring.Strategy
+
+	// ReadTimeout bounds how long a coordinator waits for enough replica
+	// read responses; zero means 1s.
+	ReadTimeout time.Duration
+	// WriteTimeout bounds how long a coordinator waits for enough mutation
+	// acks; zero means 1s.
+	WriteTimeout time.Duration
+	// ReadRepairChance is the probability that a read fans out to every
+	// replica (still blocking only for the consistency level) and issues
+	// background repairs to stale ones — Cassandra's read_repair_chance.
+	// Reads that lose the coin flip contact exactly the replicas the level
+	// requires, which is what gives weaker levels their capacity and
+	// latency advantage.
+	ReadRepairChance float64
+	// HintedHandoff queues mutations for replicas the failure detector
+	// considers down and replays them when the replica returns.
+	HintedHandoff bool
+	// HintReplayInterval is how often queued hints are retried; zero means
+	// 10s.
+	HintReplayInterval time.Duration
+	// Engine configures the local storage engine.
+	Engine storage.Options
+	// Alive reports whether a peer is believed up; nil means always true.
+	// Wire a gossip.Detector's Alive method here for failure awareness.
+	Alive func(ring.NodeID) bool
+	// Rand drives the read-repair coin flips; nil seeds a default source.
+	// Only ever used from the node's runtime.
+	Rand *rand.Rand
+}
+
+// Metrics are a node's cumulative counters. Access through Snapshot.
+type Metrics struct {
+	Reads         uint64 // client reads coordinated
+	Writes        uint64 // client writes coordinated
+	ReplicaOps    uint64 // replica-level reads+mutations served
+	BytesRead     uint64
+	BytesWritten  uint64
+	RepairsSent   uint64
+	HintsQueued   uint64
+	HintsReplayed uint64
+	ReadTimeouts  uint64
+	WriteTimeouts uint64
+	// ShadowSamples counts reads that carried the dual-read staleness probe
+	// (§V-F); ShadowStale counts how many of those returned a value older
+	// than the freshest replica held at read time.
+	ShadowSamples uint64
+	ShadowStale   uint64
+	// LevelUse tallies coordinated reads per consistency level (index by
+	// wire.ConsistencyLevel). Slot 0 is unused.
+	LevelUse [6]uint64
+}
+
+type readOp struct {
+	id        uint64
+	key       []byte
+	client    ring.NodeID
+	clientID  uint64
+	need      int
+	total     int
+	got       []wire.ReplicaReadResp
+	from      []ring.NodeID
+	responded bool
+	finished  bool
+	respTS    int64 // timestamp of the value returned to the client
+	respAt    int64 // virtual UnixNano when the client response was sent
+	shadow    bool
+	level     wire.ConsistencyLevel
+	cancel    func()
+	// Blocking read repair (CL=ALL, paper Fig. 1): the response to the
+	// client waits until stale replicas acknowledge their repair.
+	blockedOnRepair bool
+	repairAcksLeft  int
+	repairIDs       []uint64
+}
+
+type writeOp struct {
+	id        uint64
+	client    ring.NodeID
+	clientID  uint64
+	need      int
+	total     int // mutations actually sent (excludes hinted replicas)
+	acks      int
+	responded bool
+	ts        int64
+	cancel    func()
+}
+
+// Node is one storage server.
+type Node struct {
+	cfg    Config
+	rt     sim.Runtime
+	send   transport.Sender
+	engine *storage.Engine
+
+	nextOp            uint64
+	pendingReads      map[uint64]*readOp
+	pendingWrites     map[uint64]*writeOp
+	pendingRepairAcks map[uint64]*readOp // blocking read-repair mutation id -> read
+	hints             map[ring.NodeID][]wire.Mutation
+	hintStop          func()
+	lastTS            int64
+
+	metricsMu sync.Mutex
+	metrics   Metrics
+}
+
+// New creates a node bound to a runtime and a message fabric. Call Start to
+// begin background maintenance (hint replay).
+func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = time.Second
+	}
+	if cfg.WriteTimeout <= 0 {
+		cfg.WriteTimeout = time.Second
+	}
+	if cfg.HintReplayInterval <= 0 {
+		cfg.HintReplayInterval = 10 * time.Second
+	}
+	if cfg.Alive == nil {
+		cfg.Alive = func(ring.NodeID) bool { return true }
+	}
+	if cfg.Rand == nil {
+		cfg.Rand = rand.New(rand.NewSource(int64(len(cfg.ID)) + 1))
+	}
+	return &Node{
+		cfg:               cfg,
+		rt:                rt,
+		send:              send,
+		engine:            storage.NewEngine(cfg.Engine),
+		pendingReads:      make(map[uint64]*readOp),
+		pendingWrites:     make(map[uint64]*writeOp),
+		pendingRepairAcks: make(map[uint64]*readOp),
+		hints:             make(map[ring.NodeID][]wire.Mutation),
+	}
+}
+
+// ID returns the node's identity.
+func (n *Node) ID() ring.NodeID { return n.cfg.ID }
+
+// Engine exposes the local storage engine (read-only inspection in tests).
+func (n *Node) Engine() *storage.Engine { return n.engine }
+
+// Start launches background maintenance. It must be called from the node's
+// runtime context (or before the fabric starts delivering messages).
+func (n *Node) Start() {
+	if n.cfg.HintedHandoff && n.hintStop == nil {
+		n.hintStop = tick(n.rt, n.cfg.HintReplayInterval, n.replayHints)
+	}
+}
+
+// Stop cancels background maintenance.
+func (n *Node) Stop() {
+	if n.hintStop != nil {
+		n.hintStop()
+		n.hintStop = nil
+	}
+}
+
+// tick implements a runtime-generic ticker (sim.Sim has a native one, but a
+// node only holds the Runtime interface).
+func tick(rt sim.Runtime, every time.Duration, fn func()) (stop func()) {
+	stopped := false
+	var loop func()
+	loop = func() {
+		rt.After(every, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				loop()
+			}
+		})
+	}
+	loop()
+	return func() { stopped = true }
+}
+
+// Snapshot returns a copy of the node's metrics.
+func (n *Node) Snapshot() Metrics {
+	n.metricsMu.Lock()
+	defer n.metricsMu.Unlock()
+	return n.metrics
+}
+
+func (n *Node) withMetrics(fn func(*Metrics)) {
+	n.metricsMu.Lock()
+	fn(&n.metrics)
+	n.metricsMu.Unlock()
+}
+
+// nextTimestamp returns a strictly increasing write timestamp even when
+// multiple writes are coordinated within one virtual instant.
+func (n *Node) nextTimestamp() int64 {
+	ts := n.rt.Now().UnixNano()
+	if ts <= n.lastTS {
+		ts = n.lastTS + 1
+	}
+	n.lastTS = ts
+	return ts
+}
+
+func (n *Node) opID() uint64 {
+	n.nextOp++
+	return n.nextOp
+}
+
+// Deliver dispatches an incoming message. It always runs on the node's
+// runtime.
+func (n *Node) Deliver(from ring.NodeID, m wire.Message) {
+	switch msg := m.(type) {
+	case wire.ReadRequest:
+		n.coordinateRead(from, msg)
+	case wire.WriteRequest:
+		n.coordinateWrite(from, msg)
+	case wire.ReplicaRead:
+		n.serveReplicaRead(from, msg)
+	case wire.ReplicaReadResp:
+		n.onReplicaReadResp(from, msg)
+	case wire.Mutation:
+		n.applyMutation(from, msg)
+	case wire.MutationAck:
+		n.onMutationAck(from, msg)
+	case wire.Repair:
+		n.applyRepair(msg)
+	case wire.StatsRequest:
+		n.serveStats(from, msg)
+	case wire.Ping:
+		n.send.Send(n.cfg.ID, from, wire.Pong{ID: msg.ID, Sent: msg.Sent})
+	}
+}
+
+// replicasFor returns the replica set for key ordered by proximity to this
+// coordinator, so the closest replicas are contacted (and waited on) first.
+func (n *Node) replicasFor(key []byte) []ring.NodeID {
+	reps := ring.ReplicasForKey(n.cfg.Ring, n.cfg.Strategy, key)
+	n.cfg.Ring.Topology().SortByProximity(n.cfg.ID, reps)
+	return reps
+}
+
+// --- Read path -----------------------------------------------------------
+
+func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
+	reps := n.replicasFor(req.Key)
+	if len(reps) == 0 {
+		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "no replicas"})
+		return
+	}
+	level := req.Level
+	need := level.BlockFor(len(reps))
+	// Shadow probes need every replica's version for the staleness
+	// comparison; otherwise a read fans out to all replicas only when it
+	// wins the read-repair coin flip (Cassandra's read_repair_chance).
+	fanAll := req.Shadow ||
+		(n.cfg.ReadRepairChance > 0 && n.cfg.Rand.Float64() < n.cfg.ReadRepairChance)
+	targets := reps
+	if !fanAll && need < len(reps) {
+		targets = reps[:need]
+	}
+	op := &readOp{
+		id:       n.opID(),
+		key:      req.Key,
+		client:   client,
+		clientID: req.ID,
+		need:     need,
+		total:    len(targets),
+		shadow:   req.Shadow,
+		level:    level,
+	}
+	n.pendingReads[op.id] = op
+	n.withMetrics(func(m *Metrics) {
+		m.Reads++
+		if level >= 1 && int(level) < len(m.LevelUse) {
+			m.LevelUse[level]++
+		}
+		if req.Shadow {
+			m.ShadowSamples++
+		}
+	})
+	op.cancel = n.rt.After(n.cfg.ReadTimeout, func() { n.readTimeout(op.id) })
+	for _, r := range targets {
+		n.send.Send(n.cfg.ID, r, wire.ReplicaRead{ID: op.id, Key: req.Key})
+	}
+}
+
+func (n *Node) serveReplicaRead(from ring.NodeID, req wire.ReplicaRead) {
+	v, ok := n.engine.Get(req.Key)
+	n.withMetrics(func(m *Metrics) {
+		m.ReplicaOps++
+		if ok {
+			m.BytesRead += uint64(len(v.Data))
+		}
+	})
+	n.send.Send(n.cfg.ID, from, wire.ReplicaReadResp{ID: req.ID, Found: ok, Value: v})
+}
+
+func (n *Node) onReplicaReadResp(from ring.NodeID, resp wire.ReplicaReadResp) {
+	op, ok := n.pendingReads[resp.ID]
+	if !ok {
+		return
+	}
+	op.got = append(op.got, resp)
+	op.from = append(op.from, from)
+	if !op.responded && !op.blockedOnRepair && len(op.got) >= op.need {
+		n.respondRead(op)
+	}
+	if !op.finished && len(op.got) >= op.total {
+		n.finishRead(op)
+	}
+}
+
+// newest returns the freshest value among the responses (ok=false when no
+// replica had the key).
+func newest(got []wire.ReplicaReadResp) (wire.Value, bool) {
+	var best wire.Value
+	found := false
+	for _, r := range got {
+		if !r.Found {
+			continue
+		}
+		if !found || r.Value.Fresh(best) {
+			best = r.Value
+			found = true
+		}
+	}
+	return best, found
+}
+
+func (n *Node) respondRead(op *readOp) {
+	best, found := newest(op.got)
+	// Paper Fig. 1, strong consistency: when replicas disagree at CL=ALL,
+	// the coordinator first writes the newest version to the out-of-date
+	// replicas, waits for their acks, and only then answers the client.
+	if op.level == wire.All && found {
+		for i, r := range op.got {
+			if !r.Found || best.Fresh(r.Value) {
+				id := n.opID()
+				op.repairAcksLeft++
+				op.repairIDs = append(op.repairIDs, id)
+				n.pendingRepairAcks[id] = op
+				n.send.Send(n.cfg.ID, op.from[i], wire.Mutation{ID: id, Key: op.key, Value: best})
+				n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+			}
+		}
+		if op.repairAcksLeft > 0 {
+			op.blockedOnRepair = true
+			return
+		}
+	}
+	n.sendReadResponse(op, best, found)
+}
+
+func (n *Node) sendReadResponse(op *readOp, v wire.Value, found bool) {
+	op.responded = true
+	op.respTS = v.Timestamp
+	op.respAt = n.rt.Now().UnixNano()
+	resp := wire.ReadResponse{ID: op.clientID, Found: found && !v.Tombstone, Value: v, Achieved: op.level}
+	n.send.Send(n.cfg.ID, op.client, resp)
+	if op.finished {
+		n.cleanupRead(op)
+	}
+}
+
+// finishRead runs once every contacted replica answered: background read
+// repair and the shadow staleness comparison.
+func (n *Node) finishRead(op *readOp) {
+	op.finished = true
+	best, found := newest(op.got)
+	if op.shadow && op.responded && found {
+		// The read was stale if some replica held a version that (a) is
+		// newer than what we returned and (b) was written before we
+		// responded — i.e. the client could have observed it.
+		if best.Timestamp > op.respTS && best.Timestamp <= op.respAt {
+			n.withMetrics(func(m *Metrics) { m.ShadowStale++ })
+		}
+	}
+	// Background repair; CL=ALL repairs synchronously in respondRead.
+	if n.cfg.ReadRepairChance > 0 && found && op.level != wire.All {
+		for i, r := range op.got {
+			if !r.Found || best.Fresh(r.Value) {
+				target := op.from[i]
+				n.send.Send(n.cfg.ID, target, wire.Repair{Key: op.key, Value: best})
+				n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+			}
+		}
+	}
+	if op.responded {
+		n.cleanupRead(op)
+	}
+}
+
+func (n *Node) cleanupRead(op *readOp) {
+	if op.cancel != nil {
+		op.cancel()
+	}
+	delete(n.pendingReads, op.id)
+	for _, id := range op.repairIDs {
+		delete(n.pendingRepairAcks, id)
+	}
+}
+
+// onRepairAck resumes a read blocked on synchronous repair; reports whether
+// the ack belonged to one.
+func (n *Node) onRepairAck(id uint64) bool {
+	op, ok := n.pendingRepairAcks[id]
+	if !ok {
+		return false
+	}
+	delete(n.pendingRepairAcks, id)
+	op.repairAcksLeft--
+	if op.repairAcksLeft <= 0 && !op.responded {
+		op.blockedOnRepair = false
+		best, found := newest(op.got)
+		n.sendReadResponse(op, best, found)
+	}
+	return true
+}
+
+func (n *Node) readTimeout(id uint64) {
+	op, ok := n.pendingReads[id]
+	if !ok {
+		return
+	}
+	if !op.responded {
+		n.withMetrics(func(m *Metrics) { m.ReadTimeouts++ })
+		n.send.Send(n.cfg.ID, op.client, wire.Error{ID: op.clientID, Code: wire.ErrTimeout, Msg: "read timeout"})
+		op.responded = true
+	}
+	// Repair with whatever arrived.
+	if n.cfg.ReadRepairChance > 0 {
+		if best, found := newest(op.got); found {
+			for i, r := range op.got {
+				if !r.Found || best.Fresh(r.Value) {
+					n.send.Send(n.cfg.ID, op.from[i], wire.Repair{Key: op.key, Value: best})
+					n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+				}
+			}
+		}
+	}
+	n.cleanupRead(op)
+}
+
+// --- Write path ----------------------------------------------------------
+
+func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
+	reps := n.replicasFor(req.Key)
+	if len(reps) == 0 {
+		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "no replicas"})
+		return
+	}
+	ts := n.nextTimestamp()
+	v := wire.Value{Data: req.Value, Timestamp: ts, Tombstone: req.Delete}
+	op := &writeOp{
+		id:       n.opID(),
+		client:   client,
+		clientID: req.ID,
+		need:     req.Level.BlockFor(len(reps)),
+		ts:       ts,
+	}
+	n.pendingWrites[op.id] = op
+	n.withMetrics(func(m *Metrics) {
+		m.Writes++
+		m.BytesWritten += uint64(len(req.Value))
+	})
+	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
+	mut := wire.Mutation{ID: op.id, Key: req.Key, Value: v}
+	for _, r := range reps {
+		if n.cfg.HintedHandoff && !n.cfg.Alive(r) {
+			n.queueHint(r, mut)
+			continue
+		}
+		op.total++
+		n.send.Send(n.cfg.ID, r, mut)
+	}
+	if op.total == 0 {
+		// Every replica was down and hinted: the write cannot meet any
+		// consistency level now.
+		delete(n.pendingWrites, op.id)
+		op.cancel()
+		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "all replicas down"})
+	}
+}
+
+func (n *Node) applyMutation(from ring.NodeID, mut wire.Mutation) {
+	_, err := n.engine.Apply(mut.Key, mut.Value)
+	n.withMetrics(func(m *Metrics) { m.ReplicaOps++ })
+	if err != nil {
+		return // malformed mutation: no ack, coordinator times out
+	}
+	n.send.Send(n.cfg.ID, from, wire.MutationAck{ID: mut.ID})
+}
+
+func (n *Node) onMutationAck(from ring.NodeID, ack wire.MutationAck) {
+	if n.onRepairAck(ack.ID) {
+		return
+	}
+	if n.clearHintAck(from, ack.ID) {
+		return
+	}
+	op, ok := n.pendingWrites[ack.ID]
+	if !ok {
+		return
+	}
+	op.acks++
+	if !op.responded && op.acks >= op.need {
+		op.responded = true
+		n.send.Send(n.cfg.ID, op.client, wire.WriteResponse{ID: op.clientID, OK: true, Timestamp: op.ts})
+	}
+	if op.acks >= op.total {
+		if op.cancel != nil {
+			op.cancel()
+		}
+		delete(n.pendingWrites, ack.ID)
+	}
+}
+
+func (n *Node) writeTimeout(id uint64) {
+	op, ok := n.pendingWrites[id]
+	if !ok {
+		return
+	}
+	delete(n.pendingWrites, id)
+	if !op.responded {
+		n.withMetrics(func(m *Metrics) { m.WriteTimeouts++ })
+		n.send.Send(n.cfg.ID, op.client, wire.Error{ID: op.clientID, Code: wire.ErrTimeout, Msg: "write timeout"})
+	}
+}
+
+func (n *Node) applyRepair(r wire.Repair) {
+	_, _ = n.engine.Apply(r.Key, r.Value)
+	n.withMetrics(func(m *Metrics) { m.ReplicaOps++ })
+}
+
+// --- Hinted handoff ------------------------------------------------------
+
+func (n *Node) queueHint(target ring.NodeID, mut wire.Mutation) {
+	mut.Hint = true
+	mut.ID = n.opID() // hints get their own ack namespace
+	n.hints[target] = append(n.hints[target], mut)
+	n.withMetrics(func(m *Metrics) { m.HintsQueued++ })
+}
+
+func (n *Node) replayHints() {
+	for target, muts := range n.hints {
+		if !n.cfg.Alive(target) {
+			continue
+		}
+		for _, mut := range muts {
+			n.send.Send(n.cfg.ID, target, mut)
+			n.withMetrics(func(m *Metrics) { m.HintsReplayed++ })
+		}
+	}
+}
+
+// clearHintAck removes an acked hint; reports whether the ack was for a hint.
+func (n *Node) clearHintAck(from ring.NodeID, id uint64) bool {
+	muts, ok := n.hints[from]
+	if !ok {
+		return false
+	}
+	for i, mut := range muts {
+		if mut.ID == id {
+			n.hints[from] = append(muts[:i], muts[i+1:]...)
+			if len(n.hints[from]) == 0 {
+				delete(n.hints, from)
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// PendingHints reports how many hints are queued (for tests).
+func (n *Node) PendingHints() int {
+	total := 0
+	for _, muts := range n.hints {
+		total += len(muts)
+	}
+	return total
+}
+
+// --- Monitoring ----------------------------------------------------------
+
+func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
+	s := n.Snapshot()
+	n.send.Send(n.cfg.ID, from, wire.StatsResponse{
+		ID:          req.ID,
+		Reads:       s.Reads,
+		Writes:      s.Writes,
+		ReplicaOps:  s.ReplicaOps,
+		BytesRead:   s.BytesRead,
+		BytesWrit:   s.BytesWritten,
+		RepairsSent: s.RepairsSent,
+		HintsQueued: s.HintsQueued,
+	})
+}
+
+var _ transport.Handler = (*Node)(nil)

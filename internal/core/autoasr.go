@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the second future-work item of the paper's §VII:
+// "propose a mechanism that models the application and computes the stale
+// read rate that can be tolerated automatically." The paper only sketches
+// the idea (§III offers a naive 25/50/75% ladder); Advisor turns the two
+// signals the paper's motivation section uses — how costly a stale read is
+// for the application versus how costly added latency is — into a concrete
+// app_stale_rate.
+//
+// The model: consistency is an economic tradeoff. Serving one stale read
+// costs the application StaleCost (anomalies, compensation, support — the
+// web-shop's oversold item). Raising the consistency level costs latency;
+// LatencyCost prices one extra millisecond on the read path (lost
+// conversions, SLA). Given the cluster's current estimate of how expensive
+// freshness is (the latency gap between eventual and strong reads), the
+// advisor picks the tolerance that minimizes expected cost per read.
+
+// AppProfile describes an application's sensitivity to the two failure
+// modes of the consistency-performance tradeoff.
+type AppProfile struct {
+	// StaleCost is the application cost of serving one stale read,
+	// normalized to arbitrary cost units (e.g. cents).
+	StaleCost float64
+	// LatencyCostPerMs is the cost of one additional millisecond of read
+	// latency, in the same units.
+	LatencyCostPerMs float64
+	// CriticalReads marks applications where any stale read is an error
+	// (payments, inventory commits): the advisor returns 0 regardless of
+	// costs.
+	CriticalReads bool
+	// ArchivalReads marks applications that never act on freshness
+	// (analytics over immutable archives): the advisor returns 1.
+	ArchivalReads bool
+}
+
+// Validate rejects profiles with negative costs.
+func (p AppProfile) Validate() error {
+	if p.StaleCost < 0 || p.LatencyCostPerMs < 0 {
+		return fmt.Errorf("core: negative costs in app profile %+v", p)
+	}
+	return nil
+}
+
+// Advisor computes tolerable stale-read rates from an application profile
+// and the observed cost of consistency on the current cluster.
+type Advisor struct {
+	Profile AppProfile
+	// FreshnessLatencyMs is the measured read-latency gap between eventual
+	// and strong consistency on the target cluster (milliseconds); callers
+	// typically measure it with two short calibration runs. Zero falls
+	// back to a conservative 1 ms.
+	FreshnessLatencyMs float64
+}
+
+// Recommend returns app_stale_rate in [0, 1].
+//
+// Derivation: at tolerance t, Harmony admits (at most) a fraction t of stale
+// reads, costing t·StaleCost per read; pushing the tolerance down forces
+// higher consistency levels, costing up to (1−t)·Gap·LatencyCostPerMs per
+// read (linearly interpolating the latency gap across the tolerance range).
+// Expected cost  C(t) = t·S + (1−t)·G·L  is linear, so the optimum sits at
+// an endpoint; the advisor softens the all-or-nothing answer with a logistic
+// blend around the indifference point S = G·L, which keeps the
+// recommendation stable when the two costs are comparable (the regime the
+// paper's 25/50/75% ladder addresses).
+func (a Advisor) Recommend() (float64, error) {
+	if err := a.Profile.Validate(); err != nil {
+		return 0, err
+	}
+	if a.Profile.CriticalReads {
+		return 0, nil
+	}
+	if a.Profile.ArchivalReads {
+		return 1, nil
+	}
+	gap := a.FreshnessLatencyMs
+	if gap <= 0 {
+		gap = 1
+	}
+	latencyCost := gap * a.Profile.LatencyCostPerMs
+	staleCost := a.Profile.StaleCost
+	switch {
+	case staleCost == 0 && latencyCost == 0:
+		return 0.5, nil // indifferent: the paper's "average consistency"
+	case staleCost == 0:
+		return 1, nil
+	case latencyCost == 0:
+		return 0, nil
+	}
+	// Logistic blend in log-cost space: equal costs -> 0.5; an order of
+	// magnitude either way saturates toward 0.1 / 0.9.
+	x := math.Log10(latencyCost / staleCost)
+	t := 1 / (1 + math.Exp(-2.2*x))
+	return clamp01(t), nil
+}
+
+// RecommendLadder maps the continuous recommendation onto the paper's §III
+// discrete ladder (0%, 25%, 50%, 75%, 100%), for operators who want the
+// coarse knob the paper describes.
+func (a Advisor) RecommendLadder() (float64, error) {
+	t, err := a.Recommend()
+	if err != nil {
+		return 0, err
+	}
+	steps := []float64{0, 0.25, 0.5, 0.75, 1}
+	best, bestD := steps[0], math.Abs(t-steps[0])
+	for _, s := range steps[1:] {
+		if d := math.Abs(t - s); d < bestD {
+			best, bestD = s, d
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,344 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"harmony/internal/wire"
+)
+
+// This file implements the first future-work item of the paper's §VII:
+// "provide a mechanism allowing the system to automatically divide data into
+// different consistency categories without any human interaction by applying
+// clustering techniques. Every category should be given the most appropriate
+// consistency level in regard to the data it encloses."
+//
+// KeyStats accumulates per-key access-pattern features; Categorizer runs
+// k-means over the feature space (write intensity and read/write contention)
+// and maps each cluster to a tolerable stale-read rate: hot, update-heavy
+// keys get tight tolerances (their staleness is visible), read-mostly cold
+// keys get loose ones. A PerKeyLevels view then serves per-operation levels
+// by combining the key's category tolerance with the current estimator
+// model.
+
+// KeyStats tracks exponentially decayed per-key access counts. It is safe
+// for concurrent use.
+type KeyStats struct {
+	mu    sync.Mutex
+	decay float64 // multiplicative decay applied on Tick
+	keys  map[string]*keyCounters
+}
+
+type keyCounters struct {
+	reads  float64
+	writes float64
+}
+
+// NewKeyStats creates a tracker whose counters decay by the given factor
+// (0 < decay < 1 keeps history; 1 never forgets) on every Tick.
+func NewKeyStats(decay float64) *KeyStats {
+	if decay <= 0 || decay > 1 {
+		decay = 0.5
+	}
+	return &KeyStats{decay: decay, keys: make(map[string]*keyCounters)}
+}
+
+// ObserveRead records one read of key.
+func (ks *KeyStats) ObserveRead(key []byte) { ks.observe(key, 1, 0) }
+
+// ObserveWrite records one write of key.
+func (ks *KeyStats) ObserveWrite(key []byte) { ks.observe(key, 0, 1) }
+
+func (ks *KeyStats) observe(key []byte, r, w float64) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	kc, ok := ks.keys[string(key)]
+	if !ok {
+		kc = &keyCounters{}
+		ks.keys[string(key)] = kc
+	}
+	kc.reads += r
+	kc.writes += w
+}
+
+// Tick applies decay, aging out stale history; call it once per monitoring
+// interval.
+func (ks *KeyStats) Tick() {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	for k, kc := range ks.keys {
+		kc.reads *= ks.decay
+		kc.writes *= ks.decay
+		if kc.reads+kc.writes < 0.01 {
+			delete(ks.keys, k)
+		}
+	}
+}
+
+// Len reports how many keys are currently tracked.
+func (ks *KeyStats) Len() int {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	return len(ks.keys)
+}
+
+// feature is the clustering space: log-scaled write intensity and the write
+// share of traffic. Both correlate with how harmful eventual consistency is
+// for the key.
+type feature struct {
+	writeIntensity float64 // log1p(writes)
+	writeShare     float64 // writes / (reads+writes)
+}
+
+func (ks *KeyStats) features() (keys []string, feats []feature) {
+	ks.mu.Lock()
+	defer ks.mu.Unlock()
+	keys = make([]string, 0, len(ks.keys))
+	for k, kc := range ks.keys {
+		if kc.reads+kc.writes > 0 {
+			keys = append(keys, k)
+		}
+	}
+	// Map iteration order is random; sorting keeps clustering (k-means++
+	// seeding in particular) deterministic for a given seed.
+	sort.Strings(keys)
+	feats = make([]feature, 0, len(keys))
+	for _, k := range keys {
+		kc := ks.keys[k]
+		total := kc.reads + kc.writes
+		feats = append(feats, feature{
+			writeIntensity: math.Log1p(kc.writes),
+			writeShare:     kc.writes / total,
+		})
+	}
+	return keys, feats
+}
+
+// Category is one consistency class produced by clustering.
+type Category struct {
+	// Tolerance is the category's tolerable stale-read rate.
+	Tolerance float64
+	// Centroid documents the cluster center (write intensity, write share).
+	Centroid [2]float64
+	// Keys is the number of member keys at clustering time.
+	Keys int
+}
+
+// Categorizer clusters keys into consistency categories. It is safe for
+// concurrent use; Recluster swaps the assignment atomically.
+type Categorizer struct {
+	k   int
+	rng *rand.Rand
+
+	mu         sync.Mutex
+	categories []Category
+	assign     map[string]int
+	defaultTol float64
+}
+
+// NewCategorizer creates a k-category clusterer. defaultTol applies to keys
+// never seen at clustering time. seed makes clustering deterministic.
+func NewCategorizer(k int, defaultTol float64, seed int64) (*Categorizer, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("core: need at least 2 categories, got %d", k)
+	}
+	return &Categorizer{
+		k:          k,
+		rng:        rand.New(rand.NewSource(seed)),
+		assign:     make(map[string]int),
+		defaultTol: defaultTol,
+	}, nil
+}
+
+// Recluster runs k-means over the current stats and derives category
+// tolerances: categories are ranked by how write-contended their centroid
+// is, and tolerances are spread evenly from tight (most contended) to loose
+// (least contended) within [minTol, maxTol].
+func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
+	keys, feats := ks.features()
+	if len(keys) < c.k {
+		return fmt.Errorf("core: %d keys tracked, need >= %d", len(keys), c.k)
+	}
+	centroids := c.kmeans(feats)
+
+	// Rank centroids by contention score (write share dominates, intensity
+	// breaks ties); most contended gets the tightest tolerance.
+	type ranked struct {
+		idx   int
+		score float64
+	}
+	order := make([]ranked, len(centroids))
+	for i, ct := range centroids {
+		order[i] = ranked{idx: i, score: ct.writeShare*10 + ct.writeIntensity}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+
+	tolOf := make([]float64, len(centroids))
+	for rank, r := range order {
+		frac := 0.0
+		if len(order) > 1 {
+			frac = float64(rank) / float64(len(order)-1)
+		}
+		tolOf[r.idx] = minTol + frac*(maxTol-minTol)
+	}
+
+	cats := make([]Category, len(centroids))
+	assign := make(map[string]int, len(keys))
+	for i, f := range feats {
+		best := nearest(centroids, f)
+		assign[keys[i]] = best
+		cats[best].Keys++
+	}
+	for i, ct := range centroids {
+		cats[i].Tolerance = tolOf[i]
+		cats[i].Centroid = [2]float64{ct.writeIntensity, ct.writeShare}
+	}
+
+	c.mu.Lock()
+	c.categories = cats
+	c.assign = assign
+	c.mu.Unlock()
+	return nil
+}
+
+// kmeans is a standard Lloyd iteration with k-means++-style seeding.
+func (c *Categorizer) kmeans(feats []feature) []feature {
+	centroids := make([]feature, 0, c.k)
+	centroids = append(centroids, feats[c.rng.Intn(len(feats))])
+	for len(centroids) < c.k {
+		// Pick the next seed proportional to squared distance.
+		dists := make([]float64, len(feats))
+		total := 0.0
+		for i, f := range feats {
+			d := dist2(f, centroids[nearest(centroids, f)])
+			dists[i] = d
+			total += d
+		}
+		target := c.rng.Float64() * total
+		pick := 0
+		for i, d := range dists {
+			target -= d
+			if target <= 0 {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, feats[pick])
+	}
+	assign := make([]int, len(feats))
+	for iter := 0; iter < 50; iter++ {
+		changed := false
+		for i, f := range feats {
+			best := nearest(centroids, f)
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		var sums [][2]float64 = make([][2]float64, c.k)
+		counts := make([]int, c.k)
+		for i, f := range feats {
+			sums[assign[i]][0] += f.writeIntensity
+			sums[assign[i]][1] += f.writeShare
+			counts[assign[i]]++
+		}
+		for j := range centroids {
+			if counts[j] == 0 {
+				continue // keep the old centroid for empty clusters
+			}
+			centroids[j] = feature{
+				writeIntensity: sums[j][0] / float64(counts[j]),
+				writeShare:     sums[j][1] / float64(counts[j]),
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return centroids
+}
+
+func nearest(centroids []feature, f feature) int {
+	best, bestD := 0, math.Inf(1)
+	for i, ct := range centroids {
+		if d := dist2(f, ct); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return best
+}
+
+func dist2(a, b feature) float64 {
+	dx := a.writeIntensity - b.writeIntensity
+	dy := a.writeShare - b.writeShare
+	return dx*dx + dy*dy
+}
+
+// Categories returns the current category table.
+func (c *Categorizer) Categories() []Category {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Category, len(c.categories))
+	copy(out, c.categories)
+	return out
+}
+
+// ToleranceFor returns the tolerable stale-read rate for a key.
+func (c *Categorizer) ToleranceFor(key []byte) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if idx, ok := c.assign[string(key)]; ok && idx < len(c.categories) {
+		return c.categories[idx].Tolerance
+	}
+	return c.defaultTol
+}
+
+// PerKeyLevels combines a Categorizer with the live estimation model: each
+// read gets the level its key's category demands under current conditions.
+// It implements client.KeyLevelSource.
+type PerKeyLevels struct {
+	Cat *Categorizer
+	// AvgWriteBytes / BandwidthBytesPerSec parameterize Tp like
+	// ControllerConfig does.
+	AvgWriteBytes        float64
+	BandwidthBytesPerSec float64
+
+	mu    sync.Mutex
+	model Model
+}
+
+// Observe updates the estimator inputs; wire it to a Monitor alongside (or
+// instead of) a Controller.
+func (p *PerKeyLevels) Observe(obs Observation) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.model = Model{
+		N:       p.model.N,
+		LambdaR: obs.ReadRate,
+		LambdaW: obs.WriteInterval,
+		Tp:      PropagationTime(obs.Latency, p.AvgWriteBytes, p.BandwidthBytesPerSec),
+	}
+}
+
+// SetN fixes the replication factor used by the per-key model.
+func (p *PerKeyLevels) SetN(n int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.model.N = n
+}
+
+// ReadLevelFor implements per-key adaptive consistency: the paper's §III
+// decision scheme evaluated against the key's category tolerance.
+func (p *PerKeyLevels) ReadLevelFor(key []byte) wire.ConsistencyLevel {
+	tol := p.Cat.ToleranceFor(key)
+	p.mu.Lock()
+	model := p.model
+	p.mu.Unlock()
+	if !model.Valid() || tol >= model.StaleReadProbability() {
+		return wire.One
+	}
+	return wire.LevelForCount(model.ReplicasNeeded(tol), model.N)
+}

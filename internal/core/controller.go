@@ -1,0 +1,165 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/wire"
+)
+
+// Policy is an application's consistency requirement expressed the way the
+// paper defines it: the fraction of stale reads the application tolerates
+// (app_stale_rate). 0 demands strong consistency on every read; 1 accepts
+// static eventual consistency.
+type Policy struct {
+	// Name labels the policy in reports ("Harmony-20%").
+	Name string
+	// ToleratedStaleRate is app_stale_rate in [0, 1].
+	ToleratedStaleRate float64
+}
+
+// Validate clamps the tolerance into [0, 1].
+func (p Policy) Validate() Policy {
+	if p.ToleratedStaleRate < 0 {
+		p.ToleratedStaleRate = 0
+	}
+	if p.ToleratedStaleRate > 1 {
+		p.ToleratedStaleRate = 1
+	}
+	return p
+}
+
+// Decision is the controller's output after one observation.
+type Decision struct {
+	At       time.Time
+	Estimate float64 // θ_stale: estimated stale-read rate at CL=ONE
+	Xn       int     // replicas a read must block for
+	Level    wire.ConsistencyLevel
+	Model    Model
+}
+
+// ControllerConfig configures the adaptive-consistency module.
+type ControllerConfig struct {
+	Policy Policy
+	// N is the replication factor.
+	N int
+	// AvgWriteBytes and BandwidthBytesPerSec parameterize Tp(Ln, avgw).
+	// A zero AvgWriteBytes uses the monitor's measured mean write size
+	// (the paper's avgw is an observed quantity); a zero bandwidth reduces
+	// Tp to the network latency alone.
+	AvgWriteBytes        float64
+	BandwidthBytesPerSec float64
+	// UseMeanLatency switches Tp to the mean peer latency instead of the
+	// max; the default (max) is conservative: propagation is complete only
+	// when the farthest replica has the update.
+	UseMeanLatency bool
+	// FixedTp, when positive, disables the latency term entirely and uses
+	// this constant — the ablation of DESIGN.md §6 showing why monitoring
+	// Ln matters (Fig. 4(b)).
+	FixedTp time.Duration
+	// OnDecision, when set, observes every decision (for tracing/benches).
+	OnDecision func(Decision)
+}
+
+// Controller is Harmony's adaptive-consistency module: it consumes monitor
+// observations, estimates the stale-read rate were reads served at CL=ONE,
+// and applies the paper's decision scheme —
+//
+//	if app_stale_rate ≥ θ_stale: Level = ONE
+//	else:                        Level from Xn (equation 8)
+//
+// Controller implements client.LevelSource, so drivers pick up the current
+// level on every read, and it is safe for concurrent use (clients and the
+// monitor may live on different runtimes).
+type Controller struct {
+	cfg ControllerConfig
+
+	mu      sync.Mutex
+	level   wire.ConsistencyLevel
+	last    Decision
+	history []Decision
+	keep    int
+}
+
+// NewController creates a controller defaulting to eventual consistency
+// until the first observation arrives (the paper's default level).
+func NewController(cfg ControllerConfig) *Controller {
+	cfg.Policy = cfg.Policy.Validate()
+	if cfg.N < 1 {
+		cfg.N = 1
+	}
+	return &Controller{cfg: cfg, level: wire.One, keep: 4096}
+}
+
+// ReadLevel implements client.LevelSource.
+func (c *Controller) ReadLevel() wire.ConsistencyLevel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Last returns the most recent decision.
+func (c *Controller) Last() Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.last
+}
+
+// History returns a copy of the retained decision trace.
+func (c *Controller) History() []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Decision, len(c.history))
+	copy(out, c.history)
+	return out
+}
+
+// Observe consumes one monitoring observation and updates the consistency
+// level; it is the OnObservation hook for a Monitor.
+func (c *Controller) Observe(obs Observation) {
+	ln := obs.Latency
+	if c.cfg.UseMeanLatency {
+		ln = obs.MeanLatency
+	}
+	avgw := c.cfg.AvgWriteBytes
+	if avgw <= 0 {
+		avgw = obs.AvgWriteBytes
+	}
+	tp := PropagationTime(ln, avgw, c.cfg.BandwidthBytesPerSec)
+	if c.cfg.FixedTp > 0 {
+		tp = c.cfg.FixedTp
+	}
+	model := Model{
+		N:       c.cfg.N,
+		LambdaR: obs.ReadRate,
+		LambdaW: obs.WriteInterval,
+		Tp:      tp,
+	}
+	d := Decision{At: obs.At, Model: model}
+	d.Estimate = model.StaleReadProbability()
+	if !model.Valid() || c.cfg.Policy.ToleratedStaleRate >= d.Estimate {
+		// No signal, or the application tolerates the estimated staleness:
+		// eventual consistency.
+		d.Xn = 1
+		d.Level = wire.One
+	} else {
+		d.Xn = model.ReplicasNeeded(c.cfg.Policy.ToleratedStaleRate)
+		d.Level = wire.LevelForCount(d.Xn, c.cfg.N)
+	}
+
+	c.mu.Lock()
+	c.level = d.Level
+	c.last = d
+	c.history = append(c.history, d)
+	if len(c.history) > c.keep {
+		c.history = c.history[len(c.history)-c.keep:]
+	}
+	cb := c.cfg.OnDecision
+	c.mu.Unlock()
+	if cb != nil {
+		cb(d)
+	}
+}
+
+// Policy returns the controller's policy.
+func (c *Controller) Policy() Policy { return c.cfg.Policy }

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"harmony/internal/wire"
+)
+
+func TestKeyStatsObserveAndDecay(t *testing.T) {
+	ks := NewKeyStats(0.5)
+	ks.ObserveRead([]byte("a"))
+	ks.ObserveWrite([]byte("a"))
+	ks.ObserveRead([]byte("b"))
+	if ks.Len() != 2 {
+		t.Fatalf("len = %d", ks.Len())
+	}
+	// Many decay ticks age both keys out entirely.
+	for i := 0; i < 12; i++ {
+		ks.Tick()
+	}
+	if ks.Len() != 0 {
+		t.Fatalf("after decay len = %d", ks.Len())
+	}
+}
+
+func TestNewCategorizerValidation(t *testing.T) {
+	if _, err := NewCategorizer(1, 0.5, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+}
+
+func TestReclusterNeedsEnoughKeys(t *testing.T) {
+	ks := NewKeyStats(1)
+	ks.ObserveRead([]byte("only"))
+	cat, err := NewCategorizer(3, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Recluster(ks, 0.05, 0.8); err == nil {
+		t.Fatal("clustered with fewer keys than categories")
+	}
+}
+
+// populateBimodal creates two obvious access-pattern populations: hot
+// write-contended keys and cold read-only keys.
+func populateBimodal(ks *KeyStats, hot, cold int) {
+	for i := 0; i < hot; i++ {
+		key := []byte(fmt.Sprintf("hot%d", i))
+		for j := 0; j < 50; j++ {
+			ks.ObserveWrite(key)
+			ks.ObserveRead(key)
+		}
+	}
+	for i := 0; i < cold; i++ {
+		key := []byte(fmt.Sprintf("cold%d", i))
+		for j := 0; j < 20; j++ {
+			ks.ObserveRead(key)
+		}
+	}
+}
+
+func TestCategorizerSeparatesHotAndCold(t *testing.T) {
+	ks := NewKeyStats(1)
+	populateBimodal(ks, 30, 30)
+	cat, err := NewCategorizer(2, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Recluster(ks, 0.05, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	cats := cat.Categories()
+	if len(cats) != 2 {
+		t.Fatalf("categories = %d", len(cats))
+	}
+	// Every hot key must get a tighter tolerance than every cold key.
+	hotTol := cat.ToleranceFor([]byte("hot0"))
+	coldTol := cat.ToleranceFor([]byte("cold0"))
+	if hotTol >= coldTol {
+		t.Fatalf("hot tolerance %v not tighter than cold %v", hotTol, coldTol)
+	}
+	if hotTol != 0.05 || coldTol != 0.8 {
+		t.Fatalf("tolerances = %v / %v, want endpoints 0.05 / 0.8", hotTol, coldTol)
+	}
+	for i := 0; i < 30; i++ {
+		if got := cat.ToleranceFor([]byte(fmt.Sprintf("hot%d", i))); got != hotTol {
+			t.Fatalf("hot%d tolerance %v", i, got)
+		}
+		if got := cat.ToleranceFor([]byte(fmt.Sprintf("cold%d", i))); got != coldTol {
+			t.Fatalf("cold%d tolerance %v", i, got)
+		}
+	}
+	// Unknown keys use the default.
+	if got := cat.ToleranceFor([]byte("never-seen")); got != 0.5 {
+		t.Fatalf("default tolerance = %v", got)
+	}
+}
+
+func TestCategorizerDeterministic(t *testing.T) {
+	run := func() []Category {
+		ks := NewKeyStats(1)
+		populateBimodal(ks, 20, 20)
+		cat, _ := NewCategorizer(2, 0.5, 42)
+		if err := cat.Recluster(ks, 0.1, 0.9); err != nil {
+			t.Fatal(err)
+		}
+		return cat.Categories()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic clustering: %+v vs %+v", a, b)
+		}
+	}
+}
+
+func TestCategorizerToleranceBoundsProperty(t *testing.T) {
+	if err := quick.Check(func(seed int64, nKeys uint8) bool {
+		n := int(nKeys%40) + 4
+		ks := NewKeyStats(1)
+		r := rand.New(rand.NewSource(seed))
+		for i := 0; i < n; i++ {
+			key := []byte(fmt.Sprintf("k%d", i))
+			for j := 0; j < r.Intn(20)+1; j++ {
+				if r.Intn(2) == 0 {
+					ks.ObserveRead(key)
+				} else {
+					ks.ObserveWrite(key)
+				}
+			}
+		}
+		cat, _ := NewCategorizer(3, 0.5, seed)
+		if err := cat.Recluster(ks, 0.1, 0.7); err != nil {
+			return true // not enough distinct keys; fine
+		}
+		for i := 0; i < n; i++ {
+			tol := cat.ToleranceFor([]byte(fmt.Sprintf("k%d", i)))
+			if tol < 0.1-1e-9 || tol > 0.7+1e-9 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerKeyLevels(t *testing.T) {
+	ks := NewKeyStats(1)
+	populateBimodal(ks, 10, 10)
+	cat, _ := NewCategorizer(2, 0.5, 3)
+	if err := cat.Recluster(ks, 0.02, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	pkl := &PerKeyLevels{Cat: cat}
+	pkl.SetN(5)
+	// Moderate contention: the estimate lands between the hot category's
+	// 2% tolerance and the cold category's 90%.
+	pkl.Observe(Observation{ReadRate: 300, WriteInterval: 0.005, Latency: time.Millisecond})
+	hot := pkl.ReadLevelFor([]byte("hot0"))
+	cold := pkl.ReadLevelFor([]byte("cold0"))
+	if hot == wire.One {
+		t.Fatal("hot key stayed at ONE under heavy contention")
+	}
+	if cold != wire.One {
+		t.Fatalf("cold key escalated to %v; its category tolerates staleness", cold)
+	}
+	// Quiet cluster: everyone relaxes to ONE.
+	pkl.Observe(Observation{ReadRate: 1, WriteInterval: 10, Latency: 100 * time.Microsecond})
+	if got := pkl.ReadLevelFor([]byte("hot0")); got != wire.One {
+		t.Fatalf("hot key = %v on a quiet cluster", got)
+	}
+}
+
+func TestAdvisorEndpoints(t *testing.T) {
+	crit := Advisor{Profile: AppProfile{CriticalReads: true, StaleCost: 1, LatencyCostPerMs: 100}}
+	if got, _ := crit.Recommend(); got != 0 {
+		t.Fatalf("critical = %v, want 0", got)
+	}
+	arch := Advisor{Profile: AppProfile{ArchivalReads: true}}
+	if got, _ := arch.Recommend(); got != 1 {
+		t.Fatalf("archival = %v, want 1", got)
+	}
+	if _, err := (Advisor{Profile: AppProfile{StaleCost: -1}}).Recommend(); err == nil {
+		t.Fatal("negative cost accepted")
+	}
+}
+
+func TestAdvisorCostBalance(t *testing.T) {
+	// Equal costs: indifferent -> 0.5.
+	a := Advisor{Profile: AppProfile{StaleCost: 1, LatencyCostPerMs: 1}, FreshnessLatencyMs: 1}
+	got, err := a.Recommend()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 0.45 || got > 0.55 {
+		t.Fatalf("balanced = %v, want ~0.5", got)
+	}
+	// Stale reads 100x costlier than latency: tolerance near 0.
+	shop := Advisor{Profile: AppProfile{StaleCost: 100, LatencyCostPerMs: 1}, FreshnessLatencyMs: 1}
+	if got, _ = shop.Recommend(); got > 0.1 {
+		t.Fatalf("webshop tolerance = %v, want near 0", got)
+	}
+	// Latency 100x costlier: tolerance near 1.
+	feed := Advisor{Profile: AppProfile{StaleCost: 1, LatencyCostPerMs: 10}, FreshnessLatencyMs: 10}
+	if got, _ = feed.Recommend(); got < 0.9 {
+		t.Fatalf("feed tolerance = %v, want near 1", got)
+	}
+}
+
+func TestAdvisorMonotoneInStaleCost(t *testing.T) {
+	prev := 2.0
+	for _, staleCost := range []float64{0.01, 0.1, 1, 10, 100} {
+		a := Advisor{Profile: AppProfile{StaleCost: staleCost, LatencyCostPerMs: 1}, FreshnessLatencyMs: 2}
+		got, err := a.Recommend()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got > prev {
+			t.Fatalf("tolerance rose from %v to %v as stale cost grew", prev, got)
+		}
+		prev = got
+	}
+}
+
+func TestAdvisorLadder(t *testing.T) {
+	a := Advisor{Profile: AppProfile{StaleCost: 1, LatencyCostPerMs: 1}, FreshnessLatencyMs: 1}
+	got, err := a.RecommendLadder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0.5 {
+		t.Fatalf("ladder = %v, want 0.5", got)
+	}
+	crit := Advisor{Profile: AppProfile{CriticalReads: true}}
+	if got, _ := crit.RecommendLadder(); got != 0 {
+		t.Fatalf("critical ladder = %v", got)
+	}
+}
+
+func TestAdvisorZeroCosts(t *testing.T) {
+	a := Advisor{Profile: AppProfile{}}
+	got, err := a.Recommend()
+	if err != nil || got != 0.5 {
+		t.Fatalf("zero-cost recommendation = %v err=%v, want the paper's average", got, err)
+	}
+}

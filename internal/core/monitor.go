@@ -1,0 +1,329 @@
+package core
+
+import (
+	"sort"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// Observation is one completed monitoring round: the cluster-wide read and
+// write arrival rates over the window and the current network latency
+// estimate.
+type Observation struct {
+	At time.Time
+	// ReadRate is the read arrival rate λr (reads/second). By default it
+	// is the per-node average (see MonitorConfig.AggregateRates).
+	ReadRate float64
+	// WriteInterval is the mean time between writes λw (seconds) — the
+	// paper's exponential parameter for the write process — at the same
+	// scope as ReadRate.
+	WriteInterval float64
+	// Latency is the current one-way network latency estimate Ln: the
+	// expected one-way latency to the slowest member of a random
+	// replica-set-sized subset of peers (an update has propagated only
+	// once the slowest replica of the key holds it). When the monitor has
+	// no replica-set size configured this degrades to half the maximum
+	// observed round-trip.
+	Latency time.Duration
+	// MeanLatency is the average one-way latency across peers.
+	MeanLatency time.Duration
+	// AvgWriteBytes is the measured mean write payload over the window —
+	// the avgw input of the paper's Tp(Ln, avgw). Zero when no writes
+	// were observed.
+	AvgWriteBytes float64
+	// Window is the effective measurement window after subtracting the
+	// collection time, mirroring the paper's monitoring module which
+	// "measures the monitoring time and takes it into account".
+	Window time.Duration
+	// Nodes is how many nodes reported stats this round.
+	Nodes int
+}
+
+// MonitorConfig configures the monitoring module.
+type MonitorConfig struct {
+	// ID is the monitor's endpoint identity on the fabric.
+	ID ring.NodeID
+	// Nodes are the storage nodes to poll.
+	Nodes []ring.NodeID
+	// Interval between monitoring rounds; zero means 1s.
+	Interval time.Duration
+	// RoundTimeout bounds one collection round; zero means Interval/2.
+	RoundTimeout time.Duration
+	// AggregateRates reports cluster-wide total arrival rates instead of
+	// the default per-node averages. The estimation model's λr and λw
+	// describe the arrival process contending on one replica set; the
+	// per-node average is the faithful proxy for that at cluster scale
+	// (cluster-wide totals saturate the estimate at trivial load).
+	AggregateRates bool
+	// ReplicaSetSize, when positive, makes the latency estimate the
+	// expected slowest one-way latency over a random subset of this many
+	// peers — the replication factor, since an update has propagated only
+	// when the slowest replica of its key holds it. Zero uses the maximum
+	// across all peers.
+	ReplicaSetSize int
+	// OnObservation receives each completed round.
+	OnObservation func(Observation)
+}
+
+// Monitor polls every storage node for its operation counters (the paper
+// used Cassandra's nodetool) and round-trip latency (the paper used ping),
+// aggregates the responses, and derives the arrival-rate inputs of the
+// estimation model. Requests to all nodes go out concurrently — the fabric
+// is asynchronous — matching the multithreaded collection the paper
+// describes; the round closes when every node answered or the timeout
+// fires.
+type Monitor struct {
+	cfg  MonitorConfig
+	rt   sim.Runtime
+	send transport.Sender
+
+	stop       func()
+	seq        uint64
+	round      *roundState
+	lastReads  uint64
+	lastWrites uint64
+	lastBytesW uint64
+	lastAt     time.Time
+	havePrev   bool
+	rounds     uint64
+}
+
+type roundState struct {
+	id        uint64
+	started   time.Time
+	stats     map[ring.NodeID]wire.StatsResponse
+	rtts      map[ring.NodeID]time.Duration
+	pingSent  map[uint64]ring.NodeID
+	statsSent map[uint64]ring.NodeID
+	expires   func()
+	done      bool
+}
+
+// NewMonitor creates a monitor; Start begins polling. Register the monitor
+// on the fabric under cfg.ID before starting.
+func NewMonitor(cfg MonitorConfig, rt sim.Runtime, send transport.Sender) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.RoundTimeout <= 0 {
+		cfg.RoundTimeout = cfg.Interval / 2
+	}
+	return &Monitor{cfg: cfg, rt: rt, send: send}
+}
+
+// Start begins periodic collection.
+func (m *Monitor) Start() {
+	if m.stop != nil {
+		return
+	}
+	stopped := false
+	var loop func()
+	loop = func() {
+		m.rt.After(m.cfg.Interval, func() {
+			if stopped {
+				return
+			}
+			m.beginRound()
+			if !stopped {
+				loop()
+			}
+		})
+	}
+	loop()
+	m.stop = func() { stopped = true }
+}
+
+// Stop halts collection.
+func (m *Monitor) Stop() {
+	if m.stop != nil {
+		m.stop()
+		m.stop = nil
+	}
+}
+
+// Rounds reports completed collection rounds.
+func (m *Monitor) Rounds() uint64 { return m.rounds }
+
+func (m *Monitor) beginRound() {
+	if m.round != nil && !m.round.done {
+		m.closeRound() // straggling previous round: close with what we have
+	}
+	r := &roundState{
+		started:   m.rt.Now(),
+		stats:     make(map[ring.NodeID]wire.StatsResponse),
+		rtts:      make(map[ring.NodeID]time.Duration),
+		pingSent:  make(map[uint64]ring.NodeID),
+		statsSent: make(map[uint64]ring.NodeID),
+	}
+	m.round = r
+	for _, n := range m.cfg.Nodes {
+		m.seq++
+		r.statsSent[m.seq] = n
+		m.send.Send(m.cfg.ID, n, wire.StatsRequest{ID: m.seq})
+		m.seq++
+		r.pingSent[m.seq] = n
+		m.send.Send(m.cfg.ID, n, wire.Ping{ID: m.seq, Sent: m.rt.Now().UnixNano()})
+	}
+	r.expires = m.rt.After(m.cfg.RoundTimeout, func() {
+		if m.round == r && !r.done {
+			m.closeRound()
+		}
+	})
+}
+
+// Deliver implements transport.Handler for stats and pong responses.
+func (m *Monitor) Deliver(from ring.NodeID, msg wire.Message) {
+	r := m.round
+	if r == nil || r.done {
+		return
+	}
+	switch v := msg.(type) {
+	case wire.StatsResponse:
+		if want, ok := r.statsSent[v.ID]; ok && want == from {
+			r.stats[from] = v
+		}
+	case wire.Pong:
+		if want, ok := r.pingSent[v.ID]; ok && want == from {
+			r.rtts[from] = time.Duration(m.rt.Now().UnixNano() - v.Sent)
+		}
+	}
+	if len(r.stats) == len(m.cfg.Nodes) && len(r.rtts) == len(m.cfg.Nodes) {
+		m.closeRound()
+	}
+}
+
+func (m *Monitor) closeRound() {
+	r := m.round
+	if r == nil || r.done {
+		return
+	}
+	r.done = true
+	if r.expires != nil {
+		r.expires()
+	}
+	now := m.rt.Now()
+	collectionTime := now.Sub(r.started)
+
+	var reads, writes, bytesW uint64
+	for _, s := range r.stats {
+		reads += s.Reads
+		writes += s.Writes
+		bytesW += s.BytesWrit
+	}
+	var maxRTT, sumRTT time.Duration
+	all := make([]time.Duration, 0, len(r.rtts))
+	for _, rtt := range r.rtts {
+		if rtt > maxRTT {
+			maxRTT = rtt
+		}
+		sumRTT += rtt
+		all = append(all, rtt)
+	}
+	var meanRTT time.Duration
+	if len(r.rtts) > 0 {
+		meanRTT = sumRTT / time.Duration(len(r.rtts))
+	}
+	ln := maxRTT / 2
+	if rf := m.cfg.ReplicaSetSize; rf > 0 && len(all) > 0 {
+		ln = expectedSubsetMax(all, rf) / 2
+	}
+
+	defer func() {
+		m.lastReads, m.lastWrites, m.lastBytesW = reads, writes, bytesW
+		m.lastAt = now
+		m.havePrev = true
+		m.rounds++
+	}()
+
+	if !m.havePrev {
+		return // first round only establishes the baseline counters
+	}
+	// Effective window: time since the previous round's close, minus this
+	// round's collection time (ops counted during collection bias the rate).
+	window := now.Sub(m.lastAt) - collectionTime
+	if window <= 0 {
+		window = now.Sub(m.lastAt)
+	}
+	if window <= 0 || m.cfg.OnObservation == nil {
+		return
+	}
+	dReads := counterDelta(reads, m.lastReads)
+	dWrites := counterDelta(writes, m.lastWrites)
+	scale := 1.0
+	if !m.cfg.AggregateRates && len(m.cfg.Nodes) > 0 {
+		scale = float64(len(m.cfg.Nodes))
+	}
+	obs := Observation{
+		At:          now,
+		ReadRate:    float64(dReads) / window.Seconds() / scale,
+		Latency:     ln,
+		MeanLatency: meanRTT / 2,
+		Window:      window,
+		Nodes:       len(r.stats),
+	}
+	if dWrites > 0 {
+		obs.WriteInterval = window.Seconds() * scale / float64(dWrites)
+		obs.AvgWriteBytes = float64(counterDelta(bytesW, m.lastBytesW)) / float64(dWrites)
+	}
+	m.cfg.OnObservation(obs)
+}
+
+func counterDelta(cur, prev uint64) uint64 {
+	if cur < prev {
+		return 0 // counter reset (node restart)
+	}
+	return cur - prev
+}
+
+// expectedSubsetMax computes E[max of a uniformly random m-subset] of vals
+// exactly via order statistics: with vals sorted ascending, the i-th value
+// (0-based) is the subset maximum with probability C(i, m-1)/C(n, m).
+func expectedSubsetMax(vals []time.Duration, m int) time.Duration {
+	n := len(vals)
+	if n == 0 {
+		return 0
+	}
+	sorted := make([]time.Duration, n)
+	copy(sorted, vals)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if m >= n {
+		return sorted[n-1]
+	}
+	if m <= 1 {
+		// Mean: every element equally likely to be the "subset".
+		var sum time.Duration
+		for _, v := range sorted {
+			sum += v
+		}
+		return sum / time.Duration(n)
+	}
+	// weight(i) = C(i, m-1)/C(n, m); build C(i, m-1) with a running product.
+	total := 0.0
+	expect := 0.0
+	choose := func(a, b int) float64 {
+		if b < 0 || b > a {
+			return 0
+		}
+		out := 1.0
+		for j := 0; j < b; j++ {
+			out *= float64(a-j) / float64(b-j)
+		}
+		return out
+	}
+	cnm := choose(n, m)
+	for i := m - 1; i < n; i++ {
+		w := choose(i, m-1) / cnm
+		total += w
+		expect += w * float64(sorted[i])
+	}
+	if total <= 0 {
+		return sorted[n-1]
+	}
+	return time.Duration(expect / total)
+}
+
+var _ transport.Handler = (*Monitor)(nil)

@@ -1,0 +1,257 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/wire"
+)
+
+// loadGen drives a constant synthetic read/write load directly at the
+// cluster (bypassing the client driver to keep the test focused).
+type loadGen struct {
+	s   *sim.Sim
+	bus interface {
+		Send(from, to ring.NodeID, m wire.Message)
+	}
+	nodes []ring.NodeID
+	id    uint64
+}
+
+func (g *loadGen) run(readsPerSec, writesPerSec float64, until time.Duration) {
+	if readsPerSec > 0 {
+		interval := time.Duration(float64(time.Second) / readsPerSec)
+		g.s.Ticker(interval, func() {
+			g.id++
+			g.bus.Send("loadgen", g.nodes[int(g.id)%len(g.nodes)], wire.ReadRequest{ID: g.id, Key: []byte("k"), Level: wire.One})
+		})
+	}
+	if writesPerSec > 0 {
+		interval := time.Duration(float64(time.Second) / writesPerSec)
+		g.s.Ticker(interval, func() {
+			g.id++
+			g.bus.Send("loadgen", g.nodes[int(g.id)%len(g.nodes)], wire.WriteRequest{ID: g.id, Key: []byte("k"), Value: []byte("v"), Level: wire.One})
+		})
+	}
+}
+
+func buildMonitored(t *testing.T, interval time.Duration, onObs func(Observation)) (*sim.Sim, *cluster.Cluster, *Monitor) {
+	t.Helper()
+	s := sim.New(77)
+	c, err := cluster.BuildSim(s, cluster.DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon := NewMonitor(MonitorConfig{
+		ID:            "harmony-monitor",
+		Nodes:         c.NodeIDs(),
+		Interval:      interval,
+		OnObservation: onObs,
+	}, s, c.Bus)
+	c.Bus.Register("harmony-monitor", s, mon)
+	// Sink for loadgen responses.
+	c.Bus.Register("loadgen", s, noopHandler{})
+	return s, c, mon
+}
+
+type noopHandler struct{}
+
+func (noopHandler) Deliver(ring.NodeID, wire.Message) {}
+
+func TestMonitorMeasuresRates(t *testing.T) {
+	var observations []Observation
+	s, c, mon := buildMonitored(t, time.Second, func(o Observation) {
+		observations = append(observations, o)
+	})
+	gen := &loadGen{s: s, bus: c.Bus, nodes: c.NodeIDs()}
+	gen.run(200, 50, 0) // 200 reads/s, 50 writes/s cluster-wide
+	mon.Start()
+	s.RunFor(10 * time.Second)
+	mon.Stop()
+
+	if len(observations) < 5 {
+		t.Fatalf("only %d observations", len(observations))
+	}
+	last := observations[len(observations)-1]
+	// Rates are per-node averages over the 20-node cluster: 200/20 = 10
+	// reads/s and a write interval of 20/50 = 0.4 s.
+	if last.ReadRate < 7.5 || last.ReadRate > 12.5 {
+		t.Fatalf("read rate = %v, want ~10 per node", last.ReadRate)
+	}
+	wantInterval := 20.0 / 50
+	if last.WriteInterval < wantInterval*0.7 || last.WriteInterval > wantInterval*1.3 {
+		t.Fatalf("write interval = %v, want ~%v", last.WriteInterval, wantInterval)
+	}
+	if last.Nodes != 20 {
+		t.Fatalf("nodes reporting = %d, want 20", last.Nodes)
+	}
+	if last.Latency <= 0 {
+		t.Fatal("no latency measured")
+	}
+	if last.MeanLatency > last.Latency {
+		t.Fatalf("mean latency %v above max %v", last.MeanLatency, last.Latency)
+	}
+}
+
+func TestMonitorFirstRoundIsBaseline(t *testing.T) {
+	count := 0
+	s, _, mon := buildMonitored(t, time.Second, func(Observation) { count++ })
+	mon.Start()
+	s.RunFor(1500 * time.Millisecond) // exactly one round completes
+	if count != 0 {
+		t.Fatalf("baseline round produced %d observations", count)
+	}
+	if mon.Rounds() != 1 {
+		t.Fatalf("rounds = %d, want 1", mon.Rounds())
+	}
+}
+
+func TestMonitorSurvivesDeadNodes(t *testing.T) {
+	var last Observation
+	s, c, mon := buildMonitored(t, time.Second, func(o Observation) { last = o })
+	// Kill a quarter of the cluster.
+	ids := c.NodeIDs()
+	for _, id := range ids[:5] {
+		c.Net.Isolate(id, append(ids, "harmony-monitor"))
+	}
+	mon.Start()
+	s.RunFor(5 * time.Second)
+	if mon.Rounds() < 3 {
+		t.Fatalf("monitor stalled: %d rounds", mon.Rounds())
+	}
+	if last.Nodes != 15 {
+		t.Fatalf("observation includes dead nodes: %d", last.Nodes)
+	}
+}
+
+func TestControllerDecisionScheme(t *testing.T) {
+	ctl := NewController(ControllerConfig{
+		Policy: Policy{Name: "Harmony-20%", ToleratedStaleRate: 0.2},
+		N:      5,
+	})
+	if got := ctl.ReadLevel(); got != wire.One {
+		t.Fatalf("default level = %v, want ONE", got)
+	}
+	// Low staleness regime: estimate below tolerance → stay at ONE.
+	ctl.Observe(Observation{At: time.Unix(1, 0), ReadRate: 100, WriteInterval: 10, Latency: 100 * time.Microsecond, Window: time.Second})
+	if d := ctl.Last(); d.Level != wire.One || d.Estimate >= 0.2 {
+		t.Fatalf("calm regime decision = %+v", d)
+	}
+	// Heavy update + high latency: estimate above tolerance → raise CL.
+	ctl.Observe(Observation{At: time.Unix(2, 0), ReadRate: 1000, WriteInterval: 0.002, Latency: 20 * time.Millisecond, Window: time.Second})
+	d := ctl.Last()
+	if d.Estimate <= 0.2 {
+		t.Fatalf("hot regime estimate = %v, want > tolerance", d.Estimate)
+	}
+	if d.Level == wire.One {
+		t.Fatalf("hot regime stayed at ONE: %+v", d)
+	}
+	if d.Xn < 2 || d.Xn > 5 {
+		t.Fatalf("Xn = %d out of range", d.Xn)
+	}
+	if len(ctl.History()) != 2 {
+		t.Fatalf("history length = %d", len(ctl.History()))
+	}
+}
+
+func TestControllerZeroToleranceDemandsAll(t *testing.T) {
+	ctl := NewController(ControllerConfig{Policy: Policy{ToleratedStaleRate: 0}, N: 5})
+	ctl.Observe(Observation{At: time.Unix(1, 0), ReadRate: 500, WriteInterval: 0.01, Latency: 5 * time.Millisecond, Window: time.Second})
+	if d := ctl.Last(); d.Level != wire.All || d.Xn != 5 {
+		t.Fatalf("zero tolerance decision = %+v, want ALL", d)
+	}
+}
+
+func TestControllerFullToleranceStaysEventual(t *testing.T) {
+	ctl := NewController(ControllerConfig{Policy: Policy{ToleratedStaleRate: 1}, N: 5})
+	ctl.Observe(Observation{At: time.Unix(1, 0), ReadRate: 5000, WriteInterval: 0.0001, Latency: 50 * time.Millisecond, Window: time.Second})
+	if d := ctl.Last(); d.Level != wire.One {
+		t.Fatalf("full tolerance decision = %+v, want ONE", d)
+	}
+}
+
+func TestControllerNoSignalStaysEventual(t *testing.T) {
+	ctl := NewController(ControllerConfig{Policy: Policy{ToleratedStaleRate: 0.1}, N: 5})
+	ctl.Observe(Observation{At: time.Unix(1, 0)}) // empty observation
+	if d := ctl.Last(); d.Level != wire.One {
+		t.Fatalf("no-signal decision = %+v, want ONE", d)
+	}
+}
+
+func TestControllerFixedTpAblation(t *testing.T) {
+	// With FixedTp the decision ignores measured latency entirely.
+	ctl := NewController(ControllerConfig{
+		Policy:  Policy{ToleratedStaleRate: 0.2},
+		N:       5,
+		FixedTp: time.Microsecond,
+	})
+	ctl.Observe(Observation{At: time.Unix(1, 0), ReadRate: 1000, WriteInterval: 0.002, Latency: 40 * time.Millisecond, Window: time.Second})
+	if d := ctl.Last(); d.Model.Tp != time.Microsecond {
+		t.Fatalf("FixedTp not applied: %v", d.Model.Tp)
+	}
+}
+
+func TestMonitorControllerEndToEnd(t *testing.T) {
+	// Full loop: synthetic load → monitor → controller → level adapts.
+	var decisions []Decision
+	ctl := NewController(ControllerConfig{
+		Policy:     Policy{Name: "Harmony-20%", ToleratedStaleRate: 0.2},
+		N:          5,
+		OnDecision: func(d Decision) { decisions = append(decisions, d) },
+	})
+	s, c, mon := buildMonitored(t, time.Second, ctl.Observe)
+	gen := &loadGen{s: s, bus: c.Bus, nodes: c.NodeIDs()}
+	// Heavy update load: 20k reads/s + 10k writes/s cluster-wide, i.e.
+	// per-node λr=1000/s, λw=2ms — comfortably above the 20% tolerance.
+	gen.run(20000, 10000, 0)
+	mon.Start()
+	s.RunFor(10 * time.Second)
+	if len(decisions) == 0 {
+		t.Fatal("no decisions")
+	}
+	final := decisions[len(decisions)-1]
+	if final.Level == wire.One {
+		t.Fatalf("controller never escalated under heavy updates: %+v", final)
+	}
+	if ctl.ReadLevel() != final.Level {
+		t.Fatal("ReadLevel out of sync with last decision")
+	}
+}
+
+func TestMonitorMeasuresAvgWriteSize(t *testing.T) {
+	var last Observation
+	s, c, mon := buildMonitored(t, time.Second, func(o Observation) { last = o })
+	// Writes of a fixed 512-byte payload.
+	payload := make([]byte, 512)
+	var id uint64
+	s.Ticker(5*time.Millisecond, func() {
+		id++
+		c.Bus.Send("loadgen", c.NodeIDs()[int(id)%20], wire.WriteRequest{ID: id, Key: []byte("k"), Value: payload, Level: wire.One})
+	})
+	mon.Start()
+	s.RunFor(8 * time.Second)
+	mon.Stop()
+	if last.AvgWriteBytes < 500 || last.AvgWriteBytes > 524 {
+		t.Fatalf("avg write bytes = %v, want ~512", last.AvgWriteBytes)
+	}
+}
+
+func TestControllerUsesMeasuredAvgWriteBytes(t *testing.T) {
+	// With no static AvgWriteBytes, Tp must include the measured
+	// serialization term: avgw/bandwidth.
+	ctl := NewController(ControllerConfig{
+		Policy:               Policy{ToleratedStaleRate: 0.2},
+		N:                    5,
+		BandwidthBytesPerSec: 1e6, // 1 MB/s: 10 KB writes add 10ms
+	})
+	ctl.Observe(Observation{
+		At: time.Unix(1, 0), ReadRate: 100, WriteInterval: 0.01,
+		Latency: time.Millisecond, AvgWriteBytes: 10_000,
+	})
+	if got := ctl.Last().Model.Tp; got != 11*time.Millisecond {
+		t.Fatalf("Tp = %v, want 11ms (1ms latency + 10ms serialization)", got)
+	}
+}

@@ -1,0 +1,187 @@
+package gossip
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/simnet"
+	"harmony/internal/transport"
+)
+
+// gossipCluster wires n gossipers over a simulated LAN.
+func gossipCluster(t *testing.T, s *sim.Sim, n int) (*transport.Bus, *simnet.Net, []*Gossiper, []ring.NodeID) {
+	t.Helper()
+	var infos []ring.NodeInfo
+	var ids []ring.NodeID
+	for i := 0; i < n; i++ {
+		id := ring.NodeID(fmt.Sprintf("g%02d", i))
+		ids = append(ids, id)
+		infos = append(infos, ring.NodeInfo{ID: id, DC: "dc1", Rack: fmt.Sprintf("r%d", i%3)})
+	}
+	topo, err := ring.NewTopology(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(topo, simnet.UniformProfile(500*time.Microsecond), s.NewStream())
+	bus := transport.NewBus(net)
+	var gs []*Gossiper
+	for i, id := range ids {
+		g := New(Config{ID: id, Peers: ids, Interval: time.Second, Seed: int64(i)}, s, bus)
+		bus.Register(id, s, g)
+		g.Start()
+		gs = append(gs, g)
+	}
+	return bus, net, gs, ids
+}
+
+func TestGossipConvergesMembership(t *testing.T) {
+	s := sim.New(11)
+	_, _, gs, ids := gossipCluster(t, s, 12)
+	s.RunFor(15 * time.Second)
+	for i, g := range gs {
+		if got := len(g.Members()); got != len(ids) {
+			t.Fatalf("gossiper %d knows %d members, want %d", i, got, len(ids))
+		}
+	}
+}
+
+func TestGossipAllAliveUnderNormalOperation(t *testing.T) {
+	s := sim.New(12)
+	_, _, gs, ids := gossipCluster(t, s, 8)
+	s.RunFor(30 * time.Second)
+	for _, g := range gs {
+		for _, id := range ids {
+			if !g.Alive(id) {
+				t.Fatalf("%v convicted healthy peer %v (phi=%v)", g.cfg.ID, id, g.Phi(id))
+			}
+		}
+	}
+}
+
+func TestGossipDetectsDeadNode(t *testing.T) {
+	s := sim.New(13)
+	_, net, gs, ids := gossipCluster(t, s, 8)
+	s.RunFor(20 * time.Second) // warm up arrival windows
+	victim := ids[3]
+	net.Isolate(victim, ids)
+	s.RunFor(60 * time.Second)
+	convicted := 0
+	for i, g := range gs {
+		if ids[i] == victim {
+			continue
+		}
+		if !g.Alive(victim) {
+			convicted++
+		}
+	}
+	if convicted < 6 {
+		t.Fatalf("only %d/7 peers convicted the dead node", convicted)
+	}
+	// Unrelated peers stay alive.
+	for i, g := range gs {
+		if ids[i] == victim {
+			continue
+		}
+		for _, id := range ids {
+			if id == victim || id == ids[i] {
+				continue
+			}
+			if !g.Alive(id) {
+				t.Fatalf("%v wrongly convicted %v", ids[i], id)
+			}
+		}
+	}
+}
+
+func TestGossipRecoversAfterHeal(t *testing.T) {
+	s := sim.New(14)
+	_, net, gs, ids := gossipCluster(t, s, 6)
+	s.RunFor(20 * time.Second)
+	victim := ids[0]
+	net.Isolate(victim, ids)
+	s.RunFor(60 * time.Second)
+	if gs[1].Alive(victim) {
+		t.Fatal("victim not convicted while isolated")
+	}
+	net.Rejoin(victim, ids)
+	s.RunFor(30 * time.Second)
+	if !gs[1].Alive(victim) {
+		t.Fatalf("victim not resurrected after heal (phi=%v)", gs[1].Phi(victim))
+	}
+}
+
+func TestGossipTransitiveSpread(t *testing.T) {
+	// A node that can only talk to one peer still learns the full view.
+	s := sim.New(15)
+	_, net, gs, ids := gossipCluster(t, s, 10)
+	// Cut node 0 off from everyone except node 1.
+	for _, id := range ids[2:] {
+		net.Partition(ids[0], id)
+	}
+	s.RunFor(30 * time.Second)
+	if got := len(gs[0].Members()); got != len(ids) {
+		t.Fatalf("partially-connected node sees %d members, want %d", got, len(ids))
+	}
+}
+
+func TestPhiGrowsWithSilence(t *testing.T) {
+	s := sim.New(16)
+	_, net, gs, ids := gossipCluster(t, s, 4)
+	s.RunFor(20 * time.Second)
+	victim := ids[2]
+	phiBefore := gs[0].Phi(victim)
+	net.Isolate(victim, ids)
+	s.RunFor(10 * time.Second)
+	phi10 := gs[0].Phi(victim)
+	s.RunFor(20 * time.Second)
+	phi30 := gs[0].Phi(victim)
+	if !(phiBefore < phi10 && phi10 < phi30) {
+		t.Fatalf("phi not monotone under silence: %v, %v, %v", phiBefore, phi10, phi30)
+	}
+}
+
+func TestUnknownPeerOptimisticallyAlive(t *testing.T) {
+	s := sim.New(17)
+	g := New(Config{ID: "solo", Peers: []ring.NodeID{"solo", "other"}}, s, transport.NewLoopback())
+	if !g.Alive("other") {
+		t.Fatal("unknown peer not optimistically alive")
+	}
+	if !g.Alive("solo") {
+		t.Fatal("self not alive")
+	}
+}
+
+func TestGossipStopHaltsRounds(t *testing.T) {
+	s := sim.New(18)
+	_, _, gs, _ := gossipCluster(t, s, 3)
+	s.RunFor(5 * time.Second)
+	r := gs[0].Rounds()
+	gs[0].Stop()
+	s.RunFor(10 * time.Second)
+	if gs[0].Rounds() != r {
+		t.Fatalf("rounds advanced after Stop: %d -> %d", r, gs[0].Rounds())
+	}
+}
+
+func TestArrivalWindowStats(t *testing.T) {
+	w := &arrivalWindow{}
+	t0 := time.Unix(0, 0)
+	for i := 1; i <= 50; i++ {
+		w.observe(t0.Add(time.Duration(i) * time.Second))
+	}
+	if m := w.mean(); m < 0.99 || m > 1.01 {
+		t.Fatalf("mean interval = %v, want ~1s", m)
+	}
+	// After 10 missing heartbeats, phi should be well above the threshold.
+	phi := w.phi(t0.Add(60 * time.Second))
+	if phi < 4 {
+		t.Fatalf("phi after 10s silence = %v, want > 4", phi)
+	}
+	// Immediately after a heartbeat, phi is ~0.
+	if p := w.phi(t0.Add(50*time.Second + time.Millisecond)); p > 0.1 {
+		t.Fatalf("phi right after heartbeat = %v", p)
+	}
+}

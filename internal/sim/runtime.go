@@ -1,0 +1,108 @@
+// Package sim provides a deterministic discrete-event simulation engine and
+// the Runtime abstraction that lets the same protocol code run either under
+// virtual time (for reproducible, laptop-scale experiments) or on real
+// goroutines and wall-clock timers (for live deployments).
+//
+// All protocol code in this repository is event-driven: it never blocks, and
+// it reacts to delivered messages and timer callbacks. Under the simulator
+// every callback runs on a single scheduler goroutine in virtual-time order,
+// which makes whole-cluster experiments deterministic. Under the real-time
+// runtime each actor owns a mailbox goroutine and timers post back into it,
+// preserving the same single-threaded-per-actor discipline.
+package sim
+
+import (
+	"sync"
+	"time"
+)
+
+// Runtime is the execution substrate protocol actors are written against.
+// Implementations must guarantee that all callbacks scheduled through a
+// single Runtime value execute serially (never concurrently with each
+// other).
+type Runtime interface {
+	// Now returns the current time (virtual or wall-clock).
+	Now() time.Time
+	// After schedules fn to run once after d elapses. The returned cancel
+	// function stops the timer if it has not fired; calling it multiple
+	// times is safe.
+	After(d time.Duration, fn func()) (cancel func())
+	// Post schedules fn to run as soon as possible, after the currently
+	// executing callback returns.
+	Post(fn func())
+}
+
+// RealRuntime runs callbacks on a dedicated mailbox goroutine using
+// wall-clock timers. The zero value is not usable; create with NewRealRuntime
+// and release with Stop.
+type RealRuntime struct {
+	mu     sync.Mutex
+	inbox  chan func()
+	done   chan struct{}
+	closed bool
+}
+
+// NewRealRuntime starts the mailbox goroutine and returns the runtime.
+func NewRealRuntime() *RealRuntime {
+	r := &RealRuntime{
+		inbox: make(chan func(), 1024),
+		done:  make(chan struct{}),
+	}
+	go r.loop()
+	return r
+}
+
+func (r *RealRuntime) loop() {
+	for {
+		select {
+		case fn := <-r.inbox:
+			fn()
+		case <-r.done:
+			// Drain anything already queued so Stop has flush semantics.
+			for {
+				select {
+				case fn := <-r.inbox:
+					fn()
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// Now returns the wall-clock time.
+func (r *RealRuntime) Now() time.Time { return time.Now() }
+
+// After schedules fn on the mailbox goroutine after d.
+func (r *RealRuntime) After(d time.Duration, fn func()) (cancel func()) {
+	t := time.AfterFunc(d, func() { r.Post(fn) })
+	return func() { t.Stop() }
+}
+
+// Post enqueues fn on the mailbox. If the runtime is stopped the callback is
+// dropped: actors are expected to be quiesced before Stop.
+func (r *RealRuntime) Post(fn func()) {
+	r.mu.Lock()
+	closed := r.closed
+	r.mu.Unlock()
+	if closed {
+		return
+	}
+	select {
+	case r.inbox <- fn:
+	case <-r.done:
+	}
+}
+
+// Stop terminates the mailbox goroutine after draining queued callbacks.
+func (r *RealRuntime) Stop() {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return
+	}
+	r.closed = true
+	r.mu.Unlock()
+	close(r.done)
+}

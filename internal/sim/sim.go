@@ -1,0 +1,205 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// event is a scheduled callback in virtual time. seq breaks ties so that
+// events scheduled earlier at the same instant run first, keeping the
+// simulation deterministic.
+type event struct {
+	at       time.Time
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index, -1 when popped
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Sim is a single-threaded discrete-event simulator. It implements Runtime,
+// so protocol actors written against sim.Runtime run unmodified under
+// virtual time. Sim is not safe for concurrent use: all interaction must
+// happen from the goroutine driving Run/Step (which is also the goroutine
+// executing event callbacks).
+type Sim struct {
+	now    time.Time
+	queue  eventHeap
+	seq    uint64
+	rng    *rand.Rand
+	events uint64 // total events executed
+}
+
+// New creates a simulator whose clock starts at a fixed epoch and whose
+// random streams derive from seed. The epoch is arbitrary but stable so that
+// virtual timestamps are reproducible across runs.
+func New(seed int64) *Sim {
+	return &Sim{
+		now: time.Date(2012, time.September, 24, 0, 0, 0, 0, time.UTC),
+		rng: rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() time.Time { return s.now }
+
+// Rand returns the simulator's deterministic random source. Callers needing
+// independent streams should derive child RNGs via NewStream.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// NewStream derives an independent deterministic random stream. Each call
+// consumes one value from the parent stream, so creation order matters and
+// must itself be deterministic.
+func (s *Sim) NewStream() *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63()))
+}
+
+// Events reports how many event callbacks have executed.
+func (s *Sim) Events() uint64 { return s.events }
+
+// After schedules fn at now+d. A negative d is treated as zero. The returned
+// cancel function prevents the callback from running if it has not yet fired.
+func (s *Sim) After(d time.Duration, fn func()) (cancel func()) {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// At schedules fn at the absolute virtual time t (clamped to now).
+func (s *Sim) At(t time.Time, fn func()) (cancel func()) {
+	if t.Before(s.now) {
+		t = s.now
+	}
+	e := &event{at: t, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return func() { e.canceled = true }
+}
+
+// Post schedules fn to run at the current instant, after already-queued
+// events for this instant.
+func (s *Sim) Post(fn func()) { s.After(0, fn) }
+
+// Step executes the next event, advancing the clock. It reports false when
+// the queue is empty.
+func (s *Sim) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*event)
+		if e.canceled {
+			continue
+		}
+		if e.at.After(s.now) {
+			s.now = e.at
+		}
+		s.events++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue empties or the virtual clock passes
+// deadline. Events scheduled exactly at the deadline still execute. It
+// returns the number of events executed during this call.
+func (s *Sim) Run(deadline time.Time) uint64 {
+	start := s.events
+	for s.queue.Len() > 0 {
+		next := s.peek()
+		if next.After(deadline) {
+			break
+		}
+		s.Step()
+	}
+	if s.now.Before(deadline) {
+		s.now = deadline
+	}
+	return s.events - start
+}
+
+// RunFor advances the simulation by d of virtual time.
+func (s *Sim) RunFor(d time.Duration) uint64 { return s.Run(s.now.Add(d)) }
+
+// RunUntilIdle executes events until none remain, with a safety cap on the
+// number of events to guard against runaway feedback loops in tests.
+func (s *Sim) RunUntilIdle(maxEvents uint64) error {
+	start := s.events
+	for s.queue.Len() > 0 {
+		if s.events-start >= maxEvents {
+			return fmt.Errorf("sim: exceeded %d events without going idle", maxEvents)
+		}
+		s.Step()
+	}
+	return nil
+}
+
+func (s *Sim) peek() time.Time {
+	// Skip leading canceled events so Run's deadline check sees the next
+	// live event.
+	for s.queue.Len() > 0 && s.queue[0].canceled {
+		heap.Pop(&s.queue)
+	}
+	if s.queue.Len() == 0 {
+		return s.now
+	}
+	return s.queue[0].at
+}
+
+// Pending reports the number of queued (possibly canceled) events.
+func (s *Sim) Pending() int { return s.queue.Len() }
+
+// Ticker repeatedly invokes fn every interval until the returned stop
+// function is called. The first invocation happens after one full interval.
+func (s *Sim) Ticker(interval time.Duration, fn func()) (stop func()) {
+	if interval <= 0 {
+		panic("sim: non-positive ticker interval")
+	}
+	stopped := false
+	var schedule func()
+	schedule = func() {
+		s.After(interval, func() {
+			if stopped {
+				return
+			}
+			fn()
+			if !stopped {
+				schedule()
+			}
+		})
+	}
+	schedule()
+	return func() { stopped = true }
+}
+
+var _ Runtime = (*Sim)(nil)
+var _ Runtime = (*RealRuntime)(nil)

@@ -1,0 +1,212 @@
+// Package simnet models the network connecting storage nodes and clients:
+// per-pair base latency derived from the cluster topology, stochastic jitter,
+// bandwidth-proportional serialization delay, and fault injection (partitions
+// and degraded links). It backs the discrete-event transport used by every
+// experiment, and it is where the two testbed profiles from the paper's
+// evaluation live: a Grid'5000-like LAN and an EC2-like virtualized WAN.
+package simnet
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"harmony/internal/dist"
+	"harmony/internal/ring"
+)
+
+// Profile describes the latency character of a deployment. All durations are
+// one-way.
+type Profile struct {
+	Name string
+	// Base one-way latency per proximity class (same node, same rack, same
+	// DC, cross DC). Index with ring.Topology.Distance.
+	Base [4]time.Duration
+	// Jitter scales the base latency multiplicatively: effective = base *
+	// jitter.Sample(). Use dist.Constant{V:1} for a noiseless network.
+	Jitter dist.Sampler
+	// BandwidthBytesPerSec models serialization delay: transferring n bytes
+	// adds n/Bandwidth seconds. Zero disables the term.
+	BandwidthBytesPerSec float64
+	// ClientLatency is the one-way latency between external clients and any
+	// storage node (clients are "near" the cluster, e.g. same AZ).
+	ClientLatency time.Duration
+}
+
+// Grid5000Profile approximates the paper's first testbed: physical nodes on
+// gigabit Ethernet inside one site — sub-millisecond, stable latency
+// between replicas. ClientLatency folds in the whole client-side stack the
+// paper's YCSB deployment pays per operation (client host hop plus
+// Thrift/RPC and server request handling); it sets the base per-operation
+// latency floor that, against the cluster's service capacity, places
+// closed-loop saturation near 90 threads exactly as Fig. 5(c) shows.
+func Grid5000Profile() Profile {
+	return Profile{
+		Name:                 "grid5000",
+		Base:                 [4]time.Duration{20 * time.Microsecond, 150 * time.Microsecond, 400 * time.Microsecond, 5 * time.Millisecond},
+		Jitter:               dist.LognormalFromMeanP99(1.0, 2.5),
+		BandwidthBytesPerSec: 125e6, // 1 Gb/s
+		ClientLatency:        1200 * time.Microsecond,
+	}
+}
+
+// EC2Profile approximates the paper's second testbed: virtualized instances
+// with ~5x the base latency of Grid'5000 and heavy-tailed jitter reaching
+// tens of milliseconds (the variability Fig. 4(b) shows).
+func EC2Profile() Profile {
+	return Profile{
+		Name:                 "ec2",
+		Base:                 [4]time.Duration{50 * time.Microsecond, 750 * time.Microsecond, 2000 * time.Microsecond, 25 * time.Millisecond},
+		Jitter:               dist.LognormalFromMeanP99(1.3, 12.0),
+		BandwidthBytesPerSec: 60e6, // shared virtualized NIC
+		ClientLatency:        2500 * time.Microsecond,
+	}
+}
+
+// UniformProfile gives every pair the same one-way latency; used by the
+// Fig. 4(b) sweep where latency is the controlled variable.
+func UniformProfile(oneWay time.Duration) Profile {
+	return Profile{
+		Name:          "uniform",
+		Base:          [4]time.Duration{oneWay, oneWay, oneWay, oneWay},
+		Jitter:        dist.Constant{V: 1},
+		ClientLatency: oneWay,
+	}
+}
+
+// Net computes message delays and applies fault injection. It is safe for
+// use from a single simulation goroutine; the real-time transport guards it
+// with its own lock.
+type Net struct {
+	mu        sync.Mutex
+	topo      *ring.Topology
+	profile   Profile
+	rng       *rand.Rand
+	cut       map[linkKey]bool          // partitioned links
+	degraded  map[linkKey]time.Duration // extra latency per link
+	colocated map[ring.NodeID]ring.NodeID
+}
+
+type linkKey struct{ a, b string }
+
+func normKey(a, b string) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// New creates a network over topo with the given profile. rng drives jitter
+// and must be dedicated to this Net for determinism.
+func New(topo *ring.Topology, profile Profile, rng *rand.Rand) *Net {
+	if profile.Jitter == nil {
+		profile.Jitter = dist.Constant{V: 1}
+	}
+	return &Net{
+		topo:      topo,
+		profile:   profile,
+		rng:       rng,
+		cut:       make(map[linkKey]bool),
+		degraded:  make(map[linkKey]time.Duration),
+		colocated: make(map[ring.NodeID]ring.NodeID),
+	}
+}
+
+// Colocate places an external endpoint (a monitor or an embedded client) on
+// the same host as a cluster node for latency purposes: its traffic pays
+// the host's link latencies instead of the external ClientLatency. The
+// paper's monitoring module runs inside the cluster, so its pings observe
+// inter-replica latency.
+func (n *Net) Colocate(id, host ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.colocated[id] = host
+}
+
+func (n *Net) resolveLocked(id ring.NodeID) (ring.NodeID, bool) {
+	if host, ok := n.colocated[id]; ok {
+		id = host
+	}
+	_, in := n.topo.Info(id)
+	return id, in
+}
+
+// Profile returns the active profile.
+func (n *Net) Profile() Profile { return n.profile }
+
+// Delay computes the one-way delivery delay for a message of size bytes from
+// a to b, or ok=false if the link is partitioned. IDs not present in the
+// topology (external clients) use the profile's ClientLatency.
+func (n *Net) Delay(a, b ring.NodeID, bytes int) (time.Duration, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	// Colocated endpoints share their host's links: partitions and
+	// degradations applied to the host apply to them too.
+	ra, aIn := n.resolveLocked(a)
+	rb, bIn := n.resolveLocked(b)
+	k := normKey(string(ra), string(rb))
+	if n.cut[k] {
+		return 0, false
+	}
+	var base time.Duration
+	if aIn && bIn {
+		base = n.profile.Base[n.topo.Distance(ra, rb)]
+	} else {
+		base = n.profile.ClientLatency
+	}
+	d := time.Duration(float64(base) * n.profile.Jitter.Sample(n.rng))
+	if n.profile.BandwidthBytesPerSec > 0 && bytes > 0 {
+		d += time.Duration(float64(bytes) / n.profile.BandwidthBytesPerSec * float64(time.Second))
+	}
+	d += n.degraded[k]
+	if d < 0 {
+		d = 0
+	}
+	return d, true
+}
+
+// Partition cuts the link between a and b bidirectionally.
+func (n *Net) Partition(a, b ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[normKey(string(a), string(b))] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Net) Heal(a, b ring.NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, normKey(string(a), string(b)))
+}
+
+// Isolate cuts every link touching id (node failure as seen by the network).
+func (n *Net) Isolate(id ring.NodeID, peers []ring.NodeID) {
+	for _, p := range peers {
+		if p != id {
+			n.Partition(id, p)
+		}
+	}
+}
+
+// Rejoin heals every link touching id.
+func (n *Net) Rejoin(id ring.NodeID, peers []ring.NodeID) {
+	for _, p := range peers {
+		if p != id {
+			n.Heal(id, p)
+		}
+	}
+}
+
+// Degrade adds extra one-way latency on the a<->b link (slow link injection).
+func (n *Net) Degrade(a, b ring.NodeID, extra time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degraded[normKey(string(a), string(b))] = extra
+}
+
+// ClearDegradations removes all injected slowness.
+func (n *Net) ClearDegradations() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.degraded = make(map[linkKey]time.Duration)
+}

@@ -1,0 +1,173 @@
+package simnet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"harmony/internal/dist"
+	"harmony/internal/ring"
+)
+
+func testTopo(t *testing.T) *ring.Topology {
+	t.Helper()
+	topo, err := ring.NewTopology([]ring.NodeInfo{
+		{ID: "a", DC: "dc1", Rack: "r1"},
+		{ID: "b", DC: "dc1", Rack: "r1"},
+		{ID: "c", DC: "dc1", Rack: "r2"},
+		{ID: "d", DC: "dc2", Rack: "r1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return topo
+}
+
+func newNet(t *testing.T, p Profile) *Net {
+	t.Helper()
+	return New(testTopo(t), p, rand.New(rand.NewSource(42)))
+}
+
+func TestDelayByProximity(t *testing.T) {
+	p := Profile{
+		Base:          [4]time.Duration{1 * time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond, 1000 * time.Microsecond},
+		Jitter:        dist.Constant{V: 1},
+		ClientLatency: 5 * time.Millisecond,
+	}
+	n := newNet(t, p)
+	cases := []struct {
+		a, b ring.NodeID
+		want time.Duration
+	}{
+		{"a", "a", 1 * time.Microsecond},
+		{"a", "b", 10 * time.Microsecond},   // same rack
+		{"a", "c", 100 * time.Microsecond},  // same DC
+		{"a", "d", 1000 * time.Microsecond}, // cross DC
+		{"client-x", "a", 5 * time.Millisecond},
+		{"a", "client-x", 5 * time.Millisecond},
+	}
+	for _, c := range cases {
+		got, up := n.Delay(c.a, c.b, 0)
+		if !up || got != c.want {
+			t.Errorf("Delay(%s,%s) = %v up=%v, want %v", c.a, c.b, got, up, c.want)
+		}
+	}
+}
+
+func TestBandwidthTerm(t *testing.T) {
+	p := UniformProfile(time.Millisecond)
+	p.BandwidthBytesPerSec = 1e6 // 1 MB/s
+	n := newNet(t, p)
+	got, up := n.Delay("a", "b", 1000) // 1 KB at 1 MB/s = 1ms extra
+	if !up || got != 2*time.Millisecond {
+		t.Fatalf("delay = %v up=%v, want 2ms", got, up)
+	}
+}
+
+func TestPartitionHealIsolateRejoin(t *testing.T) {
+	n := newNet(t, UniformProfile(time.Millisecond))
+	n.Partition("a", "b")
+	if _, up := n.Delay("a", "b", 0); up {
+		t.Fatal("partitioned link up")
+	}
+	if _, up := n.Delay("b", "a", 0); up {
+		t.Fatal("partition must be bidirectional")
+	}
+	if _, up := n.Delay("a", "c", 0); !up {
+		t.Fatal("unrelated link cut")
+	}
+	n.Heal("a", "b")
+	if _, up := n.Delay("a", "b", 0); !up {
+		t.Fatal("healed link down")
+	}
+
+	all := []ring.NodeID{"a", "b", "c", "d"}
+	n.Isolate("c", all)
+	for _, peer := range []ring.NodeID{"a", "b", "d"} {
+		if _, up := n.Delay("c", peer, 0); up {
+			t.Fatalf("isolated node reaches %s", peer)
+		}
+	}
+	n.Rejoin("c", all)
+	for _, peer := range []ring.NodeID{"a", "b", "d"} {
+		if _, up := n.Delay("c", peer, 0); !up {
+			t.Fatalf("rejoined node cannot reach %s", peer)
+		}
+	}
+}
+
+func TestDegradeAndClear(t *testing.T) {
+	n := newNet(t, UniformProfile(time.Millisecond))
+	n.Degrade("a", "b", 7*time.Millisecond)
+	if got, _ := n.Delay("a", "b", 0); got != 8*time.Millisecond {
+		t.Fatalf("degraded = %v, want 8ms", got)
+	}
+	if got, _ := n.Delay("b", "a", 0); got != 8*time.Millisecond {
+		t.Fatalf("degradation must be bidirectional, got %v", got)
+	}
+	n.ClearDegradations()
+	if got, _ := n.Delay("a", "b", 0); got != time.Millisecond {
+		t.Fatalf("after clear = %v, want 1ms", got)
+	}
+}
+
+func TestColocate(t *testing.T) {
+	p := Profile{
+		Base:          [4]time.Duration{1 * time.Microsecond, 10 * time.Microsecond, 100 * time.Microsecond, 1000 * time.Microsecond},
+		Jitter:        dist.Constant{V: 1},
+		ClientLatency: 9 * time.Millisecond,
+	}
+	n := newNet(t, p)
+	// Before colocation the monitor pays client latency.
+	if got, _ := n.Delay("monitor", "b", 0); got != 9*time.Millisecond {
+		t.Fatalf("external delay = %v", got)
+	}
+	n.Colocate("monitor", "a")
+	if got, _ := n.Delay("monitor", "b", 0); got != 10*time.Microsecond {
+		t.Fatalf("colocated same-rack delay = %v, want 10µs", got)
+	}
+	if got, _ := n.Delay("monitor", "d", 0); got != 1000*time.Microsecond {
+		t.Fatalf("colocated cross-DC delay = %v, want 1ms", got)
+	}
+}
+
+func TestJitterVariesDelay(t *testing.T) {
+	p := Grid5000Profile()
+	n := newNet(t, p)
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		d, _ := n.Delay("a", "c", 0)
+		seen[d] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct delays", len(seen))
+	}
+}
+
+func TestProfilesSane(t *testing.T) {
+	g, e := Grid5000Profile(), EC2Profile()
+	// EC2 must be uniformly slower than Grid'5000 (the paper's ~5x).
+	for i := 1; i < 4; i++ {
+		if e.Base[i] < 4*g.Base[i] {
+			t.Fatalf("EC2 base[%d]=%v not ~5x Grid'5000 %v", i, e.Base[i], g.Base[i])
+		}
+	}
+	if e.ClientLatency <= g.ClientLatency {
+		t.Fatal("EC2 client latency should exceed Grid'5000")
+	}
+	u := UniformProfile(3 * time.Millisecond)
+	for i := 0; i < 4; i++ {
+		if u.Base[i] != 3*time.Millisecond {
+			t.Fatal("uniform profile not uniform")
+		}
+	}
+}
+
+func TestNegativeDelayClamped(t *testing.T) {
+	p := UniformProfile(time.Millisecond)
+	p.Jitter = dist.Constant{V: -5} // hostile sampler
+	n := newNet(t, p)
+	if got, up := n.Delay("a", "b", 0); !up || got < 0 {
+		t.Fatalf("negative delay leaked: %v", got)
+	}
+}

@@ -1,0 +1,177 @@
+package stats
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Counter is a monotonically increasing event counter. It is safe for
+// concurrent use.
+type Counter struct {
+	mu sync.Mutex
+	v  uint64
+}
+
+// Inc adds one to the counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n to the counter.
+func (c *Counter) Add(n uint64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}
+
+// RateFromDelta converts a counter delta over a wall/virtual-time window into
+// an events-per-second rate. Harmony's monitor subtracts the time spent
+// collecting metrics from the window, exactly as the paper's monitoring
+// module does, so the window passed here should already exclude it. A
+// non-positive window yields zero.
+func RateFromDelta(delta uint64, window time.Duration) float64 {
+	if window <= 0 {
+		return 0
+	}
+	return float64(delta) / window.Seconds()
+}
+
+// EWMA is an exponentially weighted moving average over irregular samples.
+// The zero value with a positive HalfLife set via New is required; use
+// NewEWMA. EWMA is not concurrency-safe.
+type EWMA struct {
+	halfLife time.Duration
+	value    float64
+	last     time.Time
+	set      bool
+}
+
+// NewEWMA returns an EWMA whose weight decays by half every halfLife.
+func NewEWMA(halfLife time.Duration) *EWMA {
+	if halfLife <= 0 {
+		panic("stats: non-positive EWMA half-life")
+	}
+	return &EWMA{halfLife: halfLife}
+}
+
+// Observe folds a sample taken at time t into the average.
+func (e *EWMA) Observe(t time.Time, v float64) {
+	if !e.set {
+		e.value = v
+		e.last = t
+		e.set = true
+		return
+	}
+	dt := t.Sub(e.last)
+	if dt < 0 {
+		dt = 0
+	}
+	alpha := 1 - math.Exp(-float64(dt)/float64(e.halfLife)*math.Ln2)
+	e.value += alpha * (v - e.value)
+	e.last = t
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.value }
+
+// Set reports whether at least one sample has been observed.
+func (e *EWMA) Set() bool { return e.set }
+
+// Welford accumulates streaming mean and variance.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+}
+
+// Add folds one observation into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the running mean (0 when empty).
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the sample variance (0 for n < 2).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// WindowRate tracks events over a sliding window of fixed-size slots and
+// reports the average event rate across the window. It powers throughput
+// timelines in the bench harness. Not concurrency-safe.
+type WindowRate struct {
+	slot   time.Duration
+	counts []uint64
+	head   int // index of current slot
+	start  time.Time
+	cur    time.Time
+	inited bool
+}
+
+// NewWindowRate creates a sliding window of n slots of width slot each.
+func NewWindowRate(slot time.Duration, n int) *WindowRate {
+	if slot <= 0 || n <= 0 {
+		panic("stats: invalid window-rate configuration")
+	}
+	return &WindowRate{slot: slot, counts: make([]uint64, n)}
+}
+
+// Observe records one event at time t. Time must be non-decreasing.
+func (w *WindowRate) Observe(t time.Time) {
+	w.advance(t)
+	w.counts[w.head]++
+}
+
+func (w *WindowRate) advance(t time.Time) {
+	if !w.inited {
+		w.start = t
+		w.cur = t
+		w.inited = true
+		return
+	}
+	for t.Sub(w.cur) >= w.slot {
+		w.cur = w.cur.Add(w.slot)
+		w.head = (w.head + 1) % len(w.counts)
+		w.counts[w.head] = 0
+	}
+}
+
+// Rate returns events/second averaged over the (filled part of the) window
+// as of time t.
+func (w *WindowRate) Rate(t time.Time) float64 {
+	if !w.inited {
+		return 0
+	}
+	w.advance(t)
+	var total uint64
+	for _, c := range w.counts {
+		total += c
+	}
+	span := time.Duration(len(w.counts)) * w.slot
+	if elapsed := w.cur.Add(w.slot).Sub(w.start); elapsed < span {
+		span = elapsed
+	}
+	if span <= 0 {
+		return 0
+	}
+	return float64(total) / span.Seconds()
+}

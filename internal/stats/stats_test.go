@@ -1,0 +1,261 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.P99() != 0 {
+		t.Fatal("zero histogram must report zeros")
+	}
+	h.Record(10 * time.Millisecond)
+	h.Record(20 * time.Millisecond)
+	h.Record(30 * time.Millisecond)
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != 10*time.Millisecond || h.Max() != 30*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); got != 20*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	var h Histogram
+	h.Record(-5 * time.Millisecond)
+	if h.Min() != 0 {
+		t.Fatalf("negative record min = %v, want 0", h.Min())
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	var h Histogram
+	r := rand.New(rand.NewSource(7))
+	samples := make([]time.Duration, 0, 50000)
+	for i := 0; i < 50000; i++ {
+		// lognormal-ish latencies between ~100us and ~1s
+		d := time.Duration(math.Exp(12+2*r.NormFloat64())) * time.Nanosecond
+		h.Record(d)
+		samples = append(samples, d)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		exact := ExactPercentile(samples, q)
+		est := h.Quantile(q)
+		relErr := math.Abs(float64(est-exact)) / float64(exact)
+		if relErr > 0.10 {
+			t.Fatalf("q=%v exact=%v est=%v relErr=%v", q, exact, est, relErr)
+		}
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	var h Histogram
+	h.Record(5 * time.Millisecond)
+	if got := h.Quantile(-1); got != 5*time.Millisecond {
+		t.Fatalf("q<0 = %v", got)
+	}
+	if got := h.Quantile(2); got != 5*time.Millisecond {
+		t.Fatalf("q>1 = %v", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	var a, b Histogram
+	for i := 1; i <= 100; i++ {
+		a.Record(time.Duration(i) * time.Millisecond)
+	}
+	for i := 101; i <= 200; i++ {
+		b.Record(time.Duration(i) * time.Millisecond)
+	}
+	a.Merge(&b)
+	if a.Count() != 200 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Max() != 200*time.Millisecond || a.Min() != time.Millisecond {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	var empty Histogram
+	a.Merge(&empty) // must not disturb
+	if a.Count() != 200 {
+		t.Fatal("merge with empty changed count")
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Record(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear")
+	}
+}
+
+func TestHistogramMonotoneQuantiles(t *testing.T) {
+	if err := quick.Check(func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		var h Histogram
+		for i := 0; i < 500; i++ {
+			h.Record(time.Duration(r.Int63n(int64(time.Second))))
+		}
+		return h.Quantile(0.5) <= h.Quantile(0.9) &&
+			h.Quantile(0.9) <= h.Quantile(0.99) &&
+			h.Quantile(0.99) <= h.Max() && h.Quantile(0) >= h.Min()
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExactPercentile(t *testing.T) {
+	s := []time.Duration{5, 1, 4, 2, 3}
+	if got := ExactPercentile(s, 0.5); got != 3 {
+		t.Fatalf("median = %v, want 3", got)
+	}
+	if got := ExactPercentile(s, 1.0); got != 5 {
+		t.Fatalf("p100 = %v, want 5", got)
+	}
+	if got := ExactPercentile(nil, 0.5); got != 0 {
+		t.Fatalf("empty = %v, want 0", got)
+	}
+	// input must not be mutated
+	if s[0] != 5 {
+		t.Fatal("ExactPercentile mutated input")
+	}
+}
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+			done <- struct{}{}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if c.Value() != 4000 {
+		t.Fatalf("counter = %d, want 4000", c.Value())
+	}
+}
+
+func TestRateFromDelta(t *testing.T) {
+	if got := RateFromDelta(100, time.Second); got != 100 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := RateFromDelta(100, 0); got != 0 {
+		t.Fatalf("zero-window rate = %v", got)
+	}
+	if got := RateFromDelta(50, 500*time.Millisecond); got != 100 {
+		t.Fatalf("rate = %v", got)
+	}
+}
+
+func TestEWMAConvergence(t *testing.T) {
+	e := NewEWMA(time.Second)
+	t0 := time.Unix(0, 0)
+	e.Observe(t0, 10)
+	if e.Value() != 10 {
+		t.Fatalf("first observation = %v", e.Value())
+	}
+	// After many half-lives of observing 20, value approaches 20.
+	for i := 1; i <= 20; i++ {
+		e.Observe(t0.Add(time.Duration(i)*time.Second), 20)
+	}
+	if math.Abs(e.Value()-20) > 0.1 {
+		t.Fatalf("ewma = %v, want ~20", e.Value())
+	}
+}
+
+func TestEWMAHalfLifeExact(t *testing.T) {
+	e := NewEWMA(time.Second)
+	t0 := time.Unix(0, 0)
+	e.Observe(t0, 0)
+	e.Observe(t0.Add(time.Second), 1)
+	// one half-life: value should move halfway from 0 to 1
+	if math.Abs(e.Value()-0.5) > 1e-9 {
+		t.Fatalf("after one half-life = %v, want 0.5", e.Value())
+	}
+}
+
+func TestEWMAPanicsOnBadHalfLife(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEWMA(0)
+}
+
+func TestWelford(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Count() != 8 {
+		t.Fatalf("n = %d", w.Count())
+	}
+	if math.Abs(w.Mean()-5) > 1e-12 {
+		t.Fatalf("mean = %v", w.Mean())
+	}
+	// sample variance of this classic dataset is 32/7
+	if math.Abs(w.Variance()-32.0/7.0) > 1e-9 {
+		t.Fatalf("variance = %v", w.Variance())
+	}
+	var empty Welford
+	if empty.Variance() != 0 || empty.StdDev() != 0 {
+		t.Fatal("empty welford must report 0")
+	}
+}
+
+func TestWindowRate(t *testing.T) {
+	w := NewWindowRate(time.Second, 10)
+	t0 := time.Unix(100, 0)
+	for i := 0; i < 50; i++ {
+		w.Observe(t0.Add(time.Duration(i) * 100 * time.Millisecond)) // 10/s for 5s
+	}
+	rate := w.Rate(t0.Add(5 * time.Second))
+	if math.Abs(rate-10) > 2.5 {
+		t.Fatalf("rate = %v, want ~10", rate)
+	}
+	// After a long silent gap, the rate decays to 0.
+	rate = w.Rate(t0.Add(60 * time.Second))
+	if rate != 0 {
+		t.Fatalf("stale rate = %v, want 0", rate)
+	}
+}
+
+func TestWindowRateEmpty(t *testing.T) {
+	w := NewWindowRate(time.Second, 4)
+	if got := w.Rate(time.Unix(0, 0)); got != 0 {
+		t.Fatalf("empty rate = %v", got)
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	var h Histogram
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}
+
+func BenchmarkHistogramP99(b *testing.B) {
+	var h Histogram
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 100000; i++ {
+		h.Record(time.Duration(r.Int63n(int64(time.Second))))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.P99()
+	}
+}

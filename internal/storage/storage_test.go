@@ -1,0 +1,321 @@
+package storage
+
+import (
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"harmony/internal/wire"
+)
+
+func val(data string, ts int64) wire.Value {
+	return wire.Value{Data: []byte(data), Timestamp: ts}
+}
+
+func TestApplyGetRoundTrip(t *testing.T) {
+	e := NewEngine(Options{})
+	applied, err := e.Apply([]byte("k"), val("v1", 10))
+	if err != nil || !applied {
+		t.Fatalf("apply: %v %v", applied, err)
+	}
+	got, ok := e.Get([]byte("k"))
+	if !ok || string(got.Data) != "v1" || got.Timestamp != 10 {
+		t.Fatalf("get = %+v ok=%v", got, ok)
+	}
+	if _, ok := e.Get([]byte("missing")); ok {
+		t.Fatal("missing key found")
+	}
+}
+
+func TestApplyEmptyKey(t *testing.T) {
+	e := NewEngine(Options{})
+	if _, err := e.Apply(nil, val("v", 1)); err == nil {
+		t.Fatal("empty key accepted")
+	}
+}
+
+func TestLastWriterWins(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("k"), val("new", 20))
+	applied, _ := e.Apply([]byte("k"), val("old", 10))
+	if applied {
+		t.Fatal("older write applied over newer")
+	}
+	got, _ := e.Get([]byte("k"))
+	if string(got.Data) != "new" {
+		t.Fatalf("got %q, want new", got.Data)
+	}
+	// Equal timestamps: existing value wins (stable merges).
+	applied, _ = e.Apply([]byte("k"), val("tie", 20))
+	if applied {
+		t.Fatal("tie write applied")
+	}
+}
+
+func TestTombstone(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("k"), val("v", 10))
+	e.Apply([]byte("k"), wire.Value{Timestamp: 20, Tombstone: true})
+	got, ok := e.Get([]byte("k"))
+	if !ok || !got.Tombstone {
+		t.Fatalf("tombstone not visible: %+v ok=%v", got, ok)
+	}
+	// A write newer than the tombstone resurrects the key.
+	e.Apply([]byte("k"), val("v2", 30))
+	got, _ = e.Get([]byte("k"))
+	if got.Tombstone || string(got.Data) != "v2" {
+		t.Fatalf("resurrect failed: %+v", got)
+	}
+}
+
+func TestFlushAndReadAcrossTables(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("a"), val("a1", 1))
+	e.Flush()
+	e.Apply([]byte("b"), val("b1", 2))
+	e.Flush()
+	e.Apply([]byte("a"), val("a2", 3)) // newer version in memtable
+	for _, tc := range []struct{ k, want string }{{"a", "a2"}, {"b", "b1"}} {
+		got, ok := e.Get([]byte(tc.k))
+		if !ok || string(got.Data) != tc.want {
+			t.Fatalf("Get(%s) = %q ok=%v, want %q", tc.k, got.Data, ok, tc.want)
+		}
+	}
+	st := e.Stats()
+	if st.FlushedTables != 2 || st.Flushes != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOldVersionInFlushedTableLoses(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("k"), val("new", 100))
+	e.Flush()
+	// An older remote version arriving later (e.g. via repair) must lose
+	// even though the newer one lives in a flushed table.
+	applied, _ := e.Apply([]byte("k"), val("old", 50))
+	if applied {
+		t.Fatal("older version applied over flushed newer version")
+	}
+	got, _ := e.Get([]byte("k"))
+	if string(got.Data) != "new" {
+		t.Fatalf("got %q", got.Data)
+	}
+}
+
+func TestAutoFlushAndCompaction(t *testing.T) {
+	e := NewEngine(Options{FlushThresholdBytes: 64, MaxFlushedTables: 2})
+	for i := 0; i < 100; i++ {
+		e.Apply([]byte(fmt.Sprintf("key-%03d", i)), val("0123456789abcdef", int64(i+1)))
+	}
+	st := e.Stats()
+	if st.Flushes == 0 {
+		t.Fatal("no automatic flushes at tiny threshold")
+	}
+	if st.Compactions == 0 {
+		t.Fatal("no compactions with MaxFlushedTables=2")
+	}
+	if st.FlushedTables > 3 {
+		t.Fatalf("tables grew unboundedly: %+v", st)
+	}
+	// All data still readable post-compaction.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%03d", i)
+		if _, ok := e.Get([]byte(k)); !ok {
+			t.Fatalf("key %s lost after compaction", k)
+		}
+	}
+}
+
+func TestCompactKeepsNewest(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("k"), val("v1", 1))
+	e.Flush()
+	e.Apply([]byte("k"), val("v2", 2))
+	e.Flush()
+	e.Apply([]byte("k"), val("v3", 3))
+	e.Flush()
+	e.Compact()
+	got, ok := e.Get([]byte("k"))
+	if !ok || string(got.Data) != "v3" {
+		t.Fatalf("after compact got %q ok=%v", got.Data, ok)
+	}
+	if st := e.Stats(); st.FlushedTables != 1 {
+		t.Fatalf("tables = %d, want 1", st.FlushedTables)
+	}
+}
+
+func TestScan(t *testing.T) {
+	e := NewEngine(Options{})
+	for i := 0; i < 10; i++ {
+		e.Apply([]byte(fmt.Sprintf("k%d", i)), val(fmt.Sprintf("v%d", i), int64(i+1)))
+	}
+	e.Apply([]byte("k3"), wire.Value{Timestamp: 100, Tombstone: true})
+	e.Flush()
+	e.Apply([]byte("k5"), val("v5-new", 200))
+
+	var keys []string
+	e.Scan([]byte("k2"), []byte("k7"), func(k []byte, v wire.Value) bool {
+		keys = append(keys, string(k))
+		if string(k) == "k5" && string(v.Data) != "v5-new" {
+			t.Fatalf("scan returned stale k5: %q", v.Data)
+		}
+		return true
+	})
+	want := []string{"k2", "k4", "k5", "k6"} // k3 tombstoned, k7 excluded
+	if len(keys) != len(want) {
+		t.Fatalf("scan keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("scan keys = %v, want %v", keys, want)
+		}
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	e := NewEngine(Options{})
+	for i := 0; i < 10; i++ {
+		e.Apply([]byte(fmt.Sprintf("k%d", i)), val("v", int64(i+1)))
+	}
+	n := 0
+	e.Scan(nil, nil, func([]byte, wire.Value) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Fatalf("scan visited %d, want 3", n)
+	}
+}
+
+func TestConcurrentReadWrite(t *testing.T) {
+	e := NewEngine(Options{FlushThresholdBytes: 1 << 10})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := []byte(fmt.Sprintf("k%d", r.Intn(100)))
+				if r.Intn(2) == 0 {
+					e.Apply(k, val("v", int64(i)))
+				} else {
+					e.Get(k)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestLWWProperty(t *testing.T) {
+	// Applying any permutation of timestamped versions yields the max-ts one.
+	if err := quick.Check(func(seed int64, n uint8) bool {
+		r := rand.New(rand.NewSource(seed))
+		count := int(n%20) + 1
+		e := NewEngine(Options{FlushThresholdBytes: 32}) // force frequent flushes
+		maxTS := int64(-1)
+		for i := 0; i < count; i++ {
+			ts := int64(r.Intn(1000)) + 1
+			e.Apply([]byte("k"), val(fmt.Sprintf("v%d", ts), ts))
+			if ts > maxTS {
+				maxTS = ts
+			}
+		}
+		got, ok := e.Get([]byte("k"))
+		return ok && got.Timestamp == maxTS
+	}, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileCommitLogReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "commit.log")
+	log, err := OpenFileCommitLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(Options{CommitLog: log})
+	for i := 0; i < 50; i++ {
+		if _, err := e.Apply([]byte(fmt.Sprintf("k%d", i%10)), val(fmt.Sprintf("v%d", i), int64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recover into a fresh engine.
+	e2 := NewEngine(Options{})
+	if err := Replay(path, func(k []byte, v wire.Value) error {
+		_, err := e2.Apply(k, v)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		k := []byte(fmt.Sprintf("k%d", i))
+		want, ok1 := e.Get(k)
+		got, ok2 := e2.Get(k)
+		if ok1 != ok2 || string(want.Data) != string(got.Data) || want.Timestamp != got.Timestamp {
+			t.Fatalf("replayed %s = %+v, want %+v", k, got, want)
+		}
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	if err := Replay(filepath.Join(t.TempDir(), "nope.log"), func([]byte, wire.Value) error {
+		t.Fatal("callback on missing file")
+		return nil
+	}); err != nil {
+		t.Fatalf("missing file should be a clean no-op: %v", err)
+	}
+}
+
+func TestStatsLiveKeys(t *testing.T) {
+	e := NewEngine(Options{})
+	e.Apply([]byte("a"), val("1", 1))
+	e.Apply([]byte("b"), val("2", 2))
+	e.Flush()
+	e.Apply([]byte("a"), val("3", 3)) // same key again in memtable
+	st := e.Stats()
+	if st.LiveKeys != 2 {
+		t.Fatalf("live keys = %d, want 2", st.LiveKeys)
+	}
+	if st.Writes != 3 {
+		t.Fatalf("writes = %d, want 3", st.Writes)
+	}
+}
+
+func BenchmarkEngineApply(b *testing.B) {
+	e := NewEngine(Options{})
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	v := val("0123456789abcdef0123456789abcdef", 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Timestamp = int64(i + 1)
+		e.Apply(keys[i%len(keys)], v)
+	}
+}
+
+func BenchmarkEngineGet(b *testing.B) {
+	e := NewEngine(Options{})
+	keys := make([][]byte, 1024)
+	for i := range keys {
+		keys[i] = []byte(fmt.Sprintf("user%08d", i))
+		e.Apply(keys[i], val("payload", int64(i+1)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Get(keys[i%len(keys)])
+	}
+}

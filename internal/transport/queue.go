@@ -1,0 +1,84 @@
+package transport
+
+import (
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/wire"
+)
+
+// ServiceTimer returns the CPU/service time a node spends handling m.
+type ServiceTimer func(m wire.Message) time.Duration
+
+// ServiceQueue models a node's finite processing capacity: messages are
+// served FIFO, each occupying the node for its service time before the
+// wrapped handler runs. Under load the queue drains slower than messages
+// arrive and effective propagation delay grows — the mechanism behind the
+// paper's observation that stale reads increase with client thread count
+// (Fig. 4(a)) and that throughput saturates near 90 threads (Fig. 5(c,d)).
+//
+// The queue must only be driven from its runtime (the Bus guarantees this).
+type ServiceQueue struct {
+	rt        sim.Runtime
+	h         Handler
+	svc       ServiceTimer
+	busyUntil time.Time
+	depth     int
+	maxDepth  int
+	served    uint64
+	busyFor   time.Duration
+}
+
+// NewServiceQueue wraps h with a service-time queue.
+func NewServiceQueue(rt sim.Runtime, h Handler, svc ServiceTimer) *ServiceQueue {
+	return &ServiceQueue{rt: rt, h: h, svc: svc}
+}
+
+// Deliver implements Handler: the message is handed to the wrapped handler
+// after queue drain plus its own service time. Ping and Pong bypass the
+// queue entirely: the paper's monitoring module measured latency with ICMP
+// ping, which the kernel answers without waiting behind the storage
+// process's request backlog.
+func (q *ServiceQueue) Deliver(from ring.NodeID, m wire.Message) {
+	switch m.(type) {
+	case wire.Ping, wire.Pong:
+		q.h.Deliver(from, m)
+		return
+	}
+	now := q.rt.Now()
+	start := now
+	if q.busyUntil.After(start) {
+		start = q.busyUntil
+	}
+	d := q.svc(m)
+	if d < 0 {
+		d = 0
+	}
+	q.busyUntil = start.Add(d)
+	q.busyFor += d
+	q.depth++
+	if q.depth > q.maxDepth {
+		q.maxDepth = q.depth
+	}
+	q.rt.After(q.busyUntil.Sub(now), func() {
+		q.depth--
+		q.served++
+		q.h.Deliver(from, m)
+	})
+}
+
+// QueueStats is a snapshot of queue behaviour.
+type QueueStats struct {
+	Depth    int
+	MaxDepth int
+	Served   uint64
+	BusyFor  time.Duration
+}
+
+// Stats returns current queue statistics (call from the queue's runtime).
+func (q *ServiceQueue) Stats() QueueStats {
+	return QueueStats{Depth: q.depth, MaxDepth: q.maxDepth, Served: q.served, BusyFor: q.busyFor}
+}
+
+var _ Handler = (*ServiceQueue)(nil)

@@ -1,0 +1,257 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"sync"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/wire"
+)
+
+// envelope frames a routed message on a TCP stream: the logical sender and
+// receiver ride in a GossipSyn-style header... instead we keep it simple:
+// every stream starts with a hello frame naming the remote endpoint, after
+// which raw wire frames flow and the connection identifies the peer.
+//
+// hello is encoded as a wire.GossipSyn whose From field carries the dialer's
+// endpoint ID with no digests — reusing the codec avoids a second framing
+// format on the wire.
+
+// TCPNode serves a transport endpoint over real TCP: it accepts connections
+// from peers and clients, decodes frames, and posts them to the handler's
+// runtime. Outbound sends lazily dial and cache one connection per target
+// address.
+type TCPNode struct {
+	id      ring.NodeID
+	rt      sim.Runtime
+	handler Handler
+	ln      net.Listener
+	logf    func(string, ...any)
+
+	mu     sync.Mutex
+	peers  map[ring.NodeID]string // static address book
+	conns  map[ring.NodeID]*tcpConn
+	closed bool
+}
+
+type tcpConn struct {
+	mu sync.Mutex
+	c  net.Conn
+	w  *wire.Writer
+}
+
+// TCPConfig configures a TCP endpoint.
+type TCPConfig struct {
+	// ID is this endpoint's logical name.
+	ID ring.NodeID
+	// Listen is the local address ("host:port"); empty disables accepting
+	// (pure client endpoints).
+	Listen string
+	// Peers maps endpoint IDs to dialable addresses.
+	Peers map[ring.NodeID]string
+	// Logf receives connection diagnostics; nil uses log.Printf.
+	Logf func(string, ...any)
+}
+
+// NewTCPNode starts listening (when configured) and returns the endpoint.
+// The handler's callbacks run on rt, preserving the single-threaded actor
+// contract.
+func NewTCPNode(cfg TCPConfig, rt sim.Runtime, h Handler) (*TCPNode, error) {
+	n := &TCPNode{
+		id:      cfg.ID,
+		rt:      rt,
+		handler: h,
+		logf:    cfg.Logf,
+		peers:   make(map[ring.NodeID]string, len(cfg.Peers)),
+		conns:   make(map[ring.NodeID]*tcpConn),
+	}
+	if n.logf == nil {
+		n.logf = log.Printf
+	}
+	for id, addr := range cfg.Peers {
+		n.peers[id] = addr
+	}
+	if cfg.Listen != "" {
+		ln, err := net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+		}
+		n.ln = ln
+		go n.acceptLoop()
+	}
+	return n, nil
+}
+
+// SetHandler rebinds the inbound message handler. Endpoints whose handler
+// needs the TCPNode as its Sender are constructed with a placeholder and
+// rebound once the real handler exists; messages arriving in the window are
+// handled by the placeholder.
+func (n *TCPNode) SetHandler(h Handler) {
+	n.mu.Lock()
+	n.handler = h
+	n.mu.Unlock()
+}
+
+func (n *TCPNode) currentHandler() Handler {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.handler
+}
+
+// Addr returns the bound listen address (nil when not listening).
+func (n *TCPNode) Addr() net.Addr {
+	if n.ln == nil {
+		return nil
+	}
+	return n.ln.Addr()
+}
+
+// AddPeer registers (or updates) a peer address.
+func (n *TCPNode) AddPeer(id ring.NodeID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.peers[id] = addr
+}
+
+func (n *TCPNode) acceptLoop() {
+	for {
+		c, err := n.ln.Accept()
+		if err != nil {
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if !closed {
+				n.logf("transport %s: accept: %v", n.id, err)
+			}
+			return
+		}
+		go n.serveConn(c)
+	}
+}
+
+// serveConn reads the hello frame then pumps messages to the handler.
+func (n *TCPNode) serveConn(c net.Conn) {
+	r := wire.NewReader(c)
+	hello, err := r.Read()
+	if err != nil {
+		_ = c.Close()
+		return
+	}
+	syn, ok := hello.(wire.GossipSyn)
+	if !ok || syn.From == "" {
+		n.logf("transport %s: bad hello from %s", n.id, c.RemoteAddr())
+		_ = c.Close()
+		return
+	}
+	from := ring.NodeID(syn.From)
+	// Keep the reverse path: replies to this peer reuse the inbound
+	// connection when no explicit address is known.
+	n.mu.Lock()
+	if _, exists := n.conns[from]; !exists {
+		n.conns[from] = &tcpConn{c: c, w: wire.NewWriter(c)}
+	}
+	n.mu.Unlock()
+	for {
+		m, err := r.Read()
+		if err != nil {
+			n.dropConn(from, c)
+			return
+		}
+		msg := m
+		n.rt.Post(func() { n.currentHandler().Deliver(from, msg) })
+	}
+}
+
+func (n *TCPNode) dropConn(id ring.NodeID, c net.Conn) {
+	_ = c.Close()
+	n.mu.Lock()
+	if cur, ok := n.conns[id]; ok && cur.c == c {
+		delete(n.conns, id)
+	}
+	n.mu.Unlock()
+}
+
+// Send implements Sender. Errors are handled like packet loss: logged and
+// dropped, leaving recovery to protocol timeouts.
+func (n *TCPNode) Send(from, to ring.NodeID, m wire.Message) {
+	conn, err := n.connTo(to)
+	if err != nil {
+		n.logf("transport %s: send to %s: %v", n.id, to, err)
+		return
+	}
+	conn.mu.Lock()
+	err = conn.w.Write(m)
+	conn.mu.Unlock()
+	if err != nil {
+		n.logf("transport %s: write to %s: %v", n.id, to, err)
+		n.dropConn(to, conn.c)
+	}
+}
+
+func (n *TCPNode) connTo(to ring.NodeID) (*tcpConn, error) {
+	n.mu.Lock()
+	if c, ok := n.conns[to]; ok {
+		n.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := n.peers[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, errors.New("unknown peer")
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &tcpConn{c: raw, w: wire.NewWriter(raw)}
+	// Hello frame announces our identity for the reverse path.
+	if err := c.w.Write(wire.GossipSyn{From: string(n.id)}); err != nil {
+		_ = raw.Close()
+		return nil, err
+	}
+	go n.serveOutbound(to, raw)
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if existing, ok := n.conns[to]; ok {
+		_ = raw.Close()
+		return existing, nil
+	}
+	n.conns[to] = c
+	return c, nil
+}
+
+// serveOutbound pumps replies arriving on a connection we dialed.
+func (n *TCPNode) serveOutbound(peer ring.NodeID, c net.Conn) {
+	r := wire.NewReader(c)
+	for {
+		m, err := r.Read()
+		if err != nil {
+			n.dropConn(peer, c)
+			return
+		}
+		msg := m
+		n.rt.Post(func() { n.currentHandler().Deliver(peer, msg) })
+	}
+}
+
+// Close shuts the listener and all connections.
+func (n *TCPNode) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	conns := n.conns
+	n.conns = make(map[ring.NodeID]*tcpConn)
+	n.mu.Unlock()
+	for _, c := range conns {
+		_ = c.c.Close()
+	}
+	if n.ln != nil {
+		return n.ln.Close()
+	}
+	return nil
+}
+
+var _ Sender = (*TCPNode)(nil)

@@ -1,0 +1,153 @@
+// Package transport connects protocol actors to each other. It defines the
+// asynchronous Send/Deliver contract the store is written against and
+// provides two in-memory backends: a discrete-event one (virtual time via
+// sim.Sim) and a real-time one (goroutine mailboxes plus wall-clock timers).
+// The TCP backend for live deployments lives in tcp.go.
+package transport
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/simnet"
+	"harmony/internal/wire"
+)
+
+// Handler consumes messages delivered to an endpoint. Deliver is always
+// invoked on the endpoint's runtime (serialized per endpoint).
+type Handler interface {
+	Deliver(from ring.NodeID, m wire.Message)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(from ring.NodeID, m wire.Message)
+
+// Deliver implements Handler.
+func (f HandlerFunc) Deliver(from ring.NodeID, m wire.Message) { f(from, m) }
+
+// Sender sends messages to named endpoints. Sends are asynchronous and may
+// be silently dropped when the destination is unknown or partitioned —
+// exactly the failure mode a UDP-like or timed-out link presents; protocol
+// code must rely on its own timeouts.
+type Sender interface {
+	Send(from, to ring.NodeID, m wire.Message)
+}
+
+// Bus is an in-memory message fabric: endpoints register a handler plus the
+// runtime on which their callbacks must execute; Send computes a delivery
+// delay from the simulated network and schedules Deliver on the target's
+// runtime. One Bus instance serves both the DES and the real-time mode —
+// the difference is which Runtime implementations are registered.
+type Bus struct {
+	mu        sync.Mutex
+	net       *simnet.Net
+	endpoints map[ring.NodeID]busEndpoint
+	dropped   uint64
+	delivered uint64
+}
+
+type busEndpoint struct {
+	rt sim.Runtime
+	h  Handler
+}
+
+// NewBus creates a bus over the given simulated network.
+func NewBus(net *simnet.Net) *Bus {
+	return &Bus{net: net, endpoints: make(map[ring.NodeID]busEndpoint)}
+}
+
+// Register attaches an endpoint. Re-registering an ID replaces the previous
+// handler (used when a node restarts).
+func (b *Bus) Register(id ring.NodeID, rt sim.Runtime, h Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.endpoints[id] = busEndpoint{rt: rt, h: h}
+}
+
+// Unregister detaches an endpoint; in-flight messages to it are dropped.
+func (b *Bus) Unregister(id ring.NodeID) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.endpoints, id)
+}
+
+// Send implements Sender. The message is delivered after the network delay,
+// or dropped when the link is partitioned or the target unknown.
+func (b *Bus) Send(from, to ring.NodeID, m wire.Message) {
+	b.mu.Lock()
+	ep, ok := b.endpoints[to]
+	b.mu.Unlock()
+	if !ok {
+		b.drop()
+		return
+	}
+	delay, up := b.net.Delay(from, to, wire.Size(m))
+	if !up {
+		b.drop()
+		return
+	}
+	b.mu.Lock()
+	b.delivered++
+	b.mu.Unlock()
+	ep.rt.After(delay, func() {
+		// Re-check registration at delivery time: the node may have
+		// stopped while the message was in flight.
+		b.mu.Lock()
+		cur, still := b.endpoints[to]
+		b.mu.Unlock()
+		if still && cur.h == ep.h {
+			ep.h.Deliver(from, m)
+		}
+	})
+}
+
+func (b *Bus) drop() {
+	b.mu.Lock()
+	b.dropped++
+	b.mu.Unlock()
+}
+
+// Stats reports delivered and dropped message counts.
+func (b *Bus) Stats() (delivered, dropped uint64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.delivered, b.dropped
+}
+
+// Loopback is a degenerate Sender delivering synchronously on the calling
+// goroutine with zero delay; used by unit tests that exercise a single node
+// in isolation.
+type Loopback struct {
+	mu        sync.Mutex
+	endpoints map[ring.NodeID]Handler
+}
+
+// NewLoopback returns an empty loopback fabric.
+func NewLoopback() *Loopback {
+	return &Loopback{endpoints: make(map[ring.NodeID]Handler)}
+}
+
+// Register attaches a handler.
+func (l *Loopback) Register(id ring.NodeID, h Handler) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.endpoints[id] = h
+}
+
+// Send implements Sender with immediate synchronous delivery.
+func (l *Loopback) Send(from, to ring.NodeID, m wire.Message) {
+	l.mu.Lock()
+	h := l.endpoints[to]
+	l.mu.Unlock()
+	if h != nil {
+		h.Deliver(from, m)
+	}
+}
+
+// Latency measures round trips through a Sender-based fabric; a helper for
+// tests wanting to assert delay behaviour.
+func Latency(rt sim.Runtime, start time.Time) time.Duration {
+	return rt.Now().Sub(start)
+}

@@ -1,0 +1,535 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Codec errors.
+var (
+	ErrFrameTooLarge = errors.New("wire: frame exceeds maximum size")
+	ErrTruncated     = errors.New("wire: truncated payload")
+	ErrUnknownKind   = errors.New("wire: unknown message kind")
+)
+
+// MaxFrame bounds a single encoded message; oversized frames indicate stream
+// corruption, not a legitimate payload.
+const MaxFrame = 16 << 20
+
+// buffer is a simple append-only writer / cursor reader used by the codec.
+type buffer struct {
+	b   []byte
+	off int
+}
+
+func (w *buffer) uvarint(v uint64) {
+	w.b = binary.AppendUvarint(w.b, v)
+}
+
+func (w *buffer) varint(v int64) {
+	w.b = binary.AppendVarint(w.b, v)
+}
+
+func (w *buffer) bytes(p []byte) {
+	w.uvarint(uint64(len(p)))
+	w.b = append(w.b, p...)
+}
+
+func (w *buffer) str(s string) { w.bytes([]byte(s)) }
+
+func (w *buffer) bool(v bool) {
+	if v {
+		w.b = append(w.b, 1)
+	} else {
+		w.b = append(w.b, 0)
+	}
+}
+
+func (w *buffer) byte(v byte) { w.b = append(w.b, v) }
+
+func (r *buffer) rUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *buffer) rVarint() (int64, error) {
+	v, n := binary.Varint(r.b[r.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	r.off += n
+	return v, nil
+}
+
+func (r *buffer) rBytes() ([]byte, error) {
+	n, err := r.rUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)-r.off) {
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]byte, n)
+	copy(out, r.b[r.off:r.off+int(n)])
+	r.off += int(n)
+	return out, nil
+}
+
+func (r *buffer) rStr() (string, error) {
+	b, err := r.rBytes()
+	return string(b), err
+}
+
+func (r *buffer) rBool() (bool, error) {
+	b, err := r.rByte()
+	return b != 0, err
+}
+
+func (r *buffer) rByte() (byte, error) {
+	if r.off >= len(r.b) {
+		return 0, ErrTruncated
+	}
+	b := r.b[r.off]
+	r.off++
+	return b, nil
+}
+
+func (w *buffer) value(v Value) {
+	w.bytes(v.Data)
+	w.varint(v.Timestamp)
+	w.bool(v.Tombstone)
+}
+
+func (r *buffer) rValue() (Value, error) {
+	var v Value
+	var err error
+	if v.Data, err = r.rBytes(); err != nil {
+		return v, err
+	}
+	if v.Timestamp, err = r.rVarint(); err != nil {
+		return v, err
+	}
+	if v.Tombstone, err = r.rBool(); err != nil {
+		return v, err
+	}
+	return v, nil
+}
+
+// Encode serializes m into a self-delimiting frame appended to dst.
+func Encode(dst []byte, m Message) ([]byte, error) {
+	var w buffer
+	w.byte(byte(m.Kind()))
+	switch v := m.(type) {
+	case ReadRequest:
+		w.uvarint(v.ID)
+		w.bytes(v.Key)
+		w.byte(byte(v.Level))
+		w.bool(v.Shadow)
+	case ReadResponse:
+		w.uvarint(v.ID)
+		w.bool(v.Found)
+		w.value(v.Value)
+		w.bool(v.Stale)
+		w.byte(byte(v.Achieved))
+	case WriteRequest:
+		w.uvarint(v.ID)
+		w.bytes(v.Key)
+		w.bytes(v.Value)
+		w.bool(v.Delete)
+		w.byte(byte(v.Level))
+	case WriteResponse:
+		w.uvarint(v.ID)
+		w.bool(v.OK)
+		w.varint(v.Timestamp)
+	case ReplicaRead:
+		w.uvarint(v.ID)
+		w.bytes(v.Key)
+	case ReplicaReadResp:
+		w.uvarint(v.ID)
+		w.bool(v.Found)
+		w.value(v.Value)
+	case Mutation:
+		w.uvarint(v.ID)
+		w.bytes(v.Key)
+		w.value(v.Value)
+		w.bool(v.Hint)
+	case MutationAck:
+		w.uvarint(v.ID)
+	case Repair:
+		w.bytes(v.Key)
+		w.value(v.Value)
+	case StatsRequest:
+		w.uvarint(v.ID)
+	case StatsResponse:
+		w.uvarint(v.ID)
+		w.uvarint(v.Reads)
+		w.uvarint(v.Writes)
+		w.uvarint(v.ReplicaOps)
+		w.uvarint(v.BytesRead)
+		w.uvarint(v.BytesWrit)
+		w.uvarint(v.RepairsSent)
+		w.uvarint(v.HintsQueued)
+	case Ping:
+		w.uvarint(v.ID)
+		w.varint(v.Sent)
+	case Pong:
+		w.uvarint(v.ID)
+		w.varint(v.Sent)
+	case GossipSyn:
+		w.str(v.From)
+		w.uvarint(uint64(len(v.Digests)))
+		for _, d := range v.Digests {
+			w.str(d.Node)
+			w.uvarint(d.Generation)
+			w.uvarint(d.Version)
+		}
+	case GossipAck:
+		w.str(v.From)
+		w.uvarint(uint64(len(v.Entries)))
+		for _, d := range v.Entries {
+			w.str(d.Node)
+			w.uvarint(d.Generation)
+			w.uvarint(d.Version)
+		}
+	case Error:
+		w.uvarint(v.ID)
+		w.byte(byte(v.Code))
+		w.str(v.Msg)
+	default:
+		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, m)
+	}
+	if len(w.b) > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(w.b)))
+	return append(dst, w.b...), nil
+}
+
+func decodeEntries(r *buffer) ([]GossipEntry, error) {
+	n, err := r.rUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) { // cheap sanity bound
+		return nil, ErrTruncated
+	}
+	out := make([]GossipEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e GossipEntry
+		if e.Node, err = r.rStr(); err != nil {
+			return nil, err
+		}
+		if e.Generation, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if e.Version, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
+// decodeBody decodes one frame body (kind byte + payload).
+func decodeBody(body []byte) (Message, error) {
+	r := &buffer{b: body}
+	kb, err := r.rByte()
+	if err != nil {
+		return nil, err
+	}
+	kind := Kind(kb)
+	switch kind {
+	case KindReadRequest:
+		var m ReadRequest
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Key, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		lb, err := r.rByte()
+		if err != nil {
+			return nil, err
+		}
+		m.Level = ConsistencyLevel(lb)
+		if m.Shadow, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindReadResponse:
+		var m ReadResponse
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Found, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		if m.Value, err = r.rValue(); err != nil {
+			return nil, err
+		}
+		if m.Stale, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		ab, err := r.rByte()
+		if err != nil {
+			return nil, err
+		}
+		m.Achieved = ConsistencyLevel(ab)
+		return m, nil
+	case KindWriteRequest:
+		var m WriteRequest
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Key, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		if m.Value, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		if m.Delete, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		lb, err := r.rByte()
+		if err != nil {
+			return nil, err
+		}
+		m.Level = ConsistencyLevel(lb)
+		return m, nil
+	case KindWriteResponse:
+		var m WriteResponse
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.OK, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		if m.Timestamp, err = r.rVarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindReplicaRead:
+		var m ReplicaRead
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Key, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindReplicaReadResp:
+		var m ReplicaReadResp
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Found, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		if m.Value, err = r.rValue(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindMutation:
+		var m Mutation
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Key, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		if m.Value, err = r.rValue(); err != nil {
+			return nil, err
+		}
+		if m.Hint, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindMutationAck:
+		var m MutationAck
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindRepair:
+		var m Repair
+		if m.Key, err = r.rBytes(); err != nil {
+			return nil, err
+		}
+		if m.Value, err = r.rValue(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindStatsRequest:
+		var m StatsRequest
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindStatsResponse:
+		var m StatsResponse
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued}
+		for _, f := range fields {
+			if *f, err = r.rUvarint(); err != nil {
+				return nil, err
+			}
+		}
+		return m, nil
+	case KindPing:
+		var m Ping
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Sent, err = r.rVarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindPong:
+		var m Pong
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.Sent, err = r.rVarint(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindGossipSyn:
+		var m GossipSyn
+		if m.From, err = r.rStr(); err != nil {
+			return nil, err
+		}
+		if m.Digests, err = decodeEntries(r); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindGossipAck:
+		var m GossipAck
+		if m.From, err = r.rStr(); err != nil {
+			return nil, err
+		}
+		if m.Entries, err = decodeEntries(r); err != nil {
+			return nil, err
+		}
+		return m, nil
+	case KindError:
+		var m Error
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		cb, err := r.rByte()
+		if err != nil {
+			return nil, err
+		}
+		m.Code = ErrorCode(cb)
+		if m.Msg, err = r.rStr(); err != nil {
+			return nil, err
+		}
+		return m, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrUnknownKind, kb)
+}
+
+// Decode parses one frame from b, returning the message and the number of
+// bytes consumed. It returns ErrTruncated when b does not hold a complete
+// frame yet (callers accumulating from a stream should read more).
+func Decode(b []byte) (Message, int, error) {
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, 0, ErrTruncated
+	}
+	if n > MaxFrame {
+		return nil, 0, ErrFrameTooLarge
+	}
+	if uint64(len(b)-sz) < n {
+		return nil, 0, ErrTruncated
+	}
+	m, err := decodeBody(b[sz : sz+int(n)])
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, sz + int(n), nil
+}
+
+// Writer frames messages onto an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a framing writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// Write encodes and writes one message.
+func (fw *Writer) Write(m Message) error {
+	fw.buf = fw.buf[:0]
+	b, err := Encode(fw.buf, m)
+	if err != nil {
+		return err
+	}
+	fw.buf = b
+	_, err = fw.w.Write(b)
+	return err
+}
+
+// Reader parses framed messages from an io.Reader.
+type Reader struct {
+	r    io.Reader
+	buf  []byte
+	have int
+}
+
+// NewReader returns a framing reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: r, buf: make([]byte, 0, 4096)}
+}
+
+// Read returns the next complete message, blocking on the underlying reader
+// as needed.
+func (fr *Reader) Read() (Message, error) {
+	for {
+		if fr.have > 0 {
+			m, n, err := Decode(fr.buf[:fr.have])
+			if err == nil {
+				copy(fr.buf, fr.buf[n:fr.have])
+				fr.have -= n
+				return m, nil
+			}
+			if !errors.Is(err, ErrTruncated) {
+				return nil, err
+			}
+		}
+		if fr.have == len(fr.buf) {
+			next := make([]byte, max(len(fr.buf)*2, 4096))
+			copy(next, fr.buf[:fr.have])
+			fr.buf = next
+		} else {
+			fr.buf = fr.buf[:cap(fr.buf)]
+		}
+		n, err := fr.r.Read(fr.buf[fr.have:])
+		if n == 0 && err != nil {
+			return nil, err
+		}
+		fr.have += n
+	}
+}
+
+// Size returns the encoded size of m in bytes; the simulator uses it to
+// model serialization/bandwidth delay.
+func Size(m Message) int {
+	b, err := Encode(nil, m)
+	if err != nil {
+		return 0
+	}
+	return len(b)
+}

@@ -1,0 +1,335 @@
+// Package wire defines the messages exchanged between storage nodes and
+// clients, and a compact binary codec for sending them over a byte stream.
+// It plays the role Thrift played in the paper's Cassandra deployment: a
+// stable, language-independent framing so the same store can be driven
+// in-process, over the discrete-event simulator, or over TCP.
+//
+// Encoding: every message is a frame of
+//
+//	uvarint(totalLen) byte(kind) payload
+//
+// where payload fields use uvarint/varint primitives, length-prefixed byte
+// strings, and fixed 8-byte big-endian for timestamps.
+package wire
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kind discriminates message types on the wire.
+type Kind uint8
+
+// Message kinds. Values are part of the wire format; do not reorder.
+const (
+	KindInvalid Kind = iota
+	KindReadRequest
+	KindReadResponse
+	KindWriteRequest
+	KindWriteResponse
+	KindReplicaRead
+	KindReplicaReadResp
+	KindMutation
+	KindMutationAck
+	KindRepair
+	KindStatsRequest
+	KindStatsResponse
+	KindPing
+	KindPong
+	KindGossipSyn
+	KindGossipAck
+	KindError
+	kindSentinel // keep last
+)
+
+var kindNames = [...]string{
+	"invalid", "read-req", "read-resp", "write-req", "write-resp",
+	"replica-read", "replica-read-resp", "mutation", "mutation-ack",
+	"repair", "stats-req", "stats-resp", "ping", "pong",
+	"gossip-syn", "gossip-ack", "error",
+}
+
+// String returns the kind's wire name.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// ConsistencyLevel is the number-of-replicas policy for one operation,
+// mirroring Cassandra's per-operation levels.
+type ConsistencyLevel uint8
+
+// Consistency levels. One..Three are absolute counts; Quorum and All are
+// resolved against the replication factor at coordination time.
+const (
+	One ConsistencyLevel = iota + 1
+	Two
+	Three
+	Quorum
+	All
+)
+
+// String names the level like Cassandra's documentation does.
+func (c ConsistencyLevel) String() string {
+	switch c {
+	case One:
+		return "ONE"
+	case Two:
+		return "TWO"
+	case Three:
+		return "THREE"
+	case Quorum:
+		return "QUORUM"
+	case All:
+		return "ALL"
+	}
+	return fmt.Sprintf("CL(%d)", uint8(c))
+}
+
+// BlockFor resolves the level to a replica count for replication factor rf.
+func (c ConsistencyLevel) BlockFor(rf int) int {
+	var n int
+	switch c {
+	case One:
+		n = 1
+	case Two:
+		n = 2
+	case Three:
+		n = 3
+	case Quorum:
+		n = rf/2 + 1
+	case All:
+		n = rf
+	default:
+		n = 1
+	}
+	if n > rf {
+		n = rf
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// LevelForCount returns the weakest ConsistencyLevel that blocks for at
+// least x replicas under replication factor rf. Harmony's controller uses it
+// to translate the computed Xn into a per-operation level.
+func LevelForCount(x, rf int) ConsistencyLevel {
+	if x <= 1 {
+		return One
+	}
+	if x >= rf {
+		return All
+	}
+	q := rf/2 + 1
+	switch {
+	case x == q:
+		return Quorum
+	case x == 2:
+		return Two
+	case x == 3:
+		return Three
+	case x < q:
+		return Quorum
+	default:
+		return All
+	}
+}
+
+// Value is a timestamped cell. Timestamps are the write coordinator's clock
+// in nanoseconds; conflict resolution is last-writer-wins, exactly the
+// reconciliation Cassandra applies on read.
+type Value struct {
+	Data      []byte
+	Timestamp int64 // UnixNano of the coordinating write
+	Tombstone bool
+}
+
+// Fresh reports whether v is newer than other (ties broken toward v=false so
+// merges are stable).
+func (v Value) Fresh(other Value) bool { return v.Timestamp > other.Timestamp }
+
+// Time returns the timestamp as a time.Time.
+func (v Value) Time() time.Time { return time.Unix(0, v.Timestamp) }
+
+// ReadRequest is a client-to-coordinator read.
+type ReadRequest struct {
+	ID    uint64
+	Key   []byte
+	Level ConsistencyLevel
+	// Shadow requests a second internal read at level ALL whose result is
+	// compared against the primary read to detect staleness — the paper's
+	// §V-F dual-read measurement.
+	Shadow bool
+}
+
+// ReadResponse is the coordinator's reply to a ReadRequest.
+type ReadResponse struct {
+	ID    uint64
+	Found bool
+	Value Value
+	// Stale is meaningful only when the request had Shadow set: it reports
+	// whether a read at level ALL returned a newer timestamp than the
+	// primary read.
+	Stale bool
+	// Achieved echoes the consistency level actually used (Harmony may
+	// override the client's hint).
+	Achieved ConsistencyLevel
+}
+
+// WriteRequest is a client-to-coordinator write (upsert or delete).
+type WriteRequest struct {
+	ID     uint64
+	Key    []byte
+	Value  []byte
+	Delete bool
+	Level  ConsistencyLevel
+}
+
+// WriteResponse acknowledges a WriteRequest.
+type WriteResponse struct {
+	ID        uint64
+	OK        bool
+	Timestamp int64
+}
+
+// ReplicaRead is a coordinator-to-replica data read.
+type ReplicaRead struct {
+	ID  uint64
+	Key []byte
+}
+
+// ReplicaReadResp carries the replica's local version (zero Value with
+// Found=false when absent).
+type ReplicaReadResp struct {
+	ID    uint64
+	Found bool
+	Value Value
+}
+
+// Mutation is a coordinator-to-replica replicated write.
+type Mutation struct {
+	ID    uint64
+	Key   []byte
+	Value Value
+	// Hint marks a hinted-handoff replay destined for a node that was down
+	// at write time.
+	Hint bool
+}
+
+// MutationAck acknowledges a Mutation.
+type MutationAck struct {
+	ID uint64
+}
+
+// Repair is a read-repair write sent in the background to stale replicas. It
+// needs no ack: repair is best-effort, like Cassandra's.
+type Repair struct {
+	Key   []byte
+	Value Value
+}
+
+// StatsRequest asks a node for its counters; the monitoring module's
+// nodetool substitute.
+type StatsRequest struct {
+	ID uint64
+}
+
+// StatsResponse carries cumulative per-node counters since process start.
+type StatsResponse struct {
+	ID          uint64
+	Reads       uint64 // client reads coordinated
+	Writes      uint64 // client writes coordinated
+	ReplicaOps  uint64 // replica-level operations served
+	BytesRead   uint64
+	BytesWrit   uint64
+	RepairsSent uint64
+	HintsQueued uint64
+}
+
+// Ping measures pairwise latency; the monitoring module's ping substitute.
+type Ping struct {
+	ID   uint64
+	Sent int64 // sender clock, UnixNano
+}
+
+// Pong answers a Ping, echoing the original send time.
+type Pong struct {
+	ID   uint64
+	Sent int64
+}
+
+// GossipSyn carries heartbeat digests: node id -> (generation, version).
+type GossipSyn struct {
+	From    string
+	Digests []GossipEntry
+}
+
+// GossipAck answers a GossipSyn with the sender's newer state.
+type GossipAck struct {
+	From    string
+	Entries []GossipEntry
+}
+
+// GossipEntry is one node's heartbeat state.
+type GossipEntry struct {
+	Node       string
+	Generation uint64
+	Version    uint64
+}
+
+// Error reports a coordination failure (timeout, unavailable).
+type Error struct {
+	ID   uint64
+	Code ErrorCode
+	Msg  string
+}
+
+// ErrorCode classifies failures.
+type ErrorCode uint8
+
+// Error codes.
+const (
+	ErrUnknown ErrorCode = iota
+	ErrTimeout
+	ErrUnavailable
+	ErrBadRequest
+)
+
+func (e ErrorCode) String() string {
+	switch e {
+	case ErrTimeout:
+		return "timeout"
+	case ErrUnavailable:
+		return "unavailable"
+	case ErrBadRequest:
+		return "bad-request"
+	}
+	return "unknown"
+}
+
+// Message is implemented by every wire message.
+type Message interface {
+	Kind() Kind
+}
+
+// Kind implementations.
+func (ReadRequest) Kind() Kind     { return KindReadRequest }
+func (ReadResponse) Kind() Kind    { return KindReadResponse }
+func (WriteRequest) Kind() Kind    { return KindWriteRequest }
+func (WriteResponse) Kind() Kind   { return KindWriteResponse }
+func (ReplicaRead) Kind() Kind     { return KindReplicaRead }
+func (ReplicaReadResp) Kind() Kind { return KindReplicaReadResp }
+func (Mutation) Kind() Kind        { return KindMutation }
+func (MutationAck) Kind() Kind     { return KindMutationAck }
+func (Repair) Kind() Kind          { return KindRepair }
+func (StatsRequest) Kind() Kind    { return KindStatsRequest }
+func (StatsResponse) Kind() Kind   { return KindStatsResponse }
+func (Ping) Kind() Kind            { return KindPing }
+func (Pong) Kind() Kind            { return KindPong }
+func (GossipSyn) Kind() Kind       { return KindGossipSyn }
+func (GossipAck) Kind() Kind       { return KindGossipAck }
+func (Error) Kind() Kind           { return KindError }

@@ -1,0 +1,285 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func allSampleMessages() []Message {
+	return []Message{
+		ReadRequest{ID: 1, Key: []byte("k1"), Level: Quorum, Shadow: true},
+		ReadResponse{ID: 2, Found: true, Value: Value{Data: []byte("v"), Timestamp: 12345}, Stale: true, Achieved: Two},
+		WriteRequest{ID: 3, Key: []byte("k2"), Value: []byte("payload"), Level: One},
+		WriteRequest{ID: 4, Key: []byte("k3"), Delete: true, Level: All},
+		WriteResponse{ID: 5, OK: true, Timestamp: -42},
+		ReplicaRead{ID: 6, Key: []byte("rk")},
+		ReplicaReadResp{ID: 7, Found: false},
+		Mutation{ID: 8, Key: []byte("mk"), Value: Value{Data: []byte("mv"), Timestamp: 99, Tombstone: true}, Hint: true},
+		MutationAck{ID: 9},
+		Repair{Key: []byte("rp"), Value: Value{Data: []byte("rv"), Timestamp: 7}},
+		StatsRequest{ID: 10},
+		StatsResponse{ID: 11, Reads: 1, Writes: 2, ReplicaOps: 3, BytesRead: 4, BytesWrit: 5, RepairsSent: 6, HintsQueued: 7},
+		Ping{ID: 12, Sent: 1234567890},
+		Pong{ID: 13, Sent: -5},
+		GossipSyn{From: "node-1", Digests: []GossipEntry{{Node: "node-2", Generation: 3, Version: 9}}},
+		GossipAck{From: "node-2", Entries: []GossipEntry{{Node: "node-1", Generation: 1, Version: 2}, {Node: "node-3", Generation: 4, Version: 5}}},
+		Error{ID: 14, Code: ErrTimeout, Msg: "replica timeout"},
+	}
+}
+
+func TestRoundTripAllKinds(t *testing.T) {
+	for _, m := range allSampleMessages() {
+		b, err := Encode(nil, m)
+		if err != nil {
+			t.Fatalf("%T encode: %v", m, err)
+		}
+		got, n, err := Decode(b)
+		if err != nil {
+			t.Fatalf("%T decode: %v", m, err)
+		}
+		if n != len(b) {
+			t.Fatalf("%T consumed %d of %d bytes", m, n, len(b))
+		}
+		if !reflect.DeepEqual(got, m) {
+			t.Fatalf("round trip mismatch:\n got %#v\nwant %#v", got, m)
+		}
+	}
+}
+
+func TestDecodeTruncatedFrames(t *testing.T) {
+	for _, m := range allSampleMessages() {
+		b, err := Encode(nil, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			_, _, err := Decode(b[:cut])
+			if err == nil {
+				t.Fatalf("%T: decoding %d/%d bytes succeeded", m, cut, len(b))
+			}
+		}
+	}
+}
+
+func TestDecodeGarbageNeverPanics(t *testing.T) {
+	if err := quick.Check(func(raw []byte) bool {
+		_, _, _ = Decode(raw) // must not panic
+		return true
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPropertyReadRequest(t *testing.T) {
+	if err := quick.Check(func(id uint64, key []byte, lvl uint8, shadow bool) bool {
+		level := ConsistencyLevel(lvl%5 + 1)
+		in := ReadRequest{ID: id, Key: key, Level: level, Shadow: shadow}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		got := out.(ReadRequest)
+		return got.ID == in.ID && bytes.Equal(got.Key, in.Key) &&
+			got.Level == in.Level && got.Shadow == in.Shadow
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPropertyMutation(t *testing.T) {
+	if err := quick.Check(func(id uint64, key, data []byte, ts int64, tomb, hint bool) bool {
+		in := Mutation{ID: id, Key: key, Value: Value{Data: data, Timestamp: ts, Tombstone: tomb}, Hint: hint}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		got := out.(Mutation)
+		return got.ID == in.ID && bytes.Equal(got.Key, in.Key) &&
+			bytes.Equal(got.Value.Data, in.Value.Data) &&
+			got.Value.Timestamp == in.Value.Timestamp &&
+			got.Value.Tombstone == in.Value.Tombstone && got.Hint == in.Hint
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStreamReaderWriter(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := allSampleMessages()
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("msg %d mismatch: %#v vs %#v", i, got, want)
+		}
+	}
+	if _, err := r.Read(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// chunkReader returns data in tiny chunks to exercise reassembly.
+type chunkReader struct {
+	data []byte
+	r    *rand.Rand
+}
+
+func (c *chunkReader) Read(p []byte) (int, error) {
+	if len(c.data) == 0 {
+		return 0, io.EOF
+	}
+	n := 1 + c.r.Intn(3)
+	if n > len(c.data) {
+		n = len(c.data)
+	}
+	if n > len(p) {
+		n = len(p)
+	}
+	copy(p, c.data[:n])
+	c.data = c.data[n:]
+	return n, nil
+}
+
+func TestStreamReaderFragmented(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	msgs := allSampleMessages()
+	for _, m := range msgs {
+		if err := w.Write(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&chunkReader{data: buf.Bytes(), r: rand.New(rand.NewSource(3))})
+	for i, want := range msgs {
+		got, err := r.Read()
+		if err != nil {
+			t.Fatalf("msg %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("msg %d mismatch under fragmentation", i)
+		}
+	}
+}
+
+func TestBlockFor(t *testing.T) {
+	cases := []struct {
+		cl   ConsistencyLevel
+		rf   int
+		want int
+	}{
+		{One, 5, 1}, {Two, 5, 2}, {Three, 5, 3}, {Quorum, 5, 3}, {All, 5, 5},
+		{Quorum, 3, 2}, {All, 3, 3}, {Three, 2, 2}, // clamp to rf
+		{Quorum, 1, 1}, {One, 1, 1},
+	}
+	for _, c := range cases {
+		if got := c.cl.BlockFor(c.rf); got != c.want {
+			t.Errorf("BlockFor(%v, rf=%d) = %d, want %d", c.cl, c.rf, got, c.want)
+		}
+	}
+}
+
+func TestLevelForCount(t *testing.T) {
+	// For RF=5 (the paper's setting): quorum = 3.
+	cases := []struct {
+		x, rf int
+		want  ConsistencyLevel
+	}{
+		{0, 5, One}, {1, 5, One}, {2, 5, Two}, {3, 5, Quorum},
+		{4, 5, All}, {5, 5, All}, {9, 5, All},
+		{1, 3, One}, {2, 3, Quorum}, {3, 3, All},
+	}
+	for _, c := range cases {
+		if got := LevelForCount(c.x, c.rf); got != c.want {
+			t.Errorf("LevelForCount(%d, rf=%d) = %v, want %v", c.x, c.rf, got, c.want)
+		}
+	}
+}
+
+func TestLevelForCountRoundTripProperty(t *testing.T) {
+	// The level chosen for x must block for at least min(x, rf) replicas.
+	if err := quick.Check(func(xRaw, rfRaw uint8) bool {
+		rf := int(rfRaw%9) + 1
+		x := int(xRaw % 12)
+		lvl := LevelForCount(x, rf)
+		want := x
+		if want > rf {
+			want = rf
+		}
+		if want < 1 {
+			want = 1
+		}
+		return lvl.BlockFor(rf) >= want
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSize(t *testing.T) {
+	for _, m := range allSampleMessages() {
+		if Size(m) <= 0 {
+			t.Fatalf("%T: non-positive size", m)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindReadRequest.String() != "read-req" {
+		t.Fatal("kind name")
+	}
+	if Kind(200).String() == "" {
+		t.Fatal("unknown kind must stringify")
+	}
+	if One.String() != "ONE" || Quorum.String() != "QUORUM" || All.String() != "ALL" {
+		t.Fatal("consistency level names")
+	}
+}
+
+func BenchmarkEncodeMutation(b *testing.B) {
+	m := Mutation{ID: 42, Key: bytes.Repeat([]byte("k"), 24), Value: Value{Data: bytes.Repeat([]byte("v"), 1024), Timestamp: 1234567}}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = buf[:0]
+		var err error
+		buf, err = Encode(buf, m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecodeMutation(b *testing.B) {
+	m := Mutation{ID: 42, Key: bytes.Repeat([]byte("k"), 24), Value: Value{Data: bytes.Repeat([]byte("v"), 1024), Timestamp: 1234567}}
+	buf, err := Encode(nil, m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,444 @@
+package ycsb
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/cluster"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/stats"
+	"harmony/internal/wire"
+)
+
+// RunConfig parameterizes one benchmark run.
+type RunConfig struct {
+	Workload Workload
+	// Threads is the number of closed-loop client threads (the paper
+	// sweeps 1, 15, 40, 70, 90).
+	Threads int
+	// Operations caps the total operations issued; 0 means unlimited (the
+	// caller stops the run by advancing virtual time and calling Stop).
+	Operations int64
+	// Levels supplies the read consistency level per operation: Harmony's
+	// controller, or client.Fixed for the static baselines.
+	Levels client.LevelSource
+	// WriteLevel for updates/inserts; zero means ONE (the paper's write
+	// setting).
+	WriteLevel wire.ConsistencyLevel
+	// ShadowEvery enables the coordinator-side dual-read staleness probe
+	// (§V-F) on every k-th read; 0 disables, 1 probes every read.
+	ShadowEvery int
+	// Seed drives all workload randomness.
+	Seed int64
+	// OpTimeout bounds each operation; zero means 5s.
+	OpTimeout time.Duration
+}
+
+// Report summarizes a completed run.
+type Report struct {
+	Workload   string
+	Threads    int
+	Duration   time.Duration // virtual time spent in the run phase
+	Operations int64
+	Reads      int64
+	Updates    int64
+	Errors     int64
+	// ThroughputOps is operations per virtual second.
+	ThroughputOps float64
+	// ReadLatency / UpdateLatency are client-observed distributions.
+	ReadLatency   stats.Histogram
+	UpdateLatency stats.Histogram
+	// StaleReads / ShadowSamples are the cluster's dual-read staleness
+	// counters accumulated during the run (valid when Shadow was set).
+	StaleReads    uint64
+	ShadowSamples uint64
+	// LevelUse tallies reads coordinated per consistency level during the
+	// run (index by wire.ConsistencyLevel).
+	LevelUse [6]uint64
+}
+
+// StaleFraction returns measured stale reads over probed reads.
+func (r Report) StaleFraction() float64 {
+	if r.ShadowSamples == 0 {
+		return 0
+	}
+	return float64(r.StaleReads) / float64(r.ShadowSamples)
+}
+
+// String renders a one-line summary.
+func (r Report) String() string {
+	return fmt.Sprintf("%s threads=%d ops=%d tput=%.0f ops/s readP99=%v stale=%d/%d",
+		r.Workload, r.Threads, r.Operations, r.ThroughputOps,
+		r.ReadLatency.P99(), r.StaleReads, r.ShadowSamples)
+}
+
+// Runner drives a workload against a simulated cluster with closed-loop
+// threads. It must be used with the cluster's own sim.Sim.
+type Runner struct {
+	cfg     RunConfig
+	s       *sim.Sim
+	c       *cluster.Cluster
+	threads []*thread
+	rng     *rand.Rand
+	chooser keyChooser
+
+	active    int
+	issued    int64
+	completed int64
+	errors    int64
+	reads     int64
+	updates   int64
+	inserted  int64
+	stopped   bool
+	started   time.Time
+	baseline  cluster.Metrics
+	readLat   stats.Histogram
+	updateLat stats.Histogram
+	valuePool [][]byte
+}
+
+type keyChooser interface {
+	Next(r *rand.Rand) int64
+	SetItemCount(n int64)
+}
+
+type thread struct {
+	idx    int
+	drv    *client.Driver
+	rng    *rand.Rand
+	parked bool
+}
+
+// NewRunner prepares a runner: it validates the workload, creates one client
+// driver per thread and registers them on the cluster bus.
+func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
+	if err := cfg.Workload.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Workload.InsertProportion > 0 && cfg.Workload.RequestDistribution != DistLatest {
+		// Inserts grow the keyspace; only the latest chooser tracks that
+		// shape faithfully for reads. Others still work, keys just stay
+		// in the initial range.
+		_ = cfg
+	}
+	if cfg.Threads <= 0 {
+		return nil, fmt.Errorf("ycsb: threads must be positive")
+	}
+	if cfg.WriteLevel == 0 {
+		cfg.WriteLevel = wire.One
+	}
+	if cfg.Levels == nil {
+		cfg.Levels = client.Fixed(wire.One)
+	}
+	if cfg.OpTimeout <= 0 {
+		cfg.OpTimeout = 5 * time.Second
+	}
+	chooser, err := cfg.Workload.chooser()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{
+		cfg:     cfg,
+		s:       s,
+		c:       c,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		chooser: chooser,
+		active:  cfg.Threads,
+	}
+	r.inserted = cfg.Workload.RecordCount
+	// Pre-generate a pool of payloads; YCSB writes random field data, and
+	// reusing a pool keeps the simulator allocation-light.
+	r.valuePool = make([][]byte, 64)
+	for i := range r.valuePool {
+		buf := make([]byte, cfg.Workload.ValueBytes)
+		r.rng.Read(buf)
+		r.valuePool[i] = buf
+	}
+	coords := c.NodeIDs()
+	for i := 0; i < cfg.Threads; i++ {
+		id := ring.NodeID(fmt.Sprintf("ycsb-%d", i))
+		// Stagger coordinator round-robin start per thread.
+		rot := make([]ring.NodeID, len(coords))
+		for j := range coords {
+			rot[j] = coords[(j+i)%len(coords)]
+		}
+		drv, err := client.New(client.Options{
+			ID:           id,
+			Coordinators: rot,
+			Levels:       cfg.Levels,
+			WriteLevel:   cfg.WriteLevel,
+			Timeout:      cfg.OpTimeout,
+			ShadowEvery:  cfg.ShadowEvery,
+		}, s, c.Bus)
+		if err != nil {
+			return nil, err
+		}
+		c.Bus.Register(id, s, drv)
+		r.threads = append(r.threads, &thread{
+			idx: i,
+			drv: drv,
+			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
+		})
+	}
+	return r, nil
+}
+
+// Load bulk-inserts the initial records directly into every replica's
+// engine (the equivalent of streaming pre-built tables in), so experiments
+// start from a fully replicated, consistent store exactly like the paper's
+// pre-loaded 3M/5M-row tables.
+func (r *Runner) Load() {
+	w := r.cfg.Workload
+	ts := int64(1)
+	for i := int64(0); i < w.RecordCount; i++ {
+		key := Key(i)
+		v := wire.Value{Data: r.valuePool[i%int64(len(r.valuePool))], Timestamp: ts}
+		for _, rep := range ring.ReplicasForKey(r.c.Ring, r.c.Strategy, key) {
+			if n := r.c.Node(rep); n != nil {
+				_, _ = n.Engine().Apply(key, v)
+			}
+		}
+	}
+}
+
+// Start begins issuing operations from all threads.
+func (r *Runner) Start() {
+	r.started = r.s.Now()
+	r.baseline = r.c.AggregateMetrics()
+	for _, th := range r.threads {
+		th := th
+		r.s.Post(func() { r.next(th) })
+	}
+}
+
+// Stop parks all threads after their in-flight operation completes.
+func (r *Runner) Stop() { r.stopped = true }
+
+// Stopped reports whether Stop was called or the op budget is exhausted.
+func (r *Runner) Stopped() bool {
+	return r.stopped || (r.cfg.Operations > 0 && r.issued >= r.cfg.Operations)
+}
+
+// SetActiveThreads changes how many threads issue operations — the phase
+// mechanism behind Fig. 4(a)'s 90→70→40→15→1 thread steps. Raising the
+// count wakes parked threads.
+func (r *Runner) SetActiveThreads(n int) {
+	if n < 0 {
+		n = 0
+	}
+	if n > len(r.threads) {
+		n = len(r.threads)
+	}
+	r.active = n
+	for _, th := range r.threads {
+		if th.parked && th.idx < n && !r.Stopped() {
+			th.parked = false
+			th := th
+			r.s.Post(func() { r.next(th) })
+		}
+	}
+}
+
+// Completed returns operations finished so far.
+func (r *Runner) Completed() int64 { return r.completed }
+
+func (r *Runner) next(th *thread) {
+	if r.Stopped() || th.idx >= r.active {
+		th.parked = true
+		return
+	}
+	r.issued++
+	op := r.chooseOp(th.rng)
+	switch op {
+	case OpRead:
+		r.doRead(th)
+	case OpUpdate:
+		r.doUpdate(th)
+	case OpInsert:
+		r.doInsert(th)
+	case OpReadModifyWrite:
+		r.doRMW(th)
+	}
+}
+
+func (r *Runner) chooseOp(rng *rand.Rand) OpType {
+	w := r.cfg.Workload
+	p := rng.Float64()
+	switch {
+	case p < w.ReadProportion:
+		return OpRead
+	case p < w.ReadProportion+w.UpdateProportion:
+		return OpUpdate
+	case p < w.ReadProportion+w.UpdateProportion+w.InsertProportion:
+		return OpInsert
+	default:
+		return OpReadModifyWrite
+	}
+}
+
+func (r *Runner) pickKey(rng *rand.Rand) []byte {
+	return Key(r.chooser.Next(rng))
+}
+
+func (r *Runner) value(rng *rand.Rand) []byte {
+	return r.valuePool[rng.Intn(len(r.valuePool))]
+}
+
+func (r *Runner) doRead(th *thread) {
+	key := r.pickKey(th.rng)
+	start := r.s.Now()
+	th.drv.Read(key, func(res client.ReadResult) {
+		r.reads++
+		r.finish(th, start, &r.readLat, res.Err)
+	})
+}
+
+func (r *Runner) doUpdate(th *thread) {
+	key := r.pickKey(th.rng)
+	start := r.s.Now()
+	th.drv.Write(key, r.value(th.rng), func(res client.WriteResult) {
+		r.updates++
+		r.finish(th, start, &r.updateLat, res.Err)
+	})
+}
+
+func (r *Runner) doInsert(th *thread) {
+	r.inserted++
+	key := Key(r.inserted - 1)
+	r.chooser.SetItemCount(r.inserted)
+	start := r.s.Now()
+	th.drv.Write(key, r.value(th.rng), func(res client.WriteResult) {
+		r.updates++
+		r.finish(th, start, &r.updateLat, res.Err)
+	})
+}
+
+func (r *Runner) doRMW(th *thread) {
+	key := r.pickKey(th.rng)
+	start := r.s.Now()
+	th.drv.Read(key, func(res client.ReadResult) {
+		r.reads++
+		if res.Err != nil {
+			r.finish(th, start, &r.readLat, res.Err)
+			return
+		}
+		r.readLat.Record(r.s.Now().Sub(start))
+		wstart := r.s.Now()
+		th.drv.Write(key, r.value(th.rng), func(wres client.WriteResult) {
+			r.updates++
+			r.finish(th, wstart, &r.updateLat, wres.Err)
+		})
+	})
+}
+
+func (r *Runner) finish(th *thread, start time.Time, hist *stats.Histogram, err error) {
+	r.completed++
+	if err != nil {
+		r.errors++
+	} else {
+		hist.Record(r.s.Now().Sub(start))
+	}
+	r.next(th)
+}
+
+// Drain runs the simulation until all in-flight operations complete (or the
+// event queue empties).
+func (r *Runner) Drain() {
+	for {
+		pending := 0
+		for _, th := range r.threads {
+			pending += th.drv.Pending()
+		}
+		if pending == 0 {
+			return
+		}
+		if !r.s.Step() {
+			return
+		}
+	}
+}
+
+// ResetMeasurement re-baselines the run: histograms and counters restart
+// from zero at the current virtual instant, while threads keep issuing
+// uninterrupted. Call it after a warm-up phase so reports cover only steady
+// state.
+func (r *Runner) ResetMeasurement() {
+	r.started = r.s.Now()
+	r.baseline = r.c.AggregateMetrics()
+	r.completed, r.errors, r.reads, r.updates = 0, 0, 0, 0
+	r.readLat.Reset()
+	r.updateLat.Reset()
+}
+
+// RunMeasured runs the workload with an unmeasured warm-up of virtual
+// duration warmup, then measures ops operations and reports. The config's
+// Operations field must be zero (unlimited); thread parking and monitor
+// interaction behave exactly as in a plain run.
+func (r *Runner) RunMeasured(warmup time.Duration, ops int64) (Report, error) {
+	if ops <= 0 {
+		return Report{}, fmt.Errorf("ycsb: RunMeasured requires an op budget")
+	}
+	if r.cfg.Operations > 0 {
+		return Report{}, fmt.Errorf("ycsb: RunMeasured requires an unlimited config (Operations=0)")
+	}
+	r.Start()
+	if warmup > 0 {
+		r.s.RunFor(warmup)
+	}
+	r.ResetMeasurement()
+	for r.completed < ops {
+		if !r.s.Step() {
+			return Report{}, fmt.Errorf("ycsb: simulation went idle with %d/%d measured ops", r.completed, ops)
+		}
+	}
+	r.Stop()
+	r.Drain()
+	return r.Report(), nil
+}
+
+// RunOps is the common synchronous pattern: start, simulate until the op
+// budget completes, and report. The budget must be set in the config.
+func (r *Runner) RunOps() (Report, error) {
+	if r.cfg.Operations <= 0 {
+		return Report{}, fmt.Errorf("ycsb: RunOps requires an operation budget")
+	}
+	r.Start()
+	for r.completed < r.cfg.Operations {
+		if !r.s.Step() {
+			return Report{}, fmt.Errorf("ycsb: simulation went idle with %d/%d ops done", r.completed, r.cfg.Operations)
+		}
+	}
+	r.Stop()
+	r.Drain()
+	return r.Report(), nil
+}
+
+// Report builds the run summary from virtual start to now.
+func (r *Runner) Report() Report {
+	now := r.s.Now()
+	dur := now.Sub(r.started)
+	after := r.c.AggregateMetrics()
+	rep := Report{
+		Workload:      r.cfg.Workload.Name,
+		Threads:       r.cfg.Threads,
+		Duration:      dur,
+		Operations:    r.completed,
+		Reads:         r.reads,
+		Updates:       r.updates,
+		Errors:        r.errors,
+		ReadLatency:   r.readLat,
+		UpdateLatency: r.updateLat,
+		StaleReads:    after.ShadowStale - r.baseline.ShadowStale,
+		ShadowSamples: after.ShadowSamples - r.baseline.ShadowSamples,
+	}
+	for i := range rep.LevelUse {
+		rep.LevelUse[i] = after.LevelUse[i] - r.baseline.LevelUse[i]
+	}
+	if dur > 0 {
+		rep.ThroughputOps = float64(r.completed) / dur.Seconds()
+	}
+	return rep
+}

@@ -1,0 +1,167 @@
+// Package ycsb reimplements the workload model of the Yahoo! Cloud Serving
+// Benchmark, which the paper drives Cassandra with: a mix of operation types
+// chosen by proportion, keys drawn from a popularity distribution, and a
+// closed loop of client threads that each issue their next operation as soon
+// as the previous one completes. The standard workload presets (A, B, C, D,
+// F) are provided; the paper's evaluation uses Workload-A (update heavy,
+// 50/50) and Workload-B (read mostly, 95/5).
+package ycsb
+
+import (
+	"fmt"
+
+	"harmony/internal/dist"
+)
+
+// OpType enumerates the operation kinds a workload mixes.
+type OpType int
+
+// Operation kinds.
+const (
+	OpRead OpType = iota
+	OpUpdate
+	OpInsert
+	OpReadModifyWrite
+	opKinds
+)
+
+// String names the operation.
+func (o OpType) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpUpdate:
+		return "update"
+	case OpInsert:
+		return "insert"
+	case OpReadModifyWrite:
+		return "read-modify-write"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Distribution selects the request-key popularity model.
+type Distribution string
+
+// Supported request distributions.
+const (
+	DistUniform  Distribution = "uniform"
+	DistZipfian  Distribution = "zipfian"
+	DistLatest   Distribution = "latest"
+	DistHotspot  Distribution = "hotspot"
+	DistScrambed Distribution = "scrambled" // scrambled zipfian (YCSB default)
+)
+
+// Workload describes an operation mix over a record keyspace.
+type Workload struct {
+	Name string
+	// Proportions must sum to ~1.
+	ReadProportion            float64
+	UpdateProportion          float64
+	InsertProportion          float64
+	ReadModifyWriteProportion float64
+	// RecordCount is the initial keyspace size.
+	RecordCount int64
+	// ValueBytes is the payload size per record (the paper's rows are
+	// ~1 KiB after the YCSB default of 10 fields x 100 bytes).
+	ValueBytes int
+	// RequestDistribution picks keys for reads/updates.
+	RequestDistribution Distribution
+}
+
+// Validate checks the mix.
+func (w Workload) Validate() error {
+	sum := w.ReadProportion + w.UpdateProportion + w.InsertProportion + w.ReadModifyWriteProportion
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("ycsb: %s proportions sum to %v, want 1.0", w.Name, sum)
+	}
+	if w.RecordCount <= 0 {
+		return fmt.Errorf("ycsb: %s has no records", w.Name)
+	}
+	if w.ValueBytes <= 0 {
+		return fmt.Errorf("ycsb: %s has non-positive value size", w.Name)
+	}
+	return nil
+}
+
+// Standard presets, mirroring the YCSB core workload definitions. Record
+// counts default to 100k and are overridden by experiment configs.
+
+// WorkloadA is update heavy: 50% reads, 50% updates (the paper's primary
+// workload, "heavy read-update").
+func WorkloadA() Workload {
+	return Workload{
+		Name: "workload-a", ReadProportion: 0.5, UpdateProportion: 0.5,
+		RecordCount: 100_000, ValueBytes: 1024, RequestDistribution: DistZipfian,
+	}
+}
+
+// WorkloadB is read mostly: 95% reads, 5% updates (the paper's second
+// workload).
+func WorkloadB() Workload {
+	return Workload{
+		Name: "workload-b", ReadProportion: 0.95, UpdateProportion: 0.05,
+		RecordCount: 100_000, ValueBytes: 1024, RequestDistribution: DistZipfian,
+	}
+}
+
+// WorkloadC is read only.
+func WorkloadC() Workload {
+	return Workload{
+		Name: "workload-c", ReadProportion: 1,
+		RecordCount: 100_000, ValueBytes: 1024, RequestDistribution: DistZipfian,
+	}
+}
+
+// WorkloadD is read latest: new records are inserted and the most recent are
+// read disproportionately.
+func WorkloadD() Workload {
+	return Workload{
+		Name: "workload-d", ReadProportion: 0.95, InsertProportion: 0.05,
+		RecordCount: 100_000, ValueBytes: 1024, RequestDistribution: DistLatest,
+	}
+}
+
+// WorkloadF is read-modify-write: a read of a key followed by an update to
+// it.
+func WorkloadF() Workload {
+	return Workload{
+		Name: "workload-f", ReadProportion: 0.5, ReadModifyWriteProportion: 0.5,
+		RecordCount: 100_000, ValueBytes: 1024, RequestDistribution: DistZipfian,
+	}
+}
+
+// Presets returns all built-in workloads keyed by their short letter.
+func Presets() map[string]Workload {
+	return map[string]Workload{
+		"a": WorkloadA(), "b": WorkloadB(), "c": WorkloadC(),
+		"d": WorkloadD(), "f": WorkloadF(),
+	}
+}
+
+// chooser builds the key chooser for the workload.
+func (w Workload) chooser() (dist.KeyChooser, error) {
+	switch w.RequestDistribution {
+	case DistUniform:
+		return dist.NewUniformChooser(w.RecordCount), nil
+	case DistZipfian:
+		return dist.NewZipfianChooser(w.RecordCount), nil
+	case DistScrambed:
+		return dist.NewScrambledZipfianChooser(w.RecordCount), nil
+	case DistLatest:
+		return dist.NewLatestChooser(w.RecordCount), nil
+	case DistHotspot:
+		return dist.NewHotspotChooser(w.RecordCount, 0.2, 0.8), nil
+	case "":
+		return dist.NewZipfianChooser(w.RecordCount), nil
+	}
+	return nil, fmt.Errorf("ycsb: unknown distribution %q", w.RequestDistribution)
+}
+
+// NewChooser builds the request-key chooser for the workload; exported for
+// harnesses that drive the cluster outside the closed-loop Runner (e.g. the
+// open-loop load generator behind Fig. 4(b)).
+func (w Workload) NewChooser() (dist.KeyChooser, error) { return w.chooser() }
+
+// Key renders the canonical YCSB key name for an index.
+func Key(i int64) []byte { return []byte(fmt.Sprintf("user%010d", i)) }

@@ -1,0 +1,329 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/cluster"
+	"harmony/internal/sim"
+	"harmony/internal/wire"
+)
+
+func TestWorkloadPresetsValid(t *testing.T) {
+	for name, w := range Presets() {
+		if err := w.Validate(); err != nil {
+			t.Errorf("preset %s invalid: %v", name, err)
+		}
+		if _, err := w.chooser(); err != nil {
+			t.Errorf("preset %s chooser: %v", name, err)
+		}
+	}
+}
+
+func TestWorkloadValidation(t *testing.T) {
+	w := WorkloadA()
+	w.ReadProportion = 0.9 // now sums to 1.4
+	if err := w.Validate(); err == nil {
+		t.Fatal("bad proportions accepted")
+	}
+	w = WorkloadA()
+	w.RecordCount = 0
+	if err := w.Validate(); err == nil {
+		t.Fatal("zero records accepted")
+	}
+	w = WorkloadA()
+	w.ValueBytes = 0
+	if err := w.Validate(); err == nil {
+		t.Fatal("zero value size accepted")
+	}
+	bad := Workload{Name: "x", ReadProportion: 1, RecordCount: 10, ValueBytes: 8, RequestDistribution: "mystery"}
+	if _, err := bad.chooser(); err == nil {
+		t.Fatal("unknown distribution accepted")
+	}
+}
+
+func TestKeyFormat(t *testing.T) {
+	if got := string(Key(42)); got != "user0000000042" {
+		t.Fatalf("key = %q", got)
+	}
+}
+
+func TestOpTypeString(t *testing.T) {
+	if OpRead.String() != "read" || OpReadModifyWrite.String() != "read-modify-write" {
+		t.Fatal("op names")
+	}
+}
+
+// smallSpec keeps test runs quick: 2 racks x 3 nodes, RF=3, tiny records.
+func smallSpec() cluster.Spec {
+	spec := cluster.DefaultSpec()
+	spec.RacksPerDC = 2
+	spec.NodesPerRack = 3
+	spec.RF = 3
+	return spec
+}
+
+func smallWorkload(w Workload) Workload {
+	w.RecordCount = 500
+	w.ValueBytes = 128
+	return w
+}
+
+func newRunner(t *testing.T, cfg RunConfig) (*sim.Sim, *cluster.Cluster, *Runner) {
+	t.Helper()
+	s := sim.New(cfg.Seed + 1)
+	c, err := cluster.BuildSim(s, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(cfg, s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Load()
+	return s, c, r
+}
+
+func TestRunnerCompletesOpBudget(t *testing.T) {
+	_, _, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadA()),
+		Threads:    8,
+		Operations: 2000,
+		Seed:       42,
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Operations < 2000 {
+		t.Fatalf("completed %d ops, want >= 2000", rep.Operations)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+	if rep.ThroughputOps <= 0 {
+		t.Fatal("no throughput")
+	}
+	// Workload A is 50/50: both op kinds must appear in sensible ratio.
+	if rep.Reads == 0 || rep.Updates == 0 {
+		t.Fatalf("reads=%d updates=%d", rep.Reads, rep.Updates)
+	}
+	ratio := float64(rep.Reads) / float64(rep.Reads+rep.Updates)
+	if ratio < 0.4 || ratio > 0.6 {
+		t.Fatalf("read ratio = %v, want ~0.5", ratio)
+	}
+	if rep.ReadLatency.Count() == 0 || rep.UpdateLatency.Count() == 0 {
+		t.Fatal("latency histograms empty")
+	}
+}
+
+func TestRunnerWorkloadBMix(t *testing.T) {
+	_, _, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadB()),
+		Threads:    4,
+		Operations: 2000,
+		Seed:       7,
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(rep.Reads) / float64(rep.Reads+rep.Updates)
+	if ratio < 0.9 {
+		t.Fatalf("workload B read ratio = %v, want ~0.95", ratio)
+	}
+}
+
+func TestRunnerLoadPopulatesAllReplicas(t *testing.T) {
+	s, c, _ := newRunner(t, RunConfig{
+		Workload: smallWorkload(WorkloadC()),
+		Threads:  1,
+		Seed:     9,
+	})
+	_ = s
+	// Spot-check that a loaded key reads back at ALL.
+	drv, err := client.New(client.Options{ID: "check", Coordinators: c.NodeIDs()}, s, c.Bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Bus.Register("check", s, drv)
+	var res client.ReadResult
+	done := false
+	drv.ReadAt(Key(123), wire.All, func(rr client.ReadResult) { res = rr; done = true })
+	s.RunFor(5 * time.Second)
+	if !done || res.Err != nil || !res.Found {
+		t.Fatalf("loaded key not readable at ALL: %+v done=%v", res, done)
+	}
+	if len(res.Value) != 128 {
+		t.Fatalf("value size = %d, want 128", len(res.Value))
+	}
+}
+
+func TestRunnerPhases(t *testing.T) {
+	s, _, r := newRunner(t, RunConfig{
+		Workload: smallWorkload(WorkloadA()),
+		Threads:  8,
+		Seed:     3,
+	})
+	r.Start()
+	s.RunFor(2 * time.Second)
+	atFull := r.Completed()
+	if atFull == 0 {
+		t.Fatal("no ops at 8 threads")
+	}
+	r.SetActiveThreads(1)
+	s.RunFor(2 * time.Second)
+	atOne := r.Completed() - atFull
+	if atOne == 0 {
+		t.Fatal("no ops at 1 thread")
+	}
+	// Throughput with 1 thread must be well below 8 threads.
+	if float64(atOne) > 0.7*float64(atFull) {
+		t.Fatalf("throttling had no effect: %d vs %d", atOne, atFull)
+	}
+	// Scale back up: parked threads must wake.
+	r.SetActiveThreads(8)
+	s.RunFor(2 * time.Second)
+	atFull2 := r.Completed() - atFull - atOne
+	if float64(atFull2) < 2*float64(atOne) {
+		t.Fatalf("threads did not resume: %d vs %d", atFull2, atOne)
+	}
+	r.Stop()
+	r.Drain()
+}
+
+func TestRunnerStopParksThreads(t *testing.T) {
+	s, _, r := newRunner(t, RunConfig{
+		Workload: smallWorkload(WorkloadA()),
+		Threads:  4,
+		Seed:     5,
+	})
+	r.Start()
+	s.RunFor(time.Second)
+	r.Stop()
+	r.Drain()
+	done := r.Completed()
+	s.RunFor(5 * time.Second)
+	if r.Completed() != done {
+		t.Fatalf("ops continued after Stop: %d -> %d", done, r.Completed())
+	}
+}
+
+func TestRunnerShadowMeasuresStaleness(t *testing.T) {
+	// Workload A at ONE with shadow probes on an update-heavy mix must
+	// observe some staleness (the paper's premise).
+	_, _, r := newRunner(t, RunConfig{
+		Workload:    smallWorkload(WorkloadA()),
+		Threads:     16,
+		Operations:  6000,
+		Seed:        11,
+		ShadowEvery: 1,
+		Levels:      client.Fixed(wire.One),
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ShadowSamples == 0 {
+		t.Fatal("no shadow samples")
+	}
+	if rep.StaleReads == 0 {
+		t.Fatal("update-heavy eventual-consistency run measured zero stale reads")
+	}
+	if f := rep.StaleFraction(); f <= 0 || f > 1 {
+		t.Fatalf("stale fraction = %v", f)
+	}
+}
+
+func TestRunnerStrongConsistencyZeroStale(t *testing.T) {
+	_, _, r := newRunner(t, RunConfig{
+		Workload:    smallWorkload(WorkloadA()),
+		Threads:     16,
+		Operations:  3000,
+		Seed:        13,
+		ShadowEvery: 1,
+		Levels:      client.Fixed(wire.All),
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.StaleReads != 0 {
+		t.Fatalf("strong consistency measured %d stale reads", rep.StaleReads)
+	}
+}
+
+func TestRunnerRejectsBadConfig(t *testing.T) {
+	s := sim.New(1)
+	c, err := cluster.BuildSim(s, smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewRunner(RunConfig{Workload: smallWorkload(WorkloadA()), Threads: 0}, s, c); err == nil {
+		t.Fatal("threads=0 accepted")
+	}
+	bad := smallWorkload(WorkloadA())
+	bad.ReadProportion = 2
+	if _, err := NewRunner(RunConfig{Workload: bad, Threads: 1}, s, c); err == nil {
+		t.Fatal("invalid workload accepted")
+	}
+}
+
+func TestRunnerInsertGrowsKeyspace(t *testing.T) {
+	_, _, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadD()),
+		Threads:    4,
+		Operations: 2000,
+		Seed:       17,
+	})
+	before := r.inserted
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.inserted <= before {
+		t.Fatal("inserts did not grow the keyspace")
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+}
+
+func TestRunnerRMWDoesBoth(t *testing.T) {
+	_, _, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadF()),
+		Threads:    4,
+		Operations: 1000,
+		Seed:       19,
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads == 0 || rep.Updates == 0 {
+		t.Fatalf("RMW mix: reads=%d updates=%d", rep.Reads, rep.Updates)
+	}
+	// F is 50% read + 50% RMW. Every RMW performs one read and one update,
+	// so sub-operation counts are reads ≈ N and updates ≈ N/2: ratio ~2.
+	ratio := float64(rep.Reads) / float64(rep.Updates)
+	if ratio < 1.6 || ratio > 2.5 {
+		t.Fatalf("read:update ratio = %v, want ~2", ratio)
+	}
+}
+
+func TestChooseOpDistribution(t *testing.T) {
+	r := &Runner{cfg: RunConfig{Workload: WorkloadA()}}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[OpType]int{}
+	for i := 0; i < 10000; i++ {
+		counts[r.chooseOp(rng)]++
+	}
+	if counts[OpRead] < 4500 || counts[OpRead] > 5500 {
+		t.Fatalf("read count = %d, want ~5000", counts[OpRead])
+	}
+	if counts[OpInsert] != 0 || counts[OpReadModifyWrite] != 0 {
+		t.Fatalf("unexpected op kinds: %v", counts)
+	}
+}
