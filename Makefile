@@ -1,0 +1,32 @@
+# Harmony build/test entry points. CI (.github/workflows/ci.yml) runs the
+# same targets humans do, so `make ci` locally reproduces the pipeline.
+
+GO ?= go
+
+.PHONY: build test test-race bench bench-smoke lint ci
+
+build:
+	$(GO) build ./...
+
+# Tier-1 verify: the whole suite under virtual time.
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race -timeout 30m ./...
+
+# Full figure regeneration through the testing.B harness (minutes).
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m .
+
+# Cheap CI smoke: micro-benchmarks across internal packages plus one
+# end-to-end scenario sweep, a single iteration each.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+	$(GO) test -run '^$$' -bench 'BenchmarkScenarioStressProfiles|BenchmarkWorkloadAEventual' -benchtime 1x .
+
+lint:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }
+	$(GO) vet ./...
+
+ci: lint build test-race bench-smoke

@@ -249,3 +249,33 @@ func BenchmarkWorkloadAEventual(b *testing.B) {
 	}
 	b.ReportMetric(res.Report.ThroughputOps, "virtual_ops/s")
 }
+
+// BenchmarkScenarioStressProfiles drives Harmony through the three
+// stress-network scenarios (Pareto-tail WAN, degraded links, bimodal
+// congestion) and reports throughput and measured stale fraction, so the
+// adaptive controller's behavior under scenario-diverse timing shows up
+// alongside the paper's figures.
+func BenchmarkScenarioStressProfiles(b *testing.B) {
+	for _, sc := range []bench.Scenario{bench.WANHeavyTail(), bench.Degraded(), bench.CongestedBimodal()} {
+		sc := sc
+		b.Run(sc.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := bench.RunPolicy(bench.RunSpec{
+					Scenario: sc,
+					Policy:   bench.PolicySpec{Kind: bench.PolicyHarmony, Tolerance: sc.HarmonyTolerances[0]},
+					Workload: ycsb.WorkloadA(),
+					Threads:  8,
+					Ops:      2000,
+					Seed:     1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(res.Report.ThroughputOps, "virtual_ops/s")
+					b.ReportMetric(res.Report.StaleFraction()*100, "stale_pct")
+				}
+			}
+		})
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -28,7 +29,7 @@ import (
 func main() {
 	var (
 		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|all")
-		scenario   = flag.String("scenario", "both", "grid5000|ec2|both")
+		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal), 'both' paper testbeds, or 'all'")
 		ops        = flag.Int64("ops", 30000, "operations per measurement point")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		threads    = flag.String("threads", "", "comma-separated thread sweep override, e.g. 1,15,40,70,90,100")
@@ -160,15 +161,26 @@ func runAblations(opts bench.Options, figures *[]bench.Figure) {
 }
 
 func selectScenarios(name string) []bench.Scenario {
+	all := bench.Scenarios()
+	names := make([]string, 0, len(all))
+	for n := range all {
+		names = append(names, n)
+	}
+	sort.Strings(names)
 	switch name {
-	case "grid5000":
-		return []bench.Scenario{bench.Grid5000()}
-	case "ec2":
-		return []bench.Scenario{bench.EC2()}
 	case "both":
 		return []bench.Scenario{bench.Grid5000(), bench.EC2()}
+	case "all":
+		out := make([]bench.Scenario, 0, len(all))
+		for _, n := range names {
+			out = append(out, all[n])
+		}
+		return out
 	}
-	fatalf("unknown scenario %q", name)
+	if sc, ok := all[name]; ok {
+		return []bench.Scenario{sc}
+	}
+	fatalf("unknown scenario %q (have %s, both, all)", name, strings.Join(names, ", "))
 	return nil
 }
 

@@ -280,3 +280,66 @@ func TestHeadlineComputesRatios(t *testing.T) {
 		t.Fatalf("format missing sections:\n%s", out)
 	}
 }
+
+func TestScenarioRegistry(t *testing.T) {
+	ss := Scenarios()
+	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal"} {
+		sc, ok := ss[name]
+		if !ok {
+			t.Fatalf("registry missing scenario %q", name)
+		}
+		if sc.Name != name || sc.Spec.Profile.Name != name {
+			t.Fatalf("scenario %q mismatched: profile %q", name, sc.Spec.Profile.Name)
+		}
+		if sc.MonitorInterval <= 0 || sc.HarmonyTolerances[0] <= 0 {
+			t.Fatalf("scenario %q not fully configured: %+v", name, sc)
+		}
+	}
+	if len(ss) != 5 {
+		t.Fatalf("registry has %d scenarios, want 5", len(ss))
+	}
+}
+
+// TestStressScenariosRunAdaptive drives each new network profile through a
+// full adaptive run: cluster build, monitor, controller, workload. The
+// point is scenario-diverse timing — the controller must produce decisions
+// and the staleness probe must engage under Pareto, floored-exponential
+// and bimodal jitter alike.
+func TestStressScenariosRunAdaptive(t *testing.T) {
+	for _, sc := range []Scenario{WANHeavyTail(), Degraded(), CongestedBimodal()} {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res, err := RunPolicy(RunSpec{
+				Scenario: sc,
+				Policy:   PolicySpec{Kind: PolicyHarmony, Tolerance: sc.HarmonyTolerances[0]},
+				Workload: ycsb.WorkloadA(),
+				Threads:  8,
+				Ops:      1500,
+				Seed:     21,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Report.Operations < 1500 {
+				t.Fatalf("run incomplete: %+v", res.Report)
+			}
+			// Heavy-tailed jitter legitimately trips the 5s op timeout on
+			// the deepest draws; anything beyond a stray handful is a bug.
+			if res.Report.Errors > res.Report.Operations/50 {
+				t.Fatalf("%d/%d operations errored", res.Report.Errors, res.Report.Operations)
+			}
+			if res.Report.ThroughputOps <= 0 {
+				t.Fatal("no throughput")
+			}
+			if len(res.Decisions) == 0 {
+				t.Fatal("controller made no decisions")
+			}
+			if res.Report.ShadowSamples == 0 {
+				t.Fatal("staleness probe never engaged")
+			}
+			if res.Report.ReadLatency.Count() == 0 {
+				t.Fatal("no read latencies recorded")
+			}
+		})
+	}
+}

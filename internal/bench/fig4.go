@@ -6,6 +6,7 @@ import (
 
 	"harmony/internal/cluster"
 	"harmony/internal/core"
+	"harmony/internal/dist"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/simnet"
@@ -149,7 +150,11 @@ type noopSink struct{}
 func (noopSink) Deliver(ring.NodeID, wire.Message) {}
 
 // startOpenLoad offers fixed-rate Workload-A-shaped traffic to the cluster
-// regardless of response latency.
+// regardless of response latency. Arrivals are Poisson (exponential
+// inter-arrival gaps sampled from dist) rather than a metronome: the mean
+// rate is identical, but requests clump and gap the way independent
+// clients actually do, which is the arrival process the stale-read
+// estimator sees in production.
 func startOpenLoad(s *sim.Sim, c *cluster.Cluster, wl ycsb.Workload, opsPerSec float64) (stop func(), err error) {
 	chooserRng := s.NewStream()
 	chooser, err := wl.NewChooser()
@@ -161,19 +166,31 @@ func startOpenLoad(s *sim.Sim, c *cluster.Cluster, wl ycsb.Workload, opsPerSec f
 	coords := c.NodeIDs()
 	c.Bus.Register("openload", s, noopSink{})
 	var id uint64
-	readInterval := time.Duration(float64(time.Second) / (opsPerSec * wl.ReadProportion))
-	writeInterval := time.Duration(float64(time.Second) / (opsPerSec * wl.UpdateProportion))
-	stopR := s.Ticker(readInterval, func() {
-		id++
-		key := ycsb.Key(chooser.Next(chooserRng))
+	stops := make([]func(), 0, 2)
+	startStream := func(rate float64, send func(id uint64, key []byte)) {
+		if rate <= 0 {
+			return
+		}
+		gap := dist.NewExponential(1 / rate)
+		rng := s.NewStream()
+		stops = append(stops, sim.Every(s,
+			func() time.Duration { return dist.SampleDuration(gap, rng, time.Second) },
+			func() {
+				id++
+				send(id, ycsb.Key(chooser.Next(chooserRng)))
+			}))
+	}
+	startStream(opsPerSec*wl.ReadProportion, func(id uint64, key []byte) {
 		c.Bus.Send("openload", coords[int(id)%len(coords)], wire.ReadRequest{ID: id, Key: key, Level: wire.One})
 	})
-	stopW := s.Ticker(writeInterval, func() {
-		id++
-		key := ycsb.Key(chooser.Next(chooserRng))
+	startStream(opsPerSec*wl.UpdateProportion, func(id uint64, key []byte) {
 		c.Bus.Send("openload", coords[int(id)%len(coords)], wire.WriteRequest{ID: id, Key: key, Value: payload, Level: wire.One})
 	})
-	return func() { stopR(); stopW() }, nil
+	return func() {
+		for _, st := range stops {
+			st()
+		}
+	}, nil
 }
 
 func fig4bPoint(oneWay time.Duration, opsPerSec float64, seed int64) (float64, error) {

@@ -54,6 +54,67 @@ func EC2() Scenario {
 	}
 }
 
+// WANHeavyTail runs the cluster as two datacenters joined by heavy-tailed
+// (Pareto-jitter) WAN links. It is the scenario where waiting on remote
+// replicas is most expensive and most variable, so the gap between static
+// strong reads and Harmony's adaptive level is widest. Tolerances match
+// the EC2 settings: a high-variance network earns looser targets.
+func WANHeavyTail() Scenario {
+	spec := cluster.DefaultSpec()
+	spec.DCs = 2
+	spec.RacksPerDC = 2 // keep the node count at 20 (2x2x5)
+	spec.Profile = simnet.WANHeavyTailProfile()
+	spec.Service = cluster.DefaultServiceProfile().Scale(1.25)
+	return Scenario{
+		Name:              "wan-heavytail",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.40, 0.60},
+	}
+}
+
+// Degraded runs the LAN topology through an incident: a latency floor
+// plus exponential stalls on every link and slowed service times. It
+// exercises the controller's re-adaptation when the network it calibrated
+// on disappears from under it.
+func Degraded() Scenario {
+	spec := cluster.DefaultSpec()
+	spec.Profile = simnet.DegradedProfile()
+	spec.Service = cluster.DefaultServiceProfile().Scale(2)
+	return Scenario{
+		Name:              "degraded",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.40, 0.60},
+	}
+}
+
+// CongestedBimodal keeps the Grid'5000-like topology but mixes a
+// congested slow mode into 15% of deliveries: two latency regimes under
+// one profile, the shape single-mode jitter models miss.
+func CongestedBimodal() Scenario {
+	spec := cluster.DefaultSpec()
+	spec.Profile = simnet.CongestedBimodalProfile()
+	return Scenario{
+		Name:              "congested-bimodal",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.20, 0.40},
+	}
+}
+
+// Scenarios returns every named scenario keyed by name, for CLIs and
+// sweeps that select testbeds by string.
+func Scenarios() map[string]Scenario {
+	ss := map[string]Scenario{}
+	for _, sc := range []Scenario{
+		Grid5000(), EC2(), WANHeavyTail(), Degraded(), CongestedBimodal(),
+	} {
+		ss[sc.Name] = sc
+	}
+	return ss
+}
+
 // PolicyKind selects how read consistency levels are chosen during a run.
 type PolicyKind int
 

@@ -61,7 +61,13 @@ type ServiceProfile struct {
 	// JitterP99 is the 99th percentile of the unit-mean multiplier; zero
 	// means 3.0, values <= 1 disable jitter.
 	JitterP99 float64
-	Disabled  bool
+	// Jitter, when non-nil, replaces the lognormal multiplier entirely
+	// with an arbitrary dist sampler (heavy-tailed GC pauses, bimodal
+	// compaction interference); JitterP99 is then ignored. The sampler is
+	// a multiplicative factor and should have mean ~1 so the class means
+	// stay calibrated.
+	Jitter   dist.Sampler
+	Disabled bool
 }
 
 // DefaultServiceProfile bounds the 20-node cluster at roughly 30k
@@ -91,6 +97,8 @@ func (p ServiceProfile) Scale(f float64) ServiceProfile {
 		ReplicaWrite: mul(p.ReplicaWrite),
 		Response:     mul(p.Response),
 		Other:        mul(p.Other),
+		JitterP99:    p.JitterP99,
+		Jitter:       p.Jitter,
 		Disabled:     p.Disabled,
 	}
 }
@@ -98,13 +106,16 @@ func (p ServiceProfile) Scale(f float64) ServiceProfile {
 // Timer converts the profile into a transport.ServiceTimer drawing jitter
 // from rng (which must belong to the node's runtime).
 func (p ServiceProfile) Timer(rng *rand.Rand) transport.ServiceTimer {
-	jp99 := p.JitterP99
-	if jp99 == 0 {
-		jp99 = 3.0
-	}
-	var jitter dist.Sampler = dist.Constant{V: 1}
-	if jp99 > 1 {
-		jitter = dist.LognormalFromMeanP99(1.0, jp99)
+	jitter := p.Jitter
+	if jitter == nil {
+		jp99 := p.JitterP99
+		if jp99 == 0 {
+			jp99 = 3.0
+		}
+		jitter = dist.Constant{V: 1}
+		if jp99 > 1 {
+			jitter = dist.LognormalFromMeanP99(1.0, jp99)
+		}
 	}
 	return func(m wire.Message) time.Duration {
 		var base time.Duration

@@ -1,0 +1,150 @@
+package dist
+
+import (
+	"sync"
+	"testing"
+)
+
+func choosersUnderTest(n int64) map[string]KeyChooser {
+	return map[string]KeyChooser{
+		"uniform":   NewUniformChooser(n),
+		"zipfian":   NewZipfianChooser(n),
+		"scrambled": NewScrambledZipfianChooser(n),
+		"latest":    NewLatestChooser(n),
+		"hotspot":   NewHotspotChooser(n, 0.2, 0.8),
+	}
+}
+
+// TestChoosersStayInRange: every chooser must emit indices in [0, n),
+// including after the keyspace grows.
+func TestChoosersStayInRange(t *testing.T) {
+	const n = 1000
+	for name, ch := range choosersUnderTest(n) {
+		rng := NewRand(7)
+		limit := int64(n)
+		for i := 0; i < 30000; i++ {
+			if i == 15000 {
+				limit = 1500
+				ch.SetItemCount(limit)
+			}
+			k := ch.Next(rng)
+			if k < 0 || k >= limit {
+				t.Fatalf("%s: key %d outside [0,%d)", name, k, limit)
+			}
+		}
+	}
+}
+
+// TestChoosersDeterministic: same seed, same stream.
+func TestChoosersDeterministic(t *testing.T) {
+	const n = 500
+	for name := range choosersUnderTest(n) {
+		a, b := choosersUnderTest(n)[name], choosersUnderTest(n)[name]
+		ra, rb := NewRand(11), NewRand(11)
+		for i := 0; i < 2000; i++ {
+			if ka, kb := a.Next(ra), b.Next(rb); ka != kb {
+				t.Fatalf("%s: draw %d differs under same seed: %d vs %d", name, i, ka, kb)
+			}
+		}
+	}
+}
+
+// TestZipfianSkew: the YCSB zipfian must concentrate mass on low indices —
+// with theta=0.99 the first 10% of a 10k keyspace absorbs well over half
+// the draws — while uniform must not.
+func TestZipfianSkew(t *testing.T) {
+	const n = 10_000
+	count := func(ch KeyChooser, seed int64) (inHead int) {
+		rng := NewRand(seed)
+		for i := 0; i < 50_000; i++ {
+			if ch.Next(rng) < n/10 {
+				inHead++
+			}
+		}
+		return
+	}
+	if got := count(NewZipfianChooser(n), 3); got < 30_000 {
+		t.Errorf("zipfian head mass = %d/50000, want > 30000", got)
+	}
+	if got := count(NewUniformChooser(n), 3); got < 4000 || got > 6000 {
+		t.Errorf("uniform head mass = %d/50000, want ~5000", got)
+	}
+	// Scrambling preserves skew (some keys are hot) but moves it off the
+	// low indices: the head must no longer dominate.
+	if got := count(NewScrambledZipfianChooser(n), 3); got > 15_000 {
+		t.Errorf("scrambled zipfian head mass = %d/50000, want scattered", got)
+	}
+}
+
+// TestLatestFavorsNewest: workload D's chooser must concentrate on the
+// high end of the keyspace, and follow the frontier as it grows.
+func TestLatestFavorsNewest(t *testing.T) {
+	const n = 10_000
+	ch := NewLatestChooser(n)
+	rng := NewRand(5)
+	inTail := 0
+	for i := 0; i < 20_000; i++ {
+		if ch.Next(rng) >= n-n/10 {
+			inTail++
+		}
+	}
+	if inTail < 12_000 {
+		t.Fatalf("latest tail mass = %d/20000, want > 12000", inTail)
+	}
+	ch.SetItemCount(2 * n)
+	sawFrontier := false
+	for i := 0; i < 1000; i++ {
+		if ch.Next(rng) >= n {
+			sawFrontier = true
+			break
+		}
+	}
+	if !sawFrontier {
+		t.Fatal("latest chooser never reached the grown keyspace")
+	}
+}
+
+// TestHotspotFractions pins the two knobs: ~80% of draws in the first 20%
+// of keys.
+func TestHotspotFractions(t *testing.T) {
+	const n = 10_000
+	ch := NewHotspotChooser(n, 0.2, 0.8)
+	rng := NewRand(9)
+	hot := 0
+	const draws = 50_000
+	for i := 0; i < draws; i++ {
+		if ch.Next(rng) < n/5 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.77 || frac > 0.83 {
+		t.Fatalf("hotspot hot fraction = %.3f, want ~0.8", frac)
+	}
+}
+
+// TestChoosersConcurrent exercises Next and SetItemCount from parallel
+// goroutines; meaningful under -race (the real-time runtime drives
+// choosers from multiple mailbox goroutines).
+func TestChoosersConcurrent(t *testing.T) {
+	for name, ch := range choosersUnderTest(1000) {
+		ch := ch
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := NewRand(seed)
+					for i := 0; i < 3000; i++ {
+						_ = ch.Next(rng)
+						if i%100 == 0 {
+							ch.SetItemCount(1000 + int64(i))
+						}
+					}
+				}(int64(g))
+			}
+			wg.Wait()
+		})
+	}
+}

@@ -1,0 +1,267 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"slices"
+	"sync"
+	"testing"
+	"time"
+)
+
+// samplersUnderTest enumerates every sampler with its closed-form moments;
+// the property tests below run the same checks over all of them.
+func samplersUnderTest() map[string]Sampler {
+	return map[string]Sampler{
+		"constant":    Constant{V: 3.5},
+		"uniform":     Uniform{Lo: 2, Hi: 6},
+		"exponential": NewExponential(1.7),
+		"lognormal":   LognormalFromMeanP99(1.3, 12.0),
+		"pareto":      ParetoFromMean(1.0, 2.5),
+		"shifted":     Shifted{Base: NewExponential(0.5), Offset: 2},
+		"bimodal":     NewBimodal(LognormalFromMeanP99(1.0, 2.0), Shifted{Base: NewExponential(2.0), Offset: 4}, 0.15),
+		"mixture": NewMixture(
+			Component{Weight: 2, Sampler: Uniform{Lo: 0, Hi: 1}},
+			Component{Weight: 1, Sampler: NewExponential(3)},
+			Component{Weight: 1, Sampler: Constant{V: 10}},
+		),
+	}
+}
+
+const sampleN = 200_000
+
+func empirical(t *testing.T, s Sampler, seed int64) (mean float64, sorted []float64) {
+	t.Helper()
+	rng := NewRand(seed)
+	sorted = make([]float64, sampleN)
+	sum := 0.0
+	for i := range sorted {
+		v := s.Sample(rng)
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("sample %d is %v", i, v)
+		}
+		sorted[i] = v
+		sum += v
+	}
+	slices.Sort(sorted)
+	return sum / sampleN, sorted
+}
+
+// TestEmpiricalMeanMatchesAnalytic checks E[X] against Mean() for every
+// sampler: the law of large numbers at n=200k should land within 3%.
+func TestEmpiricalMeanMatchesAnalytic(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		mean, _ := empirical(t, s, 1)
+		want := s.Mean()
+		if want == 0 {
+			if math.Abs(mean) > 0.01 {
+				t.Errorf("%s: empirical mean %v, want ~0", name, mean)
+			}
+			continue
+		}
+		if rel := math.Abs(mean-want) / math.Abs(want); rel > 0.03 {
+			t.Errorf("%s: empirical mean %.4f vs analytic %.4f (rel err %.3f)", name, mean, want, rel)
+		}
+	}
+}
+
+// TestEmpiricalQuantilesMatchAnalytic checks Quantile(p) against the
+// sample in CDF space using the atom-safe quantile property
+// P(X < q) <= p <= P(X <= q), each side widened by sampling tolerance.
+// For continuous samplers both sides pinch to p; for point masses (the
+// Constant sampler, the mixture's Constant component) the bracket is what
+// a correct generalized inverse must satisfy.
+func TestEmpiricalQuantilesMatchAnalytic(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		_, sorted := empirical(t, s, 2)
+		n := float64(len(sorted))
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			q := s.Quantile(p)
+			below, atOrBelow := 0, 0
+			for _, v := range sorted {
+				if v < q {
+					below++
+				}
+				if v <= q {
+					atOrBelow++
+				} else {
+					break // sorted: nothing later can be <= q
+				}
+			}
+			if float64(below)/n > p+0.01 {
+				t.Errorf("%s: P(X < Quantile(%.2f)=%.4f) = %.4f > p", name, p, q, float64(below)/n)
+			}
+			if float64(atOrBelow)/n < p-0.01 {
+				t.Errorf("%s: P(X <= Quantile(%.2f)=%.4f) = %.4f < p", name, p, q, float64(atOrBelow)/n)
+			}
+		}
+	}
+}
+
+// TestQuantileCDFRoundTrip pins Quantile and CDF as inverses for every
+// sampler with a continuous CDF.
+func TestQuantileCDFRoundTrip(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		if name == "constant" {
+			continue // step CDF has no continuous inverse
+		}
+		c, ok := s.(CDFer)
+		if !ok {
+			t.Fatalf("%s does not implement CDF", name)
+		}
+		// The test mixture contains a point mass (Constant component) of
+		// weight 0.25, so its CDF may jump past p at the quantile; all
+		// other samplers must round-trip tightly.
+		slack := 1e-6
+		if name == "mixture" {
+			slack = 0.2501
+		}
+		for _, p := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999} {
+			q := s.Quantile(p)
+			got := c.CDF(q)
+			if got < p-1e-6 || got > p+slack {
+				t.Errorf("%s: CDF(Quantile(%v)) = %v", name, p, got)
+			}
+		}
+	}
+}
+
+// TestQuantileMonotone checks Quantile is nondecreasing in p.
+func TestQuantileMonotone(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		prev := math.Inf(-1)
+		for p := 0.001; p < 1; p += 0.007 {
+			q := s.Quantile(p)
+			if q < prev-1e-9 {
+				t.Fatalf("%s: Quantile not monotone at p=%v: %v < %v", name, p, q, prev)
+			}
+			prev = q
+		}
+	}
+}
+
+// TestSeededDeterminism: the same seed must reproduce the identical stream
+// for every sampler, and different seeds must diverge.
+func TestSeededDeterminism(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		a, b := NewRand(42), NewRand(42)
+		c := NewRand(43)
+		diverged := false
+		for i := 0; i < 1000; i++ {
+			va, vb, vc := s.Sample(a), s.Sample(b), s.Sample(c)
+			if va != vb {
+				t.Fatalf("%s: draw %d differs under the same seed: %v vs %v", name, i, va, vb)
+			}
+			if va != vc {
+				diverged = true
+			}
+		}
+		if name != "constant" && !diverged {
+			t.Errorf("%s: seeds 42 and 43 produced identical streams", name)
+		}
+	}
+}
+
+// TestLognormalFromMeanP99Fit checks the solved (mu, sigma) hit the
+// requested mean and 99th percentile exactly.
+func TestLognormalFromMeanP99Fit(t *testing.T) {
+	cases := [][2]float64{{1.0, 2.5}, {1.3, 12.0}, {2.0, 9.0}, {1.0, 1.05}}
+	for _, c := range cases {
+		l := LognormalFromMeanP99(c[0], c[1])
+		if got := l.Mean(); math.Abs(got-c[0])/c[0] > 1e-9 {
+			t.Errorf("fit(%v, %v): Mean() = %v", c[0], c[1], got)
+		}
+		if got := l.Quantile(0.99); math.Abs(got-c[1])/c[1] > 1e-6 {
+			t.Errorf("fit(%v, %v): Quantile(0.99) = %v", c[0], c[1], got)
+		}
+	}
+	// Degenerate and unattainable requests must stay finite and positive.
+	for _, c := range cases {
+		l := LognormalFromMeanP99(c[0], c[0]*0.5) // p99 below mean
+		if m := l.Mean(); math.IsNaN(m) || m <= 0 {
+			t.Errorf("degenerate fit mean = %v", m)
+		}
+	}
+	l := LognormalFromMeanP99(1.0, 100.0) // beyond lognormal reach
+	if m := l.Mean(); math.IsNaN(m) || m <= 0 {
+		t.Errorf("clamped fit mean = %v", m)
+	}
+}
+
+// TestParetoTailHeavierThanLognormal pins the reason Pareto exists in this
+// package: at matched means, its extreme tail must dominate.
+func TestParetoTailHeavierThanLognormal(t *testing.T) {
+	pa := ParetoFromMean(1.0, 2.2)
+	ln := LognormalFromMeanP99(1.0, pa.Quantile(0.99))
+	if pa.Quantile(0.99999) <= ln.Quantile(0.99999) {
+		t.Fatalf("pareto p99.999 %v not above lognormal %v", pa.Quantile(0.99999), ln.Quantile(0.99999))
+	}
+}
+
+// TestSampleDuration covers the unit bridge and its negative clamp.
+func TestSampleDuration(t *testing.T) {
+	rng := NewRand(1)
+	if d := SampleDuration(Constant{V: 2.5}, rng, time.Millisecond); d != 2500*time.Microsecond {
+		t.Fatalf("SampleDuration = %v", d)
+	}
+	if d := SampleDuration(Constant{V: -3}, rng, time.Second); d != 0 {
+		t.Fatalf("negative sample not clamped: %v", d)
+	}
+}
+
+// TestMixturePanicsOnEmpty documents the construction contract.
+func TestMixturePanicsOnEmpty(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewMixture() },
+		func() { NewMixture(Component{Weight: -1, Sampler: Constant{V: 1}}) },
+		func() { NewBimodal(Constant{V: 1}, Constant{V: 2}, 1.5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad construction did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestSamplersConcurrentUse shares one sampler value across goroutines,
+// each with its own rng — the documented concurrency contract — and is
+// meaningful under -race.
+func TestSamplersConcurrentUse(t *testing.T) {
+	for name, s := range samplersUnderTest() {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var wg sync.WaitGroup
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed int64) {
+					defer wg.Done()
+					rng := NewRand(seed)
+					for i := 0; i < 5000; i++ {
+						_ = s.Sample(rng)
+					}
+					_ = s.Mean()
+					_ = s.Quantile(0.99)
+				}(int64(g))
+			}
+			wg.Wait()
+		})
+	}
+}
+
+var sinkF float64
+
+func BenchmarkSamplers(b *testing.B) {
+	for name, s := range samplersUnderTest() {
+		b.Run(name, func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			for i := 0; i < b.N; i++ {
+				sinkF = s.Sample(rng)
+			}
+		})
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math/rand"
+	"sync/atomic"
 	"time"
 )
 
@@ -184,21 +185,33 @@ func (s *Sim) Ticker(interval time.Duration, fn func()) (stop func()) {
 	if interval <= 0 {
 		panic("sim: non-positive ticker interval")
 	}
-	stopped := false
+	return Every(s, func() time.Duration { return interval }, fn)
+}
+
+// Every repeatedly invokes fn on rt, waiting next() before each
+// invocation. It is the variable-interval generalization of Ticker and
+// works on any Runtime: stochastic arrival processes (Poisson open-loop
+// load, jittered maintenance cadences) supply a next that samples an
+// inter-arrival distribution. Non-positive gaps are scheduled immediately.
+// The returned stop function halts the loop; it is safe to call from
+// within fn, and — because RealRuntime callbacks run on a mailbox
+// goroutine — from any other goroutine.
+func Every(rt Runtime, next func() time.Duration, fn func()) (stop func()) {
+	var stopped atomic.Bool
 	var schedule func()
 	schedule = func() {
-		s.After(interval, func() {
-			if stopped {
+		rt.After(next(), func() {
+			if stopped.Load() {
 				return
 			}
 			fn()
-			if !stopped {
+			if !stopped.Load() {
 				schedule()
 			}
 		})
 	}
 	schedule()
-	return func() { stopped = true }
+	return func() { stopped.Store(true) }
 }
 
 var _ Runtime = (*Sim)(nil)

@@ -224,3 +224,46 @@ func BenchmarkSimEventThroughput(b *testing.B) {
 	s.Post(fn)
 	s.RunUntilIdle(uint64(b.N) + 10)
 }
+
+func TestEveryVariableIntervals(t *testing.T) {
+	s := New(1)
+	gaps := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond, 40 * time.Millisecond}
+	i := 0
+	next := func() time.Duration {
+		d := gaps[i%len(gaps)]
+		i++
+		return d
+	}
+	var fired []time.Time
+	stop := Every(s, next, func() { fired = append(fired, s.Now()) })
+	start := s.Now()
+	s.RunFor(70 * time.Millisecond)
+	stop()
+	s.RunFor(200 * time.Millisecond)
+	// Expected firing offsets: 10, 30, 70 ms; stopped before the next.
+	want := []time.Duration{10 * time.Millisecond, 30 * time.Millisecond, 70 * time.Millisecond}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d times, want %d", len(fired), len(want))
+	}
+	for j, at := range fired {
+		if got := at.Sub(start); got != want[j] {
+			t.Fatalf("firing %d at +%v, want +%v", j, got, want[j])
+		}
+	}
+}
+
+func TestEveryStopFromCallback(t *testing.T) {
+	s := New(1)
+	count := 0
+	var stop func()
+	stop = Every(s, func() time.Duration { return time.Millisecond }, func() {
+		count++
+		if count == 3 {
+			stop()
+		}
+	})
+	s.RunFor(time.Second)
+	if count != 3 {
+		t.Fatalf("callback ran %d times after self-stop, want 3", count)
+	}
+}

@@ -63,6 +63,72 @@ func EC2Profile() Profile {
 	}
 }
 
+// WANHeavyTailProfile models a geo-replicated deployment whose cross-DC
+// links ride the public internet: moderate base latencies but Pareto
+// (power-law) jitter, so the p99.9 is many multiples of the median. This
+// is the regime where "wait for the slowest of N replicas" dominates and
+// an adaptive controller has the most to gain from backing off.
+func WANHeavyTailProfile() Profile {
+	return Profile{
+		Name: "wan-heavytail",
+		Base: [4]time.Duration{100 * time.Microsecond, 1 * time.Millisecond, 5 * time.Millisecond, 80 * time.Millisecond},
+		// Unit-mean Pareto with shape 2.2: p99 ~ 4.4x the base latency,
+		// p99.99 ~ 36x — the long tail WAN paths exhibit.
+		Jitter:               dist.ParetoFromMean(1.0, 2.2),
+		BandwidthBytesPerSec: 30e6,
+		ClientLatency:        5 * time.Millisecond,
+	}
+}
+
+// DegradedProfile models a cluster limping through an incident (failing
+// NIC, saturated switch, noisy neighbor): every message pays a hard floor
+// of slowness plus an exponential tail, doubling the effective latency on
+// average. Controllers tuned on healthy profiles must re-adapt here.
+func DegradedProfile() Profile {
+	return Profile{
+		Name: "degraded",
+		Base: [4]time.Duration{50 * time.Microsecond, 500 * time.Microsecond, 1500 * time.Microsecond, 20 * time.Millisecond},
+		// Shifted exponential: never faster than 0.8x nominal, mean 2.0x,
+		// with a memoryless tail of multi-x stalls.
+		Jitter:               dist.Shifted{Base: dist.NewExponential(1.2), Offset: 0.8},
+		BandwidthBytesPerSec: 20e6,
+		ClientLatency:        4 * time.Millisecond,
+	}
+}
+
+// CongestedBimodalProfile models intra-DC congestion events: most messages
+// see well-behaved lognormal jitter, but a fraction hit a congested path
+// (queue buildup, incast) and arrive several times late. The two regimes
+// are exactly what a single-mode latency assumption gets wrong.
+func CongestedBimodalProfile() Profile {
+	return Profile{
+		Name: "congested-bimodal",
+		Base: [4]time.Duration{30 * time.Microsecond, 300 * time.Microsecond, 1 * time.Millisecond, 12 * time.Millisecond},
+		// 85% fast mode (lognormal, p99 = 2x), 15% congested mode at 4-6x+
+		// (shifted exponential); overall mean multiplier 1.75.
+		Jitter: dist.NewBimodal(
+			dist.LognormalFromMeanP99(1.0, 2.0),
+			dist.Shifted{Base: dist.NewExponential(2.0), Offset: 4},
+			0.15,
+		),
+		BandwidthBytesPerSec: 80e6,
+		ClientLatency:        2 * time.Millisecond,
+	}
+}
+
+// Profiles returns every named profile keyed by its Name, for CLIs and
+// experiment configs that select scenarios by string.
+func Profiles() map[string]Profile {
+	ps := map[string]Profile{}
+	for _, p := range []Profile{
+		Grid5000Profile(), EC2Profile(), WANHeavyTailProfile(),
+		DegradedProfile(), CongestedBimodalProfile(),
+	} {
+		ps[p.Name] = p
+	}
+	return ps
+}
+
 // UniformProfile gives every pair the same one-way latency; used by the
 // Fig. 4(b) sweep where latency is the controlled variable.
 func UniformProfile(oneWay time.Duration) Profile {

@@ -163,6 +163,82 @@ func TestProfilesSane(t *testing.T) {
 	}
 }
 
+func TestNamedProfilesRegistry(t *testing.T) {
+	ps := Profiles()
+	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal"} {
+		p, ok := ps[name]
+		if !ok {
+			t.Fatalf("registry missing profile %q", name)
+		}
+		if p.Name != name {
+			t.Fatalf("profile keyed %q has Name %q", name, p.Name)
+		}
+		if p.Jitter == nil {
+			t.Fatalf("profile %q has nil jitter", name)
+		}
+		// Base latencies must be monotone in proximity class.
+		for i := 1; i < 4; i++ {
+			if p.Base[i] < p.Base[i-1] {
+				t.Fatalf("profile %q base latencies not monotone: %v", name, p.Base)
+			}
+		}
+	}
+	if len(ps) != 5 {
+		t.Fatalf("registry has %d profiles, want 5", len(ps))
+	}
+}
+
+// TestStressProfileJitterShapes pins the statistical character each new
+// profile was added for, via the samplers' analytic accessors.
+func TestStressProfileJitterShapes(t *testing.T) {
+	wan, deg, con := WANHeavyTailProfile(), DegradedProfile(), CongestedBimodalProfile()
+	// All jitters are multiplicative factors with mean in a sane band.
+	for _, p := range []Profile{wan, deg, con} {
+		m := p.Jitter.Mean()
+		if m < 0.9 || m > 2.5 {
+			t.Errorf("%s jitter mean = %v, want ~[1, 2.5]", p.Name, m)
+		}
+		if p99 := p.Jitter.Quantile(0.99); p99 <= m {
+			t.Errorf("%s jitter p99 %v not above mean %v", p.Name, p99, m)
+		}
+	}
+	// Heavy tail: WAN p99.99 must dwarf its p99.
+	if r := wan.Jitter.Quantile(0.9999) / wan.Jitter.Quantile(0.99); r < 3 {
+		t.Errorf("wan tail ratio p99.99/p99 = %v, want heavy", r)
+	}
+	// Degraded has a hard floor: even the p1 multiplier stays above it.
+	if q := deg.Jitter.Quantile(0.01); q < 0.8 {
+		t.Errorf("degraded floor broken: p1 multiplier = %v", q)
+	}
+	// Bimodal: the congested mode must show as a jump between median and
+	// tail that a unimodal lognormal of the same median would not have.
+	if r := con.Jitter.Quantile(0.95) / con.Jitter.Quantile(0.5); r < 3 {
+		t.Errorf("congested p95/p50 = %v, want bimodal separation", r)
+	}
+}
+
+// TestStressProfilesProduceDelays drives each new profile through Net to
+// make sure jitter sampling and clamping hold on the hot path.
+func TestStressProfilesProduceDelays(t *testing.T) {
+	for _, p := range []Profile{WANHeavyTailProfile(), DegradedProfile(), CongestedBimodalProfile()} {
+		n := newNet(t, p)
+		seen := map[time.Duration]bool{}
+		for i := 0; i < 200; i++ {
+			d, up := n.Delay("a", "d", 256) // cross-DC with a payload
+			if !up {
+				t.Fatalf("%s: link down without partition", p.Name)
+			}
+			if d <= 0 {
+				t.Fatalf("%s: non-positive delay %v", p.Name, d)
+			}
+			seen[d] = true
+		}
+		if len(seen) < 50 {
+			t.Fatalf("%s: only %d distinct delays in 200 draws", p.Name, len(seen))
+		}
+	}
+}
+
 func TestNegativeDelayClamped(t *testing.T) {
 	p := UniformProfile(time.Millisecond)
 	p.Jitter = dist.Constant{V: -5} // hostile sampler

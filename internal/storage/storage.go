@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"harmony/internal/wire"
 )
@@ -29,9 +30,10 @@ type Engine struct {
 	tables    []*table
 	log       CommitLog
 
-	// statistics
+	// statistics; reads is atomic because it is bumped under the read
+	// lock, where concurrent Gets would otherwise race on the counter.
 	writes    uint64
-	reads     uint64
+	reads     atomic.Uint64
 	flushes   uint64
 	compacted uint64
 }
@@ -112,7 +114,7 @@ func (e *Engine) Apply(key []byte, v wire.Value) (bool, error) {
 func (e *Engine) Get(key []byte) (wire.Value, bool) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	e.reads++
+	e.reads.Add(1)
 	return e.lookupLocked(string(key))
 }
 
@@ -255,7 +257,7 @@ func (e *Engine) Stats() Stats {
 	}
 	return Stats{
 		Writes:        e.writes,
-		Reads:         e.reads,
+		Reads:         e.reads.Load(),
 		Flushes:       e.flushes,
 		Compactions:   e.compacted,
 		MemtableKeys:  len(e.memtable),

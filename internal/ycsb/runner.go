@@ -7,6 +7,7 @@ import (
 
 	"harmony/internal/client"
 	"harmony/internal/cluster"
+	"harmony/internal/dist"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/stats"
@@ -35,6 +36,13 @@ type RunConfig struct {
 	Seed int64
 	// OpTimeout bounds each operation; zero means 5s.
 	OpTimeout time.Duration
+	// ThinkTime, when set, samples a pause in seconds that each thread
+	// waits after an operation completes before issuing the next — the
+	// closed-loop-with-think-time client model (YCSB's target-rate mode
+	// is the special case of a constant gap). Nil preserves the paper's
+	// pure closed loop. Draws use the issuing thread's seeded rng, so
+	// runs stay deterministic.
+	ThinkTime dist.Sampler
 }
 
 // Report summarizes a completed run.
@@ -83,7 +91,7 @@ type Runner struct {
 	c       *cluster.Cluster
 	threads []*thread
 	rng     *rand.Rand
-	chooser keyChooser
+	chooser dist.KeyChooser
 
 	active    int
 	issued    int64
@@ -98,11 +106,6 @@ type Runner struct {
 	readLat   stats.Histogram
 	updateLat stats.Histogram
 	valuePool [][]byte
-}
-
-type keyChooser interface {
-	Next(r *rand.Rand) int64
-	SetItemCount(n int64)
 }
 
 type thread struct {
@@ -340,6 +343,12 @@ func (r *Runner) finish(th *thread, start time.Time, hist *stats.Histogram, err 
 		r.errors++
 	} else {
 		hist.Record(r.s.Now().Sub(start))
+	}
+	if r.cfg.ThinkTime != nil {
+		if d := dist.SampleDuration(r.cfg.ThinkTime, th.rng, time.Second); d > 0 {
+			r.s.After(d, func() { r.next(th) })
+			return
+		}
 	}
 	r.next(th)
 }
