@@ -250,13 +250,29 @@ func BenchmarkWorkloadAEventual(b *testing.B) {
 	b.ReportMetric(res.Report.ThroughputOps, "virtual_ops/s")
 }
 
-// BenchmarkScenarioStressProfiles drives Harmony through the three
+// BenchmarkHotCold runs the per-group-vs-global controller comparison and
+// reports the throughput gain per-group adaptation buys.
+func BenchmarkHotCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.HotCold(bench.DefaultHotColdSpec(), bench.Options{OpsPerPoint: 8000, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(res.PerGroup.ThroughputOps, "pergroup_ops/s")
+			b.ReportMetric(res.Global.ThroughputOps, "global_ops/s")
+			b.ReportMetric(res.ThroughputGain*100, "gain_pct")
+		}
+	}
+}
+
+// BenchmarkScenarioStressProfiles drives Harmony through the four
 // stress-network scenarios (Pareto-tail WAN, degraded links, bimodal
-// congestion) and reports throughput and measured stale fraction, so the
-// adaptive controller's behavior under scenario-diverse timing shows up
-// alongside the paper's figures.
+// congestion, mid-run jitter drift) and reports throughput and measured
+// stale fraction, so the adaptive controller's behavior under
+// scenario-diverse timing shows up alongside the paper's figures.
 func BenchmarkScenarioStressProfiles(b *testing.B) {
-	for _, sc := range []bench.Scenario{bench.WANHeavyTail(), bench.Degraded(), bench.CongestedBimodal()} {
+	for _, sc := range []bench.Scenario{bench.WANHeavyTail(), bench.Degraded(), bench.CongestedBimodal(), bench.Drifting()} {
 		sc := sc
 		b.Run(sc.Name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {

@@ -8,13 +8,19 @@
 //	harmony-bench -experiment all
 //	harmony-bench -experiment fig5 -scenario grid5000 -ops 100000
 //	harmony-bench -experiment fig4a -csv out/
+//	harmony-bench -experiment hotcold -json out/hotcold.json
+//	harmony-bench -experiment fig5 -arrival 8000   # open-loop Poisson load
 //
-// Experiments: fig4a fig4b fig5 fig6 headline ablations all. fig5 and fig6
-// derive from the same measurement grid; requesting either runs the grid for
-// the selected scenario(s).
+// Experiments: fig4a fig4b fig5 fig6 headline ablations hotcold all. fig5
+// and fig6 derive from the same measurement grid; requesting either runs
+// the grid for the selected scenario(s). hotcold compares the per-group
+// multi-model controller against the global controller on a hot/cold key
+// split; -json writes its results (plus any figures) as machine-readable
+// JSON for CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -28,17 +34,19 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|all")
-		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal), 'both' paper testbeds, or 'all'")
+		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|all")
+		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal, drifting), 'both' paper testbeds, or 'all'")
 		ops        = flag.Int64("ops", 30000, "operations per measurement point")
 		seed       = flag.Int64("seed", 1, "root random seed")
 		threads    = flag.String("threads", "", "comma-separated thread sweep override, e.g. 1,15,40,70,90,100")
+		arrival    = flag.Float64("arrival", 0, "open-loop Poisson arrival rate (ops/s); 0 keeps the paper's closed loop")
 		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files")
+		jsonPath   = flag.String("json", "", "file to write machine-readable JSON results")
 		quiet      = flag.Bool("quiet", false, "suppress progress lines")
 	)
 	flag.Parse()
 
-	opts := bench.Options{OpsPerPoint: *ops, Seed: *seed}
+	opts := bench.Options{OpsPerPoint: *ops, Seed: *seed, ArrivalRate: *arrival}
 	if !*quiet {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, "  "+line) }
 	}
@@ -55,6 +63,7 @@ func main() {
 	scenarios := selectScenarios(*scenario)
 	start := time.Now()
 	var figures []bench.Figure
+	var hotcolds []bench.HotColdResult
 
 	runGridFigures := func() {
 		ids := map[string][2]string{
@@ -81,7 +90,8 @@ func main() {
 	case wants(*experiment, "fig4a"):
 	case wants(*experiment, "fig4b"):
 	case wants(*experiment, "fig5"), wants(*experiment, "fig6"),
-		wants(*experiment, "headline"), wants(*experiment, "ablations"):
+		wants(*experiment, "headline"), wants(*experiment, "ablations"),
+		wants(*experiment, "hotcold"):
 	default:
 		fatalf("unknown experiment %q", *experiment)
 	}
@@ -114,6 +124,23 @@ func main() {
 	}
 	if wants(*experiment, "ablations") {
 		runAblations(opts, &figures)
+	}
+	if wants(*experiment, "hotcold") {
+		for _, sc := range scenarios {
+			spec := bench.DefaultHotColdSpec()
+			spec.Scenario = sc
+			spec.ArrivalRate = *arrival
+			res, err := bench.HotCold(spec, opts)
+			if err != nil {
+				fatalf("hotcold %s: %v", sc.Name, err)
+			}
+			fmt.Println(res.Format())
+			hotcolds = append(hotcolds, res)
+		}
+	}
+
+	if *jsonPath != "" {
+		writeJSON(*jsonPath, figures, hotcolds)
 	}
 
 	for _, f := range figures {
@@ -158,6 +185,28 @@ func runAblations(opts bench.Options, figures *[]bench.Figure) {
 	} else {
 		*figures = append(*figures, fig)
 	}
+}
+
+// writeJSON persists every result of the invocation as one machine-readable
+// document (the CI artifact format).
+func writeJSON(path string, figures []bench.Figure, hotcolds []bench.HotColdResult) {
+	doc := struct {
+		Figures []bench.Figure        `json:"figures,omitempty"`
+		HotCold []bench.HotColdResult `json:"hotcold,omitempty"`
+	}{Figures: figures, HotCold: hotcolds}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatalf("marshal json: %v", err)
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatalf("json dir: %v", err)
+		}
+	}
+	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 }
 
 func selectScenarios(name string) []bench.Scenario {

@@ -283,7 +283,7 @@ func TestHeadlineComputesRatios(t *testing.T) {
 
 func TestScenarioRegistry(t *testing.T) {
 	ss := Scenarios()
-	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal"} {
+	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal", "drifting"} {
 		sc, ok := ss[name]
 		if !ok {
 			t.Fatalf("registry missing scenario %q", name)
@@ -295,8 +295,88 @@ func TestScenarioRegistry(t *testing.T) {
 			t.Fatalf("scenario %q not fully configured: %+v", name, sc)
 		}
 	}
-	if len(ss) != 5 {
-		t.Fatalf("registry has %d scenarios, want 5", len(ss))
+	if len(ss) != 6 {
+		t.Fatalf("registry has %d scenarios, want 6", len(ss))
+	}
+	if ss["drifting"].Prepare == nil {
+		t.Fatal("drifting scenario has no Prepare hook")
+	}
+}
+
+// TestHotColdPerGroupBeatsGlobal pins the tentpole acceptance criterion:
+// per-group adaptation achieves throughput at least matching the global
+// Harmony controller while every group's measured staleness stays within
+// its tolerance.
+func TestHotColdPerGroupBeatsGlobal(t *testing.T) {
+	spec := DefaultHotColdSpec()
+	res, err := HotCold(spec, Options{OpsPerPoint: 12000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", res.Format())
+	if res.PerGroup.ThroughputOps < res.Global.ThroughputOps {
+		t.Fatalf("per-group throughput %.0f below global %.0f",
+			res.PerGroup.ThroughputOps, res.Global.ThroughputOps)
+	}
+	if len(res.PerGroup.Groups) != 2 {
+		t.Fatalf("groups = %+v", res.PerGroup.Groups)
+	}
+	for _, g := range res.PerGroup.Groups {
+		if !g.WithinTolerance {
+			t.Fatalf("per-group run: %s staleness %.3f exceeds tolerance %.2f",
+				g.Name, g.StaleFraction, g.Tolerance)
+		}
+		if g.ShadowSamples == 0 {
+			t.Fatalf("%s group never probed", g.Name)
+		}
+	}
+	// The differentiation that buys the throughput: the hot group holds a
+	// level above ONE while the cold group's reads stay eventual.
+	hot, cold := res.PerGroup.Groups[0], res.PerGroup.Groups[1]
+	if hot.FinalLevel == "ONE" {
+		t.Fatalf("hot group never escalated: %+v", hot)
+	}
+	if cold.FinalLevel != "ONE" {
+		t.Fatalf("cold group did not stay eventual: %+v", cold)
+	}
+	if res.PerGroup.Errors > res.PerGroup.Operations/50 || res.Global.Errors > res.Global.Operations/50 {
+		t.Fatalf("excessive errors: per-group %d, global %d", res.PerGroup.Errors, res.Global.Errors)
+	}
+}
+
+func TestHotColdValidation(t *testing.T) {
+	spec := DefaultHotColdSpec()
+	spec.HotKeys = spec.TotalKeys
+	if _, err := HotCold(spec, Options{}); err == nil {
+		t.Fatal("degenerate key split accepted")
+	}
+}
+
+// TestDriftingScenarioReAdapts drives the drifting profile end to end: the
+// controller must emit decisions on both sides of the regime change, and
+// the latency estimate it sees must grow as the jitter drifts degraded.
+func TestDriftingScenarioReAdapts(t *testing.T) {
+	sc := Drifting()
+	res, err := RunPolicy(RunSpec{
+		Scenario: sc,
+		Policy:   PolicySpec{Kind: PolicyHarmony, Tolerance: sc.HarmonyTolerances[0]},
+		Workload: ycsb.WorkloadA(),
+		Threads:  40,
+		Ops:      60000,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := res.Decisions
+	if len(ds) < 8 {
+		t.Fatalf("only %d decisions across the drift", len(ds))
+	}
+	// Compare the controller's measured Tp early (healthy regime) vs late
+	// (degraded regime): the drift must be visible to the monitor.
+	early, late := ds[1].Model.Tp, ds[len(ds)-1].Model.Tp
+	if late < early*3/2 {
+		t.Fatalf("latency estimate did not degrade across the drift: early %v, late %v", early, late)
 	}
 }
 

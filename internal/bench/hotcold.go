@@ -1,0 +1,314 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/core"
+	"harmony/internal/sim"
+	"harmony/internal/ycsb"
+)
+
+// The hotcold experiment demonstrates the payoff of per-key-group
+// adaptation (§VII's consistency categories made concrete): the keyspace
+// splits into a small hot range hammered by zipfian 50/50 traffic and a
+// large cold range served read-mostly with uniform key choice. A global
+// Harmony controller must satisfy the hot data's tight staleness target on
+// every read — including the overwhelmingly safe cold ones. The per-group
+// multi-model controller gives each group its own measured λr/λw and its
+// own tolerance, so cold reads stay at ONE while hot reads tighten, buying
+// throughput without spending staleness where it matters.
+
+// HotColdSpec parameterizes the hot/cold experiment.
+type HotColdSpec struct {
+	Scenario Scenario
+	// HotKeys is the size of the hot key range [0, HotKeys); TotalKeys is
+	// the whole keyspace (the cold range is [HotKeys, TotalKeys)).
+	HotKeys   int64
+	TotalKeys int64
+	// HotThreads / ColdThreads size the two closed-loop client pools.
+	HotThreads, ColdThreads int
+	// HotTolerance is the hot group's (tight) tolerable stale-read rate;
+	// the global baseline controller runs at this same tolerance, since a
+	// single-knob deployment must protect its most sensitive data.
+	// ColdTolerance is the cold group's loose target.
+	HotTolerance, ColdTolerance float64
+	// ArrivalRate, when positive, drives both client pools open loop,
+	// splitting the aggregate Poisson rate between them in proportion to
+	// their thread counts.
+	ArrivalRate float64
+}
+
+// DefaultHotColdSpec returns the standard configuration: 500 hot keys
+// inside a 20k keyspace on the Grid'5000 profile, with a 5% hot target and
+// a 60% cold target.
+func DefaultHotColdSpec() HotColdSpec {
+	return HotColdSpec{
+		Scenario:      Grid5000(),
+		HotKeys:       500,
+		TotalKeys:     20_000,
+		HotThreads:    20,
+		ColdThreads:   40,
+		HotTolerance:  0.05,
+		ColdTolerance: 0.60,
+	}
+}
+
+// HotColdGroup is one key group's outcome in a hotcold run.
+type HotColdGroup struct {
+	Name            string  `json:"name"`
+	Tolerance       float64 `json:"tolerance"`
+	Reads           uint64  `json:"reads"`
+	Writes          uint64  `json:"writes"`
+	ShadowSamples   uint64  `json:"shadow_samples"`
+	StaleReads      uint64  `json:"stale_reads"`
+	StaleFraction   float64 `json:"stale_fraction"`
+	WithinTolerance bool    `json:"within_tolerance"`
+	// FinalLevel is the consistency level the controller held for this
+	// group when measurement ended.
+	FinalLevel string `json:"final_level"`
+}
+
+// HotColdRun is one policy's measurement.
+type HotColdRun struct {
+	Policy        string         `json:"policy"`
+	ThroughputOps float64        `json:"throughput_ops"`
+	Operations    int64          `json:"operations"`
+	Errors        int64          `json:"errors"`
+	ReadP99Ms     float64        `json:"read_p99_ms"`
+	Groups        []HotColdGroup `json:"groups"`
+}
+
+// HotColdResult compares per-group adaptation against the global
+// controller on identical load.
+type HotColdResult struct {
+	Scenario       string     `json:"scenario"`
+	HotKeys        int64      `json:"hot_keys"`
+	TotalKeys      int64      `json:"total_keys"`
+	Ops            int64      `json:"ops"`
+	PerGroup       HotColdRun `json:"per_group"`
+	Global         HotColdRun `json:"global"`
+	ThroughputGain float64    `json:"throughput_gain"` // PerGroup/Global - 1
+}
+
+// Format renders the comparison.
+func (r HotColdResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== hotcold (%s, %d hot / %d total keys, %d ops) ==\n",
+		r.Scenario, r.HotKeys, r.TotalKeys, r.Ops)
+	for _, run := range []HotColdRun{r.PerGroup, r.Global} {
+		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s readP99=%6.2fms errors=%d\n",
+			run.Policy, run.ThroughputOps, run.ReadP99Ms, run.Errors)
+		for _, g := range run.Groups {
+			status := "within"
+			if !g.WithinTolerance {
+				status = "EXCEEDED"
+			}
+			fmt.Fprintf(&b, "  %-5s level=%-6s stale=%d/%d (%.3f vs tol %.2f, %s) reads=%d writes=%d\n",
+				g.Name, g.FinalLevel, g.StaleReads, g.ShadowSamples,
+				g.StaleFraction, g.Tolerance, status, g.Reads, g.Writes)
+		}
+	}
+	fmt.Fprintf(&b, "throughput gain per-group vs global: %+.0f%%\n", r.ThroughputGain*100)
+	return b.String()
+}
+
+// hotColdGroupFn tags keys below the hot threshold as group 0.
+func hotColdGroupFn(hotKeys int64) func([]byte) int {
+	return func(key []byte) int {
+		if idx, ok := ycsb.KeyIndex(key); ok && idx < hotKeys {
+			return 0
+		}
+		return 1
+	}
+}
+
+// HotCold measures the hotcold experiment for both controllers and
+// compares them. opts.OpsPerPoint is the measured operation budget per
+// policy; opts.Seed drives all randomness.
+func HotCold(spec HotColdSpec, opts Options) (HotColdResult, error) {
+	opts = opts.withDefaults()
+	if spec.HotKeys <= 0 || spec.TotalKeys <= spec.HotKeys {
+		return HotColdResult{}, fmt.Errorf("bench: hotcold needs 0 < HotKeys < TotalKeys, got %d/%d", spec.HotKeys, spec.TotalKeys)
+	}
+	res := HotColdResult{
+		Scenario:  spec.Scenario.Name,
+		HotKeys:   spec.HotKeys,
+		TotalKeys: spec.TotalKeys,
+		Ops:       opts.OpsPerPoint,
+	}
+	perGroup, err := runHotCold(spec, opts, true)
+	if err != nil {
+		return HotColdResult{}, fmt.Errorf("bench: hotcold per-group: %w", err)
+	}
+	global, err := runHotCold(spec, opts, false)
+	if err != nil {
+		return HotColdResult{}, fmt.Errorf("bench: hotcold global: %w", err)
+	}
+	res.PerGroup, res.Global = perGroup, global
+	if global.ThroughputOps > 0 {
+		res.ThroughputGain = perGroup.ThroughputOps/global.ThroughputOps - 1
+	}
+	opts.progress("hotcold %s: per-group %.0f ops/s vs global %.0f ops/s (%+.0f%%)",
+		spec.Scenario.Name, perGroup.ThroughputOps, global.ThroughputOps, res.ThroughputGain*100)
+	return res, nil
+}
+
+// runHotCold measures one policy: the multi-model per-group controller
+// (perGroup) or the classic global controller at the hot tolerance.
+func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, error) {
+	s := sim.New(opts.Seed)
+	cspec := spec.Scenario.Spec
+	cspec.Groups = 2
+	cspec.GroupFn = hotColdGroupFn(spec.HotKeys)
+	c, err := cluster.BuildSim(s, cspec)
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	if spec.Scenario.Prepare != nil {
+		if stop := spec.Scenario.Prepare(s, c); stop != nil {
+			defer stop()
+		}
+	}
+
+	ccfg := core.ControllerConfig{
+		Policy: core.Policy{
+			Name: fmt.Sprintf("hotcold-%d%%", int(spec.HotTolerance*100+0.5)),
+			// A single-knob deployment must protect its most sensitive
+			// (hot) data on every read.
+			ToleratedStaleRate: spec.HotTolerance,
+		},
+		N:                    cspec.RF,
+		AvgWriteBytes:        1024,
+		BandwidthBytesPerSec: cspec.Profile.BandwidthBytesPerSec,
+	}
+	if perGroup {
+		ccfg.Groups = 2
+		ccfg.GroupFn = cspec.GroupFn
+		ccfg.GroupTolerances = []float64{spec.HotTolerance, spec.ColdTolerance}
+	}
+	ctl := core.NewController(ccfg)
+	mon := core.NewMonitor(core.MonitorConfig{
+		ID:             "harmony-monitor",
+		Nodes:          c.NodeIDs(),
+		Interval:       spec.Scenario.MonitorInterval,
+		ReplicaSetSize: cspec.RF,
+		OnObservation:  ctl.Observe,
+	}, s, c.Bus)
+	c.Net.Colocate("harmony-monitor", c.NodeIDs()[0])
+	c.Bus.Register("harmony-monitor", s, mon)
+
+	hotWl := ycsb.Workload{
+		Name: "hotcold-hot", ReadProportion: 0.5, UpdateProportion: 0.5,
+		RecordCount: spec.HotKeys, ValueBytes: 1024,
+		RequestDistribution: ycsb.DistZipfian,
+	}
+	coldWl := ycsb.Workload{
+		Name: "hotcold-cold", ReadProportion: 0.95, UpdateProportion: 0.05,
+		RecordCount: spec.TotalKeys, ValueBytes: 1024,
+		RequestDistribution: ycsb.DistUniform,
+	}
+	totalThreads := spec.HotThreads + spec.ColdThreads
+	newRunner := func(wl ycsb.Workload, threads int, prefix string, seedOff int64) (*ycsb.Runner, error) {
+		cfg := ycsb.RunConfig{
+			Workload:     wl,
+			Threads:      threads,
+			ShadowEvery:  4,
+			Seed:         opts.Seed + seedOff,
+			ClientPrefix: prefix,
+		}
+		if perGroup {
+			cfg.KeyLevels = ctl
+		} else {
+			cfg.Levels = ctl
+		}
+		if spec.ArrivalRate > 0 && totalThreads > 0 {
+			cfg.ArrivalRate = spec.ArrivalRate * float64(threads) / float64(totalThreads)
+		}
+		return ycsb.NewRunner(cfg, s, c)
+	}
+	hotR, err := newRunner(hotWl, spec.HotThreads, "hot", 101)
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	coldR, err := newRunner(coldWl, spec.ColdThreads, "cold", 202)
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	// Load the full keyspace once (the cold workload spans it; the hot
+	// range is its prefix).
+	coldR.Load()
+
+	mon.Start()
+	hotR.Start()
+	coldR.Start()
+	// Warm up long enough for several monitor rounds so the controller
+	// reaches steady state before measurement.
+	warmup := 8 * spec.Scenario.MonitorInterval
+	if warmup < 2*time.Second {
+		warmup = 2 * time.Second
+	}
+	s.RunFor(warmup)
+	hotR.ResetMeasurement()
+	coldR.ResetMeasurement()
+	for hotR.Completed()+coldR.Completed() < opts.OpsPerPoint {
+		if !s.Step() {
+			return HotColdRun{}, fmt.Errorf("simulation went idle with %d/%d measured ops",
+				hotR.Completed()+coldR.Completed(), opts.OpsPerPoint)
+		}
+	}
+	hotR.Stop()
+	coldR.Stop()
+	mon.Stop()
+	hotR.Drain()
+	coldR.Drain()
+
+	hotRep, coldRep := hotR.Report(), coldR.Report()
+	run := HotColdRun{
+		Policy:        "global",
+		ThroughputOps: hotRep.ThroughputOps + coldRep.ThroughputOps,
+		Operations:    hotRep.Operations + coldRep.Operations,
+		Errors:        hotRep.Errors + coldRep.Errors,
+	}
+	if perGroup {
+		run.Policy = "per-group"
+	}
+	// Read p99 over both pools: take the slower of the two histograms'
+	// p99s weighted toward the larger pool by reporting the max (the SLO
+	// view: every user population must meet its target).
+	p99 := hotRep.ReadLatency.P99()
+	if c := coldRep.ReadLatency.P99(); c > p99 {
+		p99 = c
+	}
+	run.ReadP99Ms = float64(p99) / 1e6
+
+	// Per-group staleness over the shared measurement window: both
+	// runners re-baselined at the same instant, so either report carries
+	// the cluster-wide group deltas; use the hot runner's.
+	tols := []float64{spec.HotTolerance, spec.ColdTolerance}
+	names := []string{"hot", "cold"}
+	for g, gs := range hotRep.Groups {
+		if g >= len(names) {
+			break
+		}
+		hg := HotColdGroup{
+			Name:          names[g],
+			Tolerance:     tols[g],
+			Reads:         gs.Reads,
+			Writes:        gs.Writes,
+			ShadowSamples: gs.ShadowSamples,
+			StaleReads:    gs.StaleReads,
+			StaleFraction: gs.StaleFraction(),
+		}
+		hg.WithinTolerance = hg.StaleFraction <= hg.Tolerance
+		if perGroup {
+			hg.FinalLevel = ctl.GroupLast(g).Level.String()
+		} else {
+			hg.FinalLevel = ctl.Last().Level.String()
+		}
+		run.Groups = append(run.Groups, hg)
+	}
+	return run, nil
+}

@@ -18,6 +18,9 @@ type RunSpec struct {
 	Threads  int
 	Ops      int64
 	Seed     int64
+	// ArrivalRate, when positive, drives the run open-loop: Poisson
+	// arrivals at this aggregate rate instead of the closed thread loop.
+	ArrivalRate float64
 }
 
 // RunResult is one completed measurement point.
@@ -39,6 +42,11 @@ func RunPolicy(spec RunSpec) (RunResult, error) {
 	if err != nil {
 		return RunResult{}, err
 	}
+	if spec.Scenario.Prepare != nil {
+		if stop := spec.Scenario.Prepare(s, c); stop != nil {
+			defer stop()
+		}
+	}
 	levels, ctl := spec.Policy.levelSource(spec.Scenario.Spec.RF, spec.Workload, spec.Scenario.Spec.Profile)
 	var mon *core.Monitor
 	if ctl != nil {
@@ -59,6 +67,7 @@ func RunPolicy(spec RunSpec) (RunResult, error) {
 		Levels:      levels,
 		ShadowEvery: 5, // sample 20% of reads for the staleness probe
 		Seed:        spec.Seed,
+		ArrivalRate: spec.ArrivalRate,
 	}, s, c)
 	if err != nil {
 		return RunResult{}, err
@@ -107,6 +116,10 @@ type Options struct {
 	// PhaseDuration is the virtual time per thread phase in Fig. 4(a);
 	// zero selects DefaultFig4aPhase.
 	PhaseDuration time.Duration
+	// ArrivalRate, when positive, drives every measurement point open
+	// loop: Poisson arrivals at this aggregate ops/s instead of the
+	// paper's closed thread loop.
+	ArrivalRate float64
 	// Progress, when set, receives one line per completed point.
 	Progress func(string)
 }
@@ -139,12 +152,13 @@ func RunGrid(sc Scenario, policies []PolicySpec, opts Options) (Grid, error) {
 		row := make([]RunResult, 0, len(opts.Threads))
 		for ti, th := range opts.Threads {
 			spec := RunSpec{
-				Scenario: sc,
-				Policy:   pol,
-				Workload: ycsb.WorkloadA(),
-				Threads:  th,
-				Ops:      opts.OpsPerPoint,
-				Seed:     opts.Seed + int64(pi*1000+ti),
+				Scenario:    sc,
+				Policy:      pol,
+				Workload:    ycsb.WorkloadA(),
+				Threads:     th,
+				Ops:         opts.OpsPerPoint,
+				Seed:        opts.Seed + int64(pi*1000+ti),
+				ArrivalRate: opts.ArrivalRate,
 			}
 			res, err := RunPolicy(spec)
 			if err != nil {

@@ -7,6 +7,7 @@ import (
 	"harmony/internal/client"
 	"harmony/internal/cluster"
 	"harmony/internal/core"
+	"harmony/internal/sim"
 	"harmony/internal/simnet"
 	"harmony/internal/wire"
 	"harmony/internal/ycsb"
@@ -22,6 +23,11 @@ type Scenario struct {
 	// HarmonyTolerances are the two tolerable-stale-rate settings the
 	// paper evaluates on this testbed (Grid'5000: 20%/40%; EC2: 40%/60%).
 	HarmonyTolerances [2]float64
+	// Prepare, when set, is invoked after the cluster is built and before
+	// load starts; scenarios use it to inject mid-run dynamics (the
+	// drifting profile's jitter schedule). The returned stop function
+	// (may be nil) runs when the measurement ends.
+	Prepare func(s *sim.Sim, c *cluster.Cluster) (stop func())
 }
 
 // Grid5000 is the paper's first testbed scaled to simulation: 20 physical
@@ -103,12 +109,43 @@ func CongestedBimodal() Scenario {
 	}
 }
 
+// Drifting runs the LAN topology through a mid-run regime change: the
+// network starts healthy and its jitter drifts into the degraded regime
+// over DriftWindow of virtual time, starting after a stable lead-in. It
+// is the re-adaptation-speed scenario — a controller calibrated on the
+// healthy network watches its latency estimate decay underneath it.
+func Drifting() Scenario {
+	profile, knob := simnet.DriftingProfile()
+	spec := cluster.DefaultSpec()
+	spec.Profile = profile
+	const (
+		lead        = 1 * time.Second // healthy lead-in before the drift begins
+		driftWindow = 5 * time.Second // full drift healthy -> degraded
+	)
+	return Scenario{
+		Name:              "drifting",
+		Spec:              spec,
+		MonitorInterval:   250 * time.Millisecond,
+		HarmonyTolerances: [2]float64{0.20, 0.40},
+		Prepare: func(s *sim.Sim, c *cluster.Cluster) func() {
+			knob.SetProgress(0)
+			start := s.Now()
+			return sim.Every(s,
+				func() time.Duration { return 100 * time.Millisecond },
+				func() {
+					elapsed := s.Now().Sub(start) - lead
+					knob.SetProgress(elapsed.Seconds() / driftWindow.Seconds())
+				})
+		},
+	}
+}
+
 // Scenarios returns every named scenario keyed by name, for CLIs and
 // sweeps that select testbeds by string.
 func Scenarios() map[string]Scenario {
 	ss := map[string]Scenario{}
 	for _, sc := range []Scenario{
-		Grid5000(), EC2(), WANHeavyTail(), Degraded(), CongestedBimodal(),
+		Grid5000(), EC2(), WANHeavyTail(), Degraded(), CongestedBimodal(), Drifting(),
 	} {
 		ss[sc.Name] = sc
 	}

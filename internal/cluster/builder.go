@@ -43,6 +43,13 @@ type Spec struct {
 	// value selects DefaultServiceProfile. Set Disabled to bypass queueing
 	// (pure-network experiments).
 	Service ServiceProfile
+	// Groups and GroupFn configure per-key-group telemetry on every node:
+	// each coordinated read/write is tagged into a group and tallied
+	// separately, so the monitoring pipeline can adapt consistency per
+	// group instead of cluster-wide. Zero Groups means one implicit group
+	// (the classic global pipeline).
+	Groups  int
+	GroupFn func(key []byte) int
 }
 
 // ServiceProfile gives per-message-class service times for the node queue.
@@ -243,6 +250,8 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 			ReadRepairChance: spec.ReadRepairChance,
 			HintedHandoff:    spec.HintedHandoff,
 			Engine:           spec.Engine,
+			Groups:           spec.Groups,
+			GroupFn:          spec.GroupFn,
 			Rand:             s.NewStream(),
 		}, rt, bus)
 		var h transport.Handler = n
@@ -283,8 +292,23 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		for i := range s.LevelUse {
 			total.LevelUse[i] += s.LevelUse[i]
 		}
+		total.GroupReads = addCounters(total.GroupReads, s.GroupReads)
+		total.GroupWrites = addCounters(total.GroupWrites, s.GroupWrites)
+		total.GroupShadowSamples = addCounters(total.GroupShadowSamples, s.GroupShadowSamples)
+		total.GroupShadowStale = addCounters(total.GroupShadowStale, s.GroupShadowStale)
 	}
 	return total
+}
+
+// addCounters element-wise adds src into dst, growing dst as needed.
+func addCounters(dst, src []uint64) []uint64 {
+	for len(dst) < len(src) {
+		dst = append(dst, 0)
+	}
+	for i, v := range src {
+		dst[i] += v
+	}
+	return dst
 }
 
 // Stop shuts down node maintenance and, for real-time runtimes, their

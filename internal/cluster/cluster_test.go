@@ -423,12 +423,201 @@ func TestPartitionCausesTimeoutThenHeals(t *testing.T) {
 func TestConsistencyLevelUseCounters(t *testing.T) {
 	h := newHarness(t, DefaultSpec(), client.Options{})
 	h.write(t, "k", "v")
-	for _, lvl := range []wire.ConsistencyLevel{wire.One, wire.Quorum, wire.All} {
-		h.read(t, "k", lvl)
+	// A known mix of read levels: the tallies must match exactly, slot by
+	// slot, with nothing bleeding into unused slots and writes not counted.
+	mix := map[wire.ConsistencyLevel]int{
+		wire.One: 3, wire.Two: 1, wire.Three: 2, wire.Quorum: 2, wire.All: 1,
+	}
+	total := 0
+	for lvl, n := range mix {
+		for i := 0; i < n; i++ {
+			if res := h.read(t, "k", lvl); res.Err != nil {
+				t.Fatalf("read at %v: %v", lvl, res.Err)
+			}
+			total++
+		}
 	}
 	m := h.c.AggregateMetrics()
-	if m.LevelUse[wire.One] != 1 || m.LevelUse[wire.Quorum] != 1 || m.LevelUse[wire.All] != 1 {
-		t.Fatalf("level use = %v", m.LevelUse)
+	for lvl, n := range mix {
+		if m.LevelUse[lvl] != uint64(n) {
+			t.Fatalf("LevelUse[%v] = %d, want %d (all: %v)", lvl, m.LevelUse[lvl], n, m.LevelUse)
+		}
+	}
+	if m.LevelUse[0] != 0 {
+		t.Fatalf("unused slot 0 tallied: %v", m.LevelUse)
+	}
+	var sum uint64
+	for _, v := range m.LevelUse {
+		sum += v
+	}
+	if sum != m.Reads || sum != uint64(total) {
+		t.Fatalf("level tallies sum to %d, reads = %d, issued = %d", sum, m.Reads, total)
+	}
+	if m.Writes != 1 {
+		t.Fatalf("writes = %d; writes must not enter LevelUse", m.Writes)
+	}
+}
+
+func TestBlockingReadRepairAtAll(t *testing.T) {
+	// Paper Fig. 1, strong consistency: at CL=ALL with divergent replicas
+	// the coordinator writes the newest version to the out-of-date
+	// replicas and answers the client only after their acks. With
+	// ReadRepairChance=0 there is no background repair at all, so replica
+	// convergence by response time can only come from the blocking path.
+	spec := DefaultSpec()
+	spec.ReadRepairChance = 0
+	h := newHarness(t, spec, client.Options{})
+	key := []byte("brr-key")
+	reps := ring.ReplicasForKey(h.c.Ring, h.c.Strategy, key)
+	if len(reps) != 5 {
+		t.Fatalf("replicas = %d", len(reps))
+	}
+	oldV := wire.Value{Data: []byte("old"), Timestamp: 10}
+	newV := wire.Value{Data: []byte("new"), Timestamp: 20}
+	for _, r := range reps {
+		if _, err := h.c.Node(r).Engine().Apply(key, oldV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := h.c.Node(reps[2]).Engine().Apply(key, newV); err != nil {
+		t.Fatal(err)
+	}
+
+	done, converged := false, false
+	var res client.ReadResult
+	h.drv.ReadAt(key, wire.All, func(r client.ReadResult) {
+		res = r
+		done = true
+		// The repairs were acknowledged before the response was sent, so
+		// every replica must already hold the newest version now.
+		converged = true
+		for _, rep := range reps {
+			if v, ok := h.c.Node(rep).Engine().Get(key); !ok || v.Timestamp != newV.Timestamp {
+				converged = false
+			}
+		}
+	})
+	h.s.RunFor(5 * time.Second)
+	if !done {
+		t.Fatal("ALL read never completed")
+	}
+	if res.Err != nil || string(res.Value) != "new" {
+		t.Fatalf("ALL read = %+v, want the newest version", res)
+	}
+	if !converged {
+		t.Fatal("response was not blocked on repair: stale replicas at response time")
+	}
+	m := h.c.AggregateMetrics()
+	if m.RepairsSent != 4 {
+		t.Fatalf("repairs sent = %d, want 4 (one per stale replica)", m.RepairsSent)
+	}
+	// A second ALL read finds agreement: no further repairs.
+	if r2 := h.read(t, string(key), wire.All); r2.Err != nil || string(r2.Value) != "new" {
+		t.Fatalf("second ALL read = %+v", r2)
+	}
+	if m2 := h.c.AggregateMetrics(); m2.RepairsSent != 4 {
+		t.Fatalf("converged read sent repairs: %d", m2.RepairsSent)
+	}
+}
+
+func TestBlockingReadRepairTimesOutWithDeadReplica(t *testing.T) {
+	// If a stale replica is unreachable, the blocking repair cannot
+	// complete and the ALL read must fail with a timeout rather than
+	// answer with unrepaired replicas.
+	spec := DefaultSpec()
+	spec.ReadRepairChance = 0
+	spec.ReadTimeout = 500 * time.Millisecond
+	h := newHarness(t, spec, client.Options{})
+	key := []byte("brr-dead")
+	reps := ring.ReplicasForKey(h.c.Ring, h.c.Strategy, key)
+	oldV := wire.Value{Data: []byte("old"), Timestamp: 10}
+	newV := wire.Value{Data: []byte("new"), Timestamp: 20}
+	for _, r := range reps {
+		h.c.Node(r).Engine().Apply(key, oldV)
+	}
+	h.c.Node(reps[0]).Engine().Apply(key, newV)
+	// Cut reps[1] off from everything after it would have answered the
+	// replica read... simpler: make it answer reads but never ack the
+	// repair by partitioning it after seeding. Since replica reads and
+	// repair mutations travel the same links, partitioning now makes the
+	// ALL read itself time out — which is the same guarantee: no answer
+	// with unrepaired replicas.
+	for _, other := range h.c.NodeIDs() {
+		if other != reps[1] {
+			h.c.Net.Partition(reps[1], other)
+		}
+	}
+	done := false
+	var res client.ReadResult
+	h.drv.ReadAt(key, wire.All, func(r client.ReadResult) { res = r; done = true })
+	h.s.RunFor(5 * time.Second)
+	if !done {
+		t.Fatal("read never completed")
+	}
+	if res.Err == nil {
+		t.Fatalf("ALL read with unreachable replica succeeded: %+v", res)
+	}
+}
+
+// groupByPrefix maps 'a'-prefixed keys to group 0, 'b' to 1, everything
+// else deliberately out of range (exercising the clamp).
+func groupByPrefix(key []byte) int {
+	switch {
+	case len(key) > 0 && key[0] == 'a':
+		return 0
+	case len(key) > 0 && key[0] == 'b':
+		return 1
+	}
+	return 99
+}
+
+func TestPerGroupMetricsPartitionTotals(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	h := newHarness(t, spec, client.Options{ShadowEvery: 1})
+	for i := 0; i < 4; i++ {
+		h.write(t, fmt.Sprintf("a%d", i), "v")
+	}
+	h.write(t, "b0", "v")
+	h.write(t, "zz", "v") // out-of-range group clamps to 0
+	for i := 0; i < 3; i++ {
+		h.read(t, fmt.Sprintf("a%d", i), wire.One)
+	}
+	h.read(t, "b0", wire.One)
+	h.read(t, "b0", wire.Quorum)
+
+	m := h.c.AggregateMetrics()
+	if len(m.GroupReads) != 2 || len(m.GroupWrites) != 2 {
+		t.Fatalf("group slices = %d/%d", len(m.GroupReads), len(m.GroupWrites))
+	}
+	if got := m.GroupWrites[0]; got != 5 { // 4 'a' writes + 1 clamped 'zz'
+		t.Fatalf("group 0 writes = %d, want 5", got)
+	}
+	if got := m.GroupWrites[1]; got != 1 {
+		t.Fatalf("group 1 writes = %d, want 1", got)
+	}
+	if m.GroupReads[0] != 3 || m.GroupReads[1] != 2 {
+		t.Fatalf("group reads = %v", m.GroupReads)
+	}
+	if m.GroupReads[0]+m.GroupReads[1] != m.Reads || m.GroupWrites[0]+m.GroupWrites[1] != m.Writes {
+		t.Fatalf("group counters do not partition totals: %+v", m)
+	}
+	var samples uint64
+	for _, v := range m.GroupShadowSamples {
+		samples += v
+	}
+	if samples != m.ShadowSamples || samples == 0 {
+		t.Fatalf("group shadow samples %d vs total %d", samples, m.ShadowSamples)
+	}
+	// Snapshot isolation: mutating a snapshot must not touch the node.
+	n := h.c.Nodes[0]
+	snap := n.Snapshot()
+	if len(snap.GroupReads) > 0 {
+		snap.GroupReads[0] += 1000
+		if n.Snapshot().GroupReads[0] == snap.GroupReads[0] {
+			t.Fatal("Snapshot aliases live group counters")
+		}
 	}
 }
 

@@ -51,6 +51,16 @@ type Config struct {
 	HintReplayInterval time.Duration
 	// Engine configures the local storage engine.
 	Engine storage.Options
+	// Groups is the number of key groups the node tallies separately for
+	// the monitoring pipeline; zero or negative means one. Group counters
+	// ride on StatsResponse so the monitor can derive per-group arrival
+	// rates and the controller can adapt each group independently.
+	Groups int
+	// GroupFn maps a key to its group in [0, Groups); nil assigns every
+	// key to group 0. Out-of-range results are clamped into range. The
+	// function runs on every coordinated operation, so it must be cheap
+	// and must not retain the key slice.
+	GroupFn func(key []byte) int
 	// Alive reports whether a peer is believed up; nil means always true.
 	// Wire a gossip.Detector's Alive method here for failure awareness.
 	Alive func(ring.NodeID) bool
@@ -79,6 +89,26 @@ type Metrics struct {
 	// LevelUse tallies coordinated reads per consistency level (index by
 	// wire.ConsistencyLevel). Slot 0 is unused.
 	LevelUse [6]uint64
+	// GroupReads / GroupWrites tally coordinated operations per key group
+	// (index by group id, length = Config.Groups). They partition Reads
+	// and Writes: summing a slice reproduces the aggregate counter.
+	GroupReads  []uint64
+	GroupWrites []uint64
+	// GroupShadowSamples / GroupShadowStale split the dual-read staleness
+	// probe counters by key group.
+	GroupShadowSamples []uint64
+	GroupShadowStale   []uint64
+}
+
+// clone deep-copies the metrics so snapshots do not alias the live
+// per-group slices.
+func (m Metrics) clone() Metrics {
+	out := m
+	out.GroupReads = append([]uint64(nil), m.GroupReads...)
+	out.GroupWrites = append([]uint64(nil), m.GroupWrites...)
+	out.GroupShadowSamples = append([]uint64(nil), m.GroupShadowSamples...)
+	out.GroupShadowStale = append([]uint64(nil), m.GroupShadowStale...)
+	return out
 }
 
 type readOp struct {
@@ -95,6 +125,7 @@ type readOp struct {
 	respTS    int64 // timestamp of the value returned to the client
 	respAt    int64 // virtual UnixNano when the client response was sent
 	shadow    bool
+	group     int
 	level     wire.ConsistencyLevel
 	cancel    func()
 	// Blocking read repair (CL=ALL, paper Fig. 1): the response to the
@@ -153,6 +184,9 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 	if cfg.Rand == nil {
 		cfg.Rand = rand.New(rand.NewSource(int64(len(cfg.ID)) + 1))
 	}
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
 	return &Node{
 		cfg:               cfg,
 		rt:                rt,
@@ -162,7 +196,26 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 		pendingWrites:     make(map[uint64]*writeOp),
 		pendingRepairAcks: make(map[uint64]*readOp),
 		hints:             make(map[ring.NodeID][]wire.Mutation),
+		metrics: Metrics{
+			GroupReads:         make([]uint64, cfg.Groups),
+			GroupWrites:        make([]uint64, cfg.Groups),
+			GroupShadowSamples: make([]uint64, cfg.Groups),
+			GroupShadowStale:   make([]uint64, cfg.Groups),
+		},
 	}
+}
+
+// groupOf assigns a key to its telemetry group, clamping GroupFn results
+// into the configured range.
+func (n *Node) groupOf(key []byte) int {
+	if n.cfg.GroupFn == nil {
+		return 0
+	}
+	g := n.cfg.GroupFn(key)
+	if g < 0 || g >= n.cfg.Groups {
+		return 0
+	}
+	return g
 }
 
 // ID returns the node's identity.
@@ -188,30 +241,17 @@ func (n *Node) Stop() {
 }
 
 // tick implements a runtime-generic ticker (sim.Sim has a native one, but a
-// node only holds the Runtime interface).
+// node only holds the Runtime interface). sim.Every's stop function is safe
+// to call from outside the node's runtime goroutine.
 func tick(rt sim.Runtime, every time.Duration, fn func()) (stop func()) {
-	stopped := false
-	var loop func()
-	loop = func() {
-		rt.After(every, func() {
-			if stopped {
-				return
-			}
-			fn()
-			if !stopped {
-				loop()
-			}
-		})
-	}
-	loop()
-	return func() { stopped = true }
+	return sim.Every(rt, func() time.Duration { return every }, fn)
 }
 
 // Snapshot returns a copy of the node's metrics.
 func (n *Node) Snapshot() Metrics {
 	n.metricsMu.Lock()
 	defer n.metricsMu.Unlock()
-	return n.metrics
+	return n.metrics.clone()
 }
 
 func (n *Node) withMetrics(fn func(*Metrics)) {
@@ -296,16 +336,19 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		need:     need,
 		total:    len(targets),
 		shadow:   req.Shadow,
+		group:    n.groupOf(req.Key),
 		level:    level,
 	}
 	n.pendingReads[op.id] = op
 	n.withMetrics(func(m *Metrics) {
 		m.Reads++
+		m.GroupReads[op.group]++
 		if level >= 1 && int(level) < len(m.LevelUse) {
 			m.LevelUse[level]++
 		}
 		if req.Shadow {
 			m.ShadowSamples++
+			m.GroupShadowSamples[op.group]++
 		}
 	})
 	op.cancel = n.rt.After(n.cfg.ReadTimeout, func() { n.readTimeout(op.id) })
@@ -402,7 +445,10 @@ func (n *Node) finishRead(op *readOp) {
 		// newer than what we returned and (b) was written before we
 		// responded — i.e. the client could have observed it.
 		if best.Timestamp > op.respTS && best.Timestamp <= op.respAt {
-			n.withMetrics(func(m *Metrics) { m.ShadowStale++ })
+			n.withMetrics(func(m *Metrics) {
+				m.ShadowStale++
+				m.GroupShadowStale[op.group]++
+			})
 		}
 	}
 	// Background repair; CL=ALL repairs synchronously in respondRead.
@@ -489,8 +535,10 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 		ts:       ts,
 	}
 	n.pendingWrites[op.id] = op
+	group := n.groupOf(req.Key)
 	n.withMetrics(func(m *Metrics) {
 		m.Writes++
+		m.GroupWrites[group]++
 		m.BytesWritten += uint64(len(req.Value))
 	})
 	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
@@ -614,7 +662,7 @@ func (n *Node) PendingHints() int {
 
 func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 	s := n.Snapshot()
-	n.send.Send(n.cfg.ID, from, wire.StatsResponse{
+	resp := wire.StatsResponse{
 		ID:          req.ID,
 		Reads:       s.Reads,
 		Writes:      s.Writes,
@@ -623,7 +671,15 @@ func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 		BytesWrit:   s.BytesWritten,
 		RepairsSent: s.RepairsSent,
 		HintsQueued: s.HintsQueued,
-	})
+	}
+	// A single implicit group carries no extra signal; keep the frame lean.
+	if n.cfg.Groups > 1 {
+		resp.Groups = make([]wire.GroupCounters, n.cfg.Groups)
+		for g := 0; g < n.cfg.Groups; g++ {
+			resp.Groups[g] = wire.GroupCounters{Reads: s.GroupReads[g], Writes: s.GroupWrites[g]}
+		}
+	}
+	n.send.Send(n.cfg.ID, from, resp)
 }
 
 var _ transport.Handler = (*Node)(nil)

@@ -299,27 +299,46 @@ func (c *Categorizer) ToleranceFor(key []byte) float64 {
 // PerKeyLevels combines a Categorizer with the live estimation model: each
 // read gets the level its key's category demands under current conditions.
 // It implements client.KeyLevelSource.
+//
+// When GroupFn is set and the monitor reports per-group rates, the key's
+// category tolerance is evaluated against its own group's measured λr/λw
+// instead of the cluster-wide model, so a cold group's keys are judged by
+// the cold group's (benign) arrival process even while a hot group melts.
 type PerKeyLevels struct {
 	Cat *Categorizer
 	// AvgWriteBytes / BandwidthBytesPerSec parameterize Tp like
 	// ControllerConfig does.
 	AvgWriteBytes        float64
 	BandwidthBytesPerSec float64
+	// GroupFn maps keys to telemetry groups; it must match the cluster's
+	// Config.GroupFn. Nil keeps the global model for every key.
+	GroupFn func(key []byte) int
 
-	mu    sync.Mutex
-	model Model
+	mu     sync.Mutex
+	model  Model
+	groups []Model
 }
 
 // Observe updates the estimator inputs; wire it to a Monitor alongside (or
 // instead of) a Controller.
 func (p *PerKeyLevels) Observe(obs Observation) {
+	tp := PropagationTime(obs.Latency, p.AvgWriteBytes, p.BandwidthBytesPerSec)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.model = Model{
 		N:       p.model.N,
 		LambdaR: obs.ReadRate,
 		LambdaW: obs.WriteInterval,
-		Tp:      PropagationTime(obs.Latency, p.AvgWriteBytes, p.BandwidthBytesPerSec),
+		Tp:      tp,
+	}
+	p.groups = p.groups[:0]
+	for _, gr := range obs.Groups {
+		p.groups = append(p.groups, Model{
+			N:       p.model.N,
+			LambdaR: gr.ReadRate,
+			LambdaW: gr.WriteInterval,
+			Tp:      tp,
+		})
 	}
 }
 
@@ -328,15 +347,36 @@ func (p *PerKeyLevels) SetN(n int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.model.N = n
+	for g := range p.groups {
+		p.groups[g].N = n
+	}
+}
+
+// modelFor picks the estimator model judging a key: its group's measured
+// rates when available, the global model otherwise. Out-of-range GroupFn
+// results clamp to group 0, matching the cluster nodes' telemetry clamp.
+// GroupFn runs outside the lock — it is user code on the per-read path.
+func (p *PerKeyLevels) modelFor(key []byte) Model {
+	g := -1
+	if p.GroupFn != nil {
+		g = p.GroupFn(key)
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.GroupFn == nil || len(p.groups) == 0 {
+		return p.model
+	}
+	if g < 0 || g >= len(p.groups) {
+		g = 0
+	}
+	return p.groups[g]
 }
 
 // ReadLevelFor implements per-key adaptive consistency: the paper's §III
 // decision scheme evaluated against the key's category tolerance.
 func (p *PerKeyLevels) ReadLevelFor(key []byte) wire.ConsistencyLevel {
 	tol := p.Cat.ToleranceFor(key)
-	p.mu.Lock()
-	model := p.model
-	p.mu.Unlock()
+	model := p.modelFor(key)
 	if !model.Valid() || tol >= model.StaleReadProbability() {
 		return wire.One
 	}

@@ -59,6 +59,23 @@ type ControllerConfig struct {
 	FixedTp time.Duration
 	// OnDecision, when set, observes every decision (for tracing/benches).
 	OnDecision func(Decision)
+
+	// Groups turns the controller into a multi-model controller: one
+	// estimator model and decision stream per key group, fed by the
+	// monitor's per-group rates. Zero or one keeps the classic global
+	// controller (per-group state still exists for group 0 but mirrors
+	// the global decisions exactly).
+	Groups int
+	// GroupFn maps a key to its group for ReadLevelFor; it must match the
+	// cluster's Config.GroupFn. Nil assigns every key to group 0.
+	GroupFn func(key []byte) int
+	// GroupTolerances overrides Policy.ToleratedStaleRate per group
+	// (index by group id); groups beyond the slice fall back to the
+	// global policy. This is how hot contended data gets a tight target
+	// while cold read-mostly data keeps a loose one.
+	GroupTolerances []float64
+	// OnGroupDecision, when set, observes every per-group decision.
+	OnGroupDecision func(group int, d Decision)
 }
 
 // Controller is Harmony's adaptive-consistency module: it consumes monitor
@@ -71,6 +88,14 @@ type ControllerConfig struct {
 // Controller implements client.LevelSource, so drivers pick up the current
 // level on every read, and it is safe for concurrent use (clients and the
 // monitor may live on different runtimes).
+//
+// With ControllerConfig.Groups > 1 it is a multi-model controller: every
+// key group gets its own estimator model and decision stream derived from
+// the monitor's per-group arrival rates, and Controller additionally
+// implements client.KeyLevelSource so each read is served at the level its
+// key's group demands. The global decision stream (ReadLevel, Last,
+// History) is always computed from the cluster-wide rates, so a
+// single-group configuration behaves exactly like the classic controller.
 type Controller struct {
 	cfg ControllerConfig
 
@@ -78,7 +103,15 @@ type Controller struct {
 	level   wire.ConsistencyLevel
 	last    Decision
 	history []Decision
+	groups  []groupState
 	keep    int
+}
+
+// groupState is one key group's live decision stream.
+type groupState struct {
+	level   wire.ConsistencyLevel
+	last    Decision
+	history []Decision
 }
 
 // NewController creates a controller defaulting to eventual consistency
@@ -88,7 +121,32 @@ func NewController(cfg ControllerConfig) *Controller {
 	if cfg.N < 1 {
 		cfg.N = 1
 	}
-	return &Controller{cfg: cfg, level: wire.One, keep: 4096}
+	if cfg.Groups < 1 {
+		cfg.Groups = 1
+	}
+	groups := make([]groupState, cfg.Groups)
+	for g := range groups {
+		groups[g].level = wire.One
+	}
+	return &Controller{cfg: cfg, level: wire.One, groups: groups, keep: 4096}
+}
+
+// Groups reports how many key groups the controller adapts.
+func (c *Controller) Groups() int { return c.cfg.Groups }
+
+// groupTolerance resolves the tolerable stale-read rate for a group.
+func (c *Controller) groupTolerance(g int) float64 {
+	if g < len(c.cfg.GroupTolerances) {
+		t := c.cfg.GroupTolerances[g]
+		if t < 0 {
+			t = 0
+		}
+		if t > 1 {
+			t = 1
+		}
+		return t
+	}
+	return c.cfg.Policy.ToleratedStaleRate
 }
 
 // ReadLevel implements client.LevelSource.
@@ -96,6 +154,45 @@ func (c *Controller) ReadLevel() wire.ConsistencyLevel {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.level
+}
+
+// ReadLevelFor implements client.KeyLevelSource: the key's group decides
+// the level. Out-of-range GroupFn results clamp to group 0, matching the
+// cluster nodes' telemetry clamp so a miscategorized key is served by the
+// same group whose counters it feeds.
+func (c *Controller) ReadLevelFor(key []byte) wire.ConsistencyLevel {
+	g := 0
+	if c.cfg.GroupFn != nil {
+		g = c.cfg.GroupFn(key)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g < 0 || g >= len(c.groups) {
+		g = 0
+	}
+	return c.groups[g].level
+}
+
+// GroupLast returns the most recent decision for a group.
+func (c *Controller) GroupLast(g int) Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g < 0 || g >= len(c.groups) {
+		return Decision{}
+	}
+	return c.groups[g].last
+}
+
+// GroupHistory returns a copy of a group's retained decision trace.
+func (c *Controller) GroupHistory(g int) []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if g < 0 || g >= len(c.groups) {
+		return nil
+	}
+	out := make([]Decision, len(c.groups[g].history))
+	copy(out, c.groups[g].history)
+	return out
 }
 
 // Last returns the most recent decision.
@@ -114,9 +211,25 @@ func (c *Controller) History() []Decision {
 	return out
 }
 
-// Observe consumes one monitoring observation and updates the consistency
-// level; it is the OnObservation hook for a Monitor.
-func (c *Controller) Observe(obs Observation) {
+// decide runs the paper's decision scheme for one model against one
+// tolerance.
+func (c *Controller) decide(at time.Time, model Model, tolerated float64) Decision {
+	d := Decision{At: at, Model: model}
+	d.Estimate = model.StaleReadProbability()
+	if !model.Valid() || tolerated >= d.Estimate {
+		// No signal, or the application tolerates the estimated staleness:
+		// eventual consistency.
+		d.Xn = 1
+		d.Level = wire.One
+	} else {
+		d.Xn = model.ReplicasNeeded(tolerated)
+		d.Level = wire.LevelForCount(d.Xn, c.cfg.N)
+	}
+	return d
+}
+
+// propagation resolves the Tp input shared by every group's model.
+func (c *Controller) propagation(obs Observation) time.Duration {
 	ln := obs.Latency
 	if c.cfg.UseMeanLatency {
 		ln = obs.MeanLatency
@@ -129,36 +242,66 @@ func (c *Controller) Observe(obs Observation) {
 	if c.cfg.FixedTp > 0 {
 		tp = c.cfg.FixedTp
 	}
-	model := Model{
+	return tp
+}
+
+// Observe consumes one monitoring observation and updates the consistency
+// level of every group (plus the global level); it is the OnObservation
+// hook for a Monitor.
+func (c *Controller) Observe(obs Observation) {
+	tp := c.propagation(obs)
+	global := c.decide(obs.At, Model{
 		N:       c.cfg.N,
 		LambdaR: obs.ReadRate,
 		LambdaW: obs.WriteInterval,
 		Tp:      tp,
-	}
-	d := Decision{At: obs.At, Model: model}
-	d.Estimate = model.StaleReadProbability()
-	if !model.Valid() || c.cfg.Policy.ToleratedStaleRate >= d.Estimate {
-		// No signal, or the application tolerates the estimated staleness:
-		// eventual consistency.
-		d.Xn = 1
-		d.Level = wire.One
-	} else {
-		d.Xn = model.ReplicasNeeded(c.cfg.Policy.ToleratedStaleRate)
-		d.Level = wire.LevelForCount(d.Xn, c.cfg.N)
+	}, c.cfg.Policy.ToleratedStaleRate)
+
+	// Per-group decisions: measured group rates when the monitor reports
+	// exactly the groups this controller adapts; any shape mismatch means
+	// the cluster's GroupFn and ours disagree, so every group falls back
+	// to the cluster-wide rates. With one group the streams therefore
+	// coincide with the global one — the refactor is a strict
+	// generalization of the global controller.
+	aligned := len(obs.Groups) == len(c.groups)
+	groupDs := make([]Decision, len(c.groups))
+	for g := range c.groups {
+		model := Model{N: c.cfg.N, LambdaR: obs.ReadRate, LambdaW: obs.WriteInterval, Tp: tp}
+		if aligned {
+			model.LambdaR = obs.Groups[g].ReadRate
+			model.LambdaW = obs.Groups[g].WriteInterval
+		}
+		groupDs[g] = c.decide(obs.At, model, c.groupTolerance(g))
 	}
 
 	c.mu.Lock()
-	c.level = d.Level
-	c.last = d
-	c.history = append(c.history, d)
-	if len(c.history) > c.keep {
-		c.history = c.history[len(c.history)-c.keep:]
+	c.level = global.Level
+	c.last = global
+	c.history = appendCapped(c.history, global, c.keep)
+	for g := range c.groups {
+		c.groups[g].level = groupDs[g].Level
+		c.groups[g].last = groupDs[g]
+		c.groups[g].history = appendCapped(c.groups[g].history, groupDs[g], c.keep)
 	}
-	cb := c.cfg.OnDecision
+	cb, gcb := c.cfg.OnDecision, c.cfg.OnGroupDecision
 	c.mu.Unlock()
 	if cb != nil {
-		cb(d)
+		cb(global)
 	}
+	if gcb != nil {
+		for g, d := range groupDs {
+			gcb(g, d)
+		}
+	}
+}
+
+// appendCapped appends keeping at most keep trailing entries.
+func appendCapped(hist []Decision, d Decision, keep int) []Decision {
+	hist = append(hist, d)
+	if len(hist) > keep {
+		hist = hist[len(hist)-keep:]
+	}
+	return hist
 }
 
 // Policy returns the controller's policy.

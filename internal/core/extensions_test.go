@@ -176,6 +176,57 @@ func TestPerKeyLevels(t *testing.T) {
 	}
 }
 
+func TestPerKeyLevelsGroupModels(t *testing.T) {
+	// With GroupFn set, each key is judged against its own group's
+	// measured rates: a tight-tolerance key relaxes to ONE when its group
+	// is quiet, even while the global model screams contention.
+	ks := NewKeyStats(1)
+	populateBimodal(ks, 10, 10)
+	cat, _ := NewCategorizer(2, 0.5, 3)
+	if err := cat.Recluster(ks, 0.02, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	pkl := &PerKeyLevels{Cat: cat, GroupFn: func(key []byte) int {
+		if len(key) > 0 && key[0] == 'h' {
+			return 0
+		}
+		return 1
+	}}
+	pkl.SetN(5)
+	contended := GroupRates{ReadRate: 300, WriteInterval: 0.005}
+	quiet := GroupRates{ReadRate: 1, WriteInterval: 10}
+
+	// Hot keys' group contended: they escalate.
+	pkl.Observe(Observation{ReadRate: 300, WriteInterval: 0.005, Latency: time.Millisecond,
+		Groups: []GroupRates{contended, quiet}})
+	if got := pkl.ReadLevelFor([]byte("hot0")); got == wire.One {
+		t.Fatal("hot key stayed at ONE while its group is contended")
+	}
+	// Same global picture, but the hot keys' group is now the quiet one:
+	// the per-group model must relax them even though the global model
+	// (and the other group) still shows contention.
+	pkl.Observe(Observation{ReadRate: 300, WriteInterval: 0.005, Latency: time.Millisecond,
+		Groups: []GroupRates{quiet, contended}})
+	if got := pkl.ReadLevelFor([]byte("hot0")); got != wire.One {
+		t.Fatalf("hot key = %v; its group is quiet, want ONE", got)
+	}
+	// Out-of-range GroupFn results clamp to group 0, mirroring the
+	// cluster nodes' telemetry clamp: here group 0 is contended while the
+	// global model is quiet, so a clamped key must escalate.
+	pkl2 := &PerKeyLevels{Cat: cat, GroupFn: func([]byte) int { return 5 }}
+	pkl2.SetN(5)
+	pkl2.Observe(Observation{ReadRate: 1, WriteInterval: 10, Latency: time.Millisecond,
+		Groups: []GroupRates{contended, quiet}})
+	if got := pkl2.ReadLevelFor([]byte("hot0")); got == wire.One {
+		t.Fatal("out-of-range group did not clamp to (contended) group 0")
+	}
+	// Without per-group telemetry the global model still rules.
+	pkl2.Observe(Observation{ReadRate: 300, WriteInterval: 0.005, Latency: time.Millisecond})
+	if got := pkl2.ReadLevelFor([]byte("hot0")); got == wire.One {
+		t.Fatal("no-telemetry observation did not fall back to the global model")
+	}
+}
+
 func TestAdvisorEndpoints(t *testing.T) {
 	crit := Advisor{Profile: AppProfile{CriticalReads: true, StaleCost: 1, LatencyCostPerMs: 100}}
 	if got, _ := crit.Recommend(); got != 0 {

@@ -41,6 +41,21 @@ type Observation struct {
 	Window time.Duration
 	// Nodes is how many nodes reported stats this round.
 	Nodes int
+	// Groups carries per-key-group arrival rates, indexed by group id,
+	// when the polled nodes report per-group counters. Rates use the same
+	// scope (per-node average vs cluster total) as ReadRate/WriteInterval,
+	// and the groups partition the aggregate traffic. Empty when the
+	// cluster runs the classic single-group pipeline.
+	Groups []GroupRates
+}
+
+// GroupRates is one key group's measured arrival process over a window.
+type GroupRates struct {
+	// ReadRate is the group's read arrival rate λr (reads/second).
+	ReadRate float64
+	// WriteInterval is the group's mean time between writes λw (seconds);
+	// zero when the group saw no writes in the window.
+	WriteInterval float64
 }
 
 // MonitorConfig configures the monitoring module.
@@ -87,6 +102,7 @@ type Monitor struct {
 	lastReads  uint64
 	lastWrites uint64
 	lastBytesW uint64
+	lastGroups []wire.GroupCounters
 	lastAt     time.Time
 	havePrev   bool
 	rounds     uint64
@@ -120,21 +136,9 @@ func (m *Monitor) Start() {
 	if m.stop != nil {
 		return
 	}
-	stopped := false
-	var loop func()
-	loop = func() {
-		m.rt.After(m.cfg.Interval, func() {
-			if stopped {
-				return
-			}
-			m.beginRound()
-			if !stopped {
-				loop()
-			}
-		})
-	}
-	loop()
-	m.stop = func() { stopped = true }
+	// sim.Every's stop is safe to call from any goroutine — real-runtime
+	// deployments stop the monitor from outside its mailbox goroutine.
+	m.stop = sim.Every(m.rt, func() time.Duration { return m.cfg.Interval }, m.beginRound)
 }
 
 // Stop halts collection.
@@ -209,10 +213,18 @@ func (m *Monitor) closeRound() {
 	collectionTime := now.Sub(r.started)
 
 	var reads, writes, bytesW uint64
+	var groups []wire.GroupCounters
 	for _, s := range r.stats {
 		reads += s.Reads
 		writes += s.Writes
 		bytesW += s.BytesWrit
+		for len(groups) < len(s.Groups) {
+			groups = append(groups, wire.GroupCounters{})
+		}
+		for g, gc := range s.Groups {
+			groups[g].Reads += gc.Reads
+			groups[g].Writes += gc.Writes
+		}
 	}
 	var maxRTT, sumRTT time.Duration
 	all := make([]time.Duration, 0, len(r.rtts))
@@ -234,6 +246,7 @@ func (m *Monitor) closeRound() {
 
 	defer func() {
 		m.lastReads, m.lastWrites, m.lastBytesW = reads, writes, bytesW
+		m.lastGroups = groups
 		m.lastAt = now
 		m.havePrev = true
 		m.rounds++
@@ -268,6 +281,22 @@ func (m *Monitor) closeRound() {
 	if dWrites > 0 {
 		obs.WriteInterval = window.Seconds() * scale / float64(dWrites)
 		obs.AvgWriteBytes = float64(counterDelta(bytesW, m.lastBytesW)) / float64(dWrites)
+	}
+	if len(groups) > 0 {
+		obs.Groups = make([]GroupRates, len(groups))
+		for g, gc := range groups {
+			var prev wire.GroupCounters
+			if g < len(m.lastGroups) {
+				prev = m.lastGroups[g]
+			}
+			gr := GroupRates{
+				ReadRate: float64(counterDelta(gc.Reads, prev.Reads)) / window.Seconds() / scale,
+			}
+			if dw := counterDelta(gc.Writes, prev.Writes); dw > 0 {
+				gr.WriteInterval = window.Seconds() * scale / float64(dw)
+			}
+			obs.Groups[g] = gr
+		}
 	}
 	m.cfg.OnObservation(obs)
 }

@@ -40,8 +40,13 @@ func (g *loadGen) run(readsPerSec, writesPerSec float64, until time.Duration) {
 
 func buildMonitored(t *testing.T, interval time.Duration, onObs func(Observation)) (*sim.Sim, *cluster.Cluster, *Monitor) {
 	t.Helper()
+	return buildMonitoredSpec(t, cluster.DefaultSpec(), interval, onObs)
+}
+
+func buildMonitoredSpec(t *testing.T, spec cluster.Spec, interval time.Duration, onObs func(Observation)) (*sim.Sim, *cluster.Cluster, *Monitor) {
+	t.Helper()
 	s := sim.New(77)
-	c, err := cluster.BuildSim(s, cluster.DefaultSpec())
+	c, err := cluster.BuildSim(s, spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,6 +223,167 @@ func TestMonitorControllerEndToEnd(t *testing.T) {
 	}
 	if ctl.ReadLevel() != final.Level {
 		t.Fatal("ReadLevel out of sync with last decision")
+	}
+}
+
+// hotColdGroupFn tags keys starting with 'h' as group 0, the rest group 1.
+func hotColdGroupFn(key []byte) int {
+	if len(key) > 0 && key[0] == 'h' {
+		return 0
+	}
+	return 1
+}
+
+func TestMonitorReportsGroupRates(t *testing.T) {
+	spec := cluster.DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = hotColdGroupFn
+	var last Observation
+	s, c, mon := buildMonitoredSpec(t, spec, time.Second, func(o Observation) { last = o })
+	// Group 0 ("hot"): 200 reads/s + 100 writes/s. Group 1 ("cold"):
+	// 400 reads/s, no writes.
+	var id uint64
+	nodes := c.NodeIDs()
+	s.Ticker(5*time.Millisecond, func() {
+		id++
+		c.Bus.Send("loadgen", nodes[int(id)%len(nodes)], wire.ReadRequest{ID: id, Key: []byte("hot"), Level: wire.One})
+	})
+	s.Ticker(10*time.Millisecond, func() {
+		id++
+		c.Bus.Send("loadgen", nodes[int(id)%len(nodes)], wire.WriteRequest{ID: id, Key: []byte("hot"), Value: []byte("v"), Level: wire.One})
+	})
+	s.Ticker(2500*time.Microsecond, func() {
+		id++
+		c.Bus.Send("loadgen", nodes[int(id)%len(nodes)], wire.ReadRequest{ID: id, Key: []byte("cold"), Level: wire.One})
+	})
+	mon.Start()
+	s.RunFor(10 * time.Second)
+	mon.Stop()
+
+	if len(last.Groups) != 2 {
+		t.Fatalf("groups reported = %d, want 2", len(last.Groups))
+	}
+	// Per-node averages over 20 nodes: hot reads 10/s, cold reads 20/s,
+	// hot write interval 20/100 = 0.2s.
+	hot, cold := last.Groups[0], last.Groups[1]
+	if hot.ReadRate < 7.5 || hot.ReadRate > 12.5 {
+		t.Fatalf("hot read rate = %v, want ~10 per node", hot.ReadRate)
+	}
+	if cold.ReadRate < 15 || cold.ReadRate > 25 {
+		t.Fatalf("cold read rate = %v, want ~20 per node", cold.ReadRate)
+	}
+	if hot.WriteInterval < 0.14 || hot.WriteInterval > 0.26 {
+		t.Fatalf("hot write interval = %v, want ~0.2s", hot.WriteInterval)
+	}
+	if cold.WriteInterval != 0 {
+		t.Fatalf("cold write interval = %v, want 0 (no writes)", cold.WriteInterval)
+	}
+	// The groups partition the aggregate: summed group read rates must
+	// reproduce the global rate.
+	if sum := hot.ReadRate + cold.ReadRate; sum < last.ReadRate*0.99 || sum > last.ReadRate*1.01 {
+		t.Fatalf("group rates sum to %v, global is %v", sum, last.ReadRate)
+	}
+}
+
+func TestControllerSingleGroupMatchesGlobal(t *testing.T) {
+	// Regression pin for the multi-model refactor: the per-group machinery
+	// with Groups=1 must emit decisions identical to the global controller
+	// on the same seeded monitor-driven run — the refactor is a strict
+	// generalization.
+	cfg := ControllerConfig{Policy: Policy{Name: "Harmony-20%", ToleratedStaleRate: 0.2}, N: 5}
+	grouped := NewController(func() ControllerConfig { c := cfg; c.Groups = 1; return c }())
+	global := NewController(cfg)
+	spec := cluster.DefaultSpec()
+	spec.Groups = 2 // nodes report per-group telemetry; the global stream must not care
+	spec.GroupFn = hotColdGroupFn
+	s, c, mon := buildMonitoredSpec(t, spec, 500*time.Millisecond, func(o Observation) {
+		grouped.Observe(o)
+		global.Observe(o)
+	})
+	gen := &loadGen{s: s, bus: c.Bus, nodes: c.NodeIDs()}
+	gen.run(20000, 10000, 0)
+	mon.Start()
+	s.RunFor(8 * time.Second)
+	mon.Stop()
+
+	gh, bh := grouped.History(), global.History()
+	if len(gh) == 0 || len(gh) != len(bh) {
+		t.Fatalf("history lengths: grouped=%d global=%d", len(gh), len(bh))
+	}
+	for i := range gh {
+		if gh[i] != bh[i] {
+			t.Fatalf("decision %d diverged:\n grouped %+v\n global  %+v", i, gh[i], bh[i])
+		}
+	}
+	if grouped.ReadLevel() != global.ReadLevel() {
+		t.Fatal("ReadLevel diverged")
+	}
+	// ReadLevelFor on the grouped controller must agree with its global
+	// level for every key: one group, one model.
+	for _, key := range [][]byte{[]byte("hot"), []byte("cold"), nil} {
+		if grouped.ReadLevelFor(key) != grouped.ReadLevel() {
+			t.Fatalf("single-group ReadLevelFor(%q) != ReadLevel", key)
+		}
+	}
+}
+
+func TestControllerPerGroupDecisions(t *testing.T) {
+	ctl := NewController(ControllerConfig{
+		Policy:          Policy{ToleratedStaleRate: 0.2},
+		N:               5,
+		Groups:          2,
+		GroupFn:         hotColdGroupFn,
+		GroupTolerances: []float64{0.05, 0.6},
+	})
+	// Hot group: heavy contention. Cold group: read-mostly trickle.
+	ctl.Observe(Observation{
+		At:            time.Unix(1, 0),
+		ReadRate:      600,
+		WriteInterval: 0.004,
+		Latency:       10 * time.Millisecond,
+		Window:        time.Second,
+		Groups: []GroupRates{
+			{ReadRate: 500, WriteInterval: 0.002},
+			{ReadRate: 100, WriteInterval: 5},
+		},
+	})
+	hot := ctl.GroupLast(0)
+	cold := ctl.GroupLast(1)
+	if hot.Level == wire.One {
+		t.Fatalf("hot group stayed at ONE: %+v", hot)
+	}
+	if cold.Level != wire.One {
+		t.Fatalf("cold group escalated: %+v", cold)
+	}
+	if got := ctl.ReadLevelFor([]byte("h123")); got != hot.Level {
+		t.Fatalf("ReadLevelFor(hot) = %v, want %v", got, hot.Level)
+	}
+	if got := ctl.ReadLevelFor([]byte("c123")); got != wire.One {
+		t.Fatalf("ReadLevelFor(cold) = %v, want ONE", got)
+	}
+	// Per-group models carry the measured per-group rates, not the global.
+	if hot.Model.LambdaR != 500 || cold.Model.LambdaR != 100 {
+		t.Fatalf("group models use wrong rates: hot=%v cold=%v", hot.Model.LambdaR, cold.Model.LambdaR)
+	}
+	if g := ctl.Groups(); g != 2 {
+		t.Fatalf("Groups() = %d", g)
+	}
+	if h := ctl.GroupHistory(1); len(h) != 1 || h[0] != cold {
+		t.Fatalf("group history = %+v", h)
+	}
+}
+
+func TestControllerGroupFallsBackToGlobalRates(t *testing.T) {
+	// A configured group with no per-group telemetry adapts on the global
+	// rates instead of flying blind.
+	ctl := NewController(ControllerConfig{Policy: Policy{ToleratedStaleRate: 0.2}, N: 5, Groups: 3})
+	ctl.Observe(Observation{
+		At: time.Unix(1, 0), ReadRate: 1000, WriteInterval: 0.002,
+		Latency: 20 * time.Millisecond, Window: time.Second,
+		Groups: []GroupRates{{ReadRate: 1000, WriteInterval: 0.002}},
+	})
+	if d := ctl.GroupLast(2); d.Model.LambdaR != 1000 || d.Level == wire.One {
+		t.Fatalf("unreported group decision = %+v, want global-rate escalation", d)
 	}
 }
 

@@ -25,7 +25,16 @@ func samplersUnderTest() map[string]Sampler {
 			Component{Weight: 1, Sampler: NewExponential(3)},
 			Component{Weight: 1, Sampler: Constant{V: 10}},
 		),
+		"drifting": driftingAt(0.35),
 	}
+}
+
+// driftingAt freezes a Drifting sampler mid-drift so the shared property
+// tests cover its instantaneous mixture.
+func driftingAt(p float64) *Drifting {
+	d := NewDrifting(LognormalFromMeanP99(1.0, 2.5), Shifted{Base: NewExponential(1.2), Offset: 0.8})
+	d.SetProgress(p)
+	return d
 }
 
 const sampleN = 200_000
@@ -225,6 +234,89 @@ func TestMixturePanicsOnEmpty(t *testing.T) {
 			fn()
 		}()
 	}
+}
+
+func TestDriftingEndpointsAndMonotoneMean(t *testing.T) {
+	from := Constant{V: 1}
+	to := Constant{V: 4}
+	d := NewDrifting(from, to)
+	rng := NewRand(5)
+	// Progress 0: pure From.
+	for i := 0; i < 100; i++ {
+		if v := d.Sample(rng); v != 1 {
+			t.Fatalf("progress 0 sampled %v", v)
+		}
+	}
+	if d.Mean() != 1 || d.Quantile(0.5) != 1 {
+		t.Fatalf("progress 0 moments: mean=%v q50=%v", d.Mean(), d.Quantile(0.5))
+	}
+	// Progress 1: pure To.
+	d.SetProgress(1)
+	for i := 0; i < 100; i++ {
+		if v := d.Sample(rng); v != 4 {
+			t.Fatalf("progress 1 sampled %v", v)
+		}
+	}
+	if d.Mean() != 4 {
+		t.Fatalf("progress 1 mean = %v", d.Mean())
+	}
+	// Mean interpolates linearly and monotonically between the regimes.
+	prev := math.Inf(-1)
+	for p := 0.0; p <= 1.0001; p += 0.1 {
+		d.SetProgress(p)
+		m := d.Mean()
+		if m < prev-1e-12 {
+			t.Fatalf("mean not monotone at progress %v: %v < %v", p, m, prev)
+		}
+		want := 1 + 3*math.Min(p, 1)
+		if math.Abs(m-want) > 1e-9 {
+			t.Fatalf("mean at progress %v = %v, want %v", p, m, want)
+		}
+		prev = m
+	}
+	// Out-of-range progress clamps.
+	d.SetProgress(7)
+	if d.Progress() != 1 {
+		t.Fatalf("progress not clamped: %v", d.Progress())
+	}
+	d.SetProgress(math.NaN())
+	if d.Progress() != 0 {
+		t.Fatalf("NaN progress = %v, want 0", d.Progress())
+	}
+}
+
+func TestDriftingEmpiricalMeanTracksProgress(t *testing.T) {
+	d := driftingAt(0.6)
+	mean, _ := empirical(t, d, 42)
+	want := d.Mean()
+	if math.Abs(mean-want)/want > 0.03 {
+		t.Fatalf("empirical mean %v vs analytic %v at progress 0.6", mean, want)
+	}
+}
+
+// TestDriftingConcurrentSetProgress exercises the one mutable sampler
+// under -race: samples race with drift advancement by design.
+func TestDriftingConcurrentSetProgress(t *testing.T) {
+	d := NewDrifting(Constant{V: 1}, Constant{V: 2})
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		for i := 0; i <= 1000; i++ {
+			d.SetProgress(float64(i) / 1000)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		rng := NewRand(1)
+		for i := 0; i < 5000; i++ {
+			if v := d.Sample(rng); v != 1 && v != 2 {
+				t.Errorf("impossible sample %v", v)
+				return
+			}
+		}
+	}()
+	wg.Wait()
 }
 
 // TestSamplersConcurrentUse shares one sampler value across goroutines,

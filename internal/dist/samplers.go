@@ -3,6 +3,7 @@ package dist
 import (
 	"math"
 	"math/rand"
+	"sync/atomic"
 )
 
 // Constant always returns V. It is the degenerate distribution used to
@@ -314,3 +315,76 @@ func (b Bimodal) Quantile(p float64) float64 { return b.mix.Quantile(p) }
 
 // CDF is the weighted two-mode CDF.
 func (b Bimodal) CDF(x float64) float64 { return b.mix.CDF(x) }
+
+// Drifting is a time-varying two-regime distribution: each draw comes from
+// From with probability 1-Progress and from To with probability Progress,
+// so advancing Progress from 0 to 1 drifts the distribution between the
+// two regimes mid-run. It models the network a controller must re-adapt
+// to — jitter that degrades (or heals) underneath a running experiment.
+//
+// Unlike every other sampler in this package, Drifting carries mutable
+// state (the progress knob) and is therefore a pointer type; SetProgress
+// is safe to call concurrently with Sample. At any fixed progress the
+// analytic accessors (Mean/Quantile/CDF) describe the current mixture
+// exactly, which keeps property tests and profile authors honest about
+// the instantaneous regime.
+type Drifting struct {
+	From, To Sampler
+	bits     atomic.Uint64
+}
+
+// NewDrifting builds a drifting distribution positioned at From
+// (Progress 0). Both samplers must be non-nil.
+func NewDrifting(from, to Sampler) *Drifting {
+	if from == nil || to == nil {
+		panic("dist: drifting needs two samplers")
+	}
+	return &Drifting{From: from, To: to}
+}
+
+// SetProgress moves the drift position, clamping into [0, 1].
+func (d *Drifting) SetProgress(p float64) {
+	if !(p > 0) { // also catches NaN
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	d.bits.Store(math.Float64bits(p))
+}
+
+// Progress returns the current drift position in [0, 1].
+func (d *Drifting) Progress() float64 { return math.Float64frombits(d.bits.Load()) }
+
+// snapshot freezes the current mixture.
+func (d *Drifting) snapshot() Mixture {
+	p := d.Progress()
+	switch p {
+	case 0:
+		return NewMixture(Component{Weight: 1, Sampler: d.From})
+	case 1:
+		return NewMixture(Component{Weight: 1, Sampler: d.To})
+	}
+	return NewMixture(
+		Component{Weight: 1 - p, Sampler: d.From},
+		Component{Weight: p, Sampler: d.To},
+	)
+}
+
+// Sample draws from the regime mixture at the current progress.
+func (d *Drifting) Sample(rng *rand.Rand) float64 {
+	p := d.Progress()
+	if p > 0 && rng.Float64() < p {
+		return d.To.Sample(rng)
+	}
+	return d.From.Sample(rng)
+}
+
+// Mean returns the progress-weighted regime means.
+func (d *Drifting) Mean() float64 { return d.snapshot().Mean() }
+
+// Quantile inverts the current mixture CDF.
+func (d *Drifting) Quantile(p float64) float64 { return d.snapshot().Quantile(p) }
+
+// CDF is the progress-weighted regime CDF.
+func (d *Drifting) CDF(x float64) float64 { return d.snapshot().CDF(x) }

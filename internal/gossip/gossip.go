@@ -154,21 +154,9 @@ func (g *Gossiper) Start() {
 	if g.stop != nil {
 		return
 	}
-	stopped := false
-	var loop func()
-	loop = func() {
-		g.rt.After(g.cfg.Interval, func() {
-			if stopped {
-				return
-			}
-			g.round()
-			if !stopped {
-				loop()
-			}
-		})
-	}
-	loop()
-	g.stop = func() { stopped = true }
+	// sim.Every's stop is safe to call from any goroutine (real-runtime
+	// deployments stop the gossiper from outside the mailbox goroutine).
+	g.stop = sim.Every(g.rt, func() time.Duration { return g.cfg.Interval }, g.round)
 }
 
 // Stop halts gossip rounds.

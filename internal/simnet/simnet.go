@@ -116,13 +116,38 @@ func CongestedBimodalProfile() Profile {
 	}
 }
 
+// DriftingProfile models a network whose jitter degrades mid-run: it
+// starts as the healthy Grid'5000-like LAN and drifts toward the degraded
+// regime (latency floor plus exponential stalls) as the returned knob's
+// progress moves from 0 to 1. Callers schedule the drift themselves —
+// typically sim.Every advancing SetProgress over the experiment — which
+// is exactly the re-adaptation-speed stimulus a controller tuned on the
+// healthy network must survive. Each call returns an independent knob, so
+// concurrent experiments do not share drift state.
+func DriftingProfile() (Profile, *dist.Drifting) {
+	drift := dist.NewDrifting(
+		dist.LognormalFromMeanP99(1.0, 2.5),
+		dist.Shifted{Base: dist.NewExponential(1.2), Offset: 0.8},
+	)
+	return Profile{
+		Name:                 "drifting",
+		Base:                 [4]time.Duration{25 * time.Microsecond, 200 * time.Microsecond, 600 * time.Microsecond, 8 * time.Millisecond},
+		Jitter:               drift,
+		BandwidthBytesPerSec: 100e6,
+		ClientLatency:        1500 * time.Microsecond,
+	}, drift
+}
+
 // Profiles returns every named profile keyed by its Name, for CLIs and
-// experiment configs that select scenarios by string.
+// experiment configs that select scenarios by string. The drifting
+// profile is registered at progress 0 (its healthy regime); experiments
+// that want the drift itself use DriftingProfile directly for the knob.
 func Profiles() map[string]Profile {
+	drifting, _ := DriftingProfile()
 	ps := map[string]Profile{}
 	for _, p := range []Profile{
 		Grid5000Profile(), EC2Profile(), WANHeavyTailProfile(),
-		DegradedProfile(), CongestedBimodalProfile(),
+		DegradedProfile(), CongestedBimodalProfile(), drifting,
 	} {
 		ps[p.Name] = p
 	}

@@ -165,7 +165,7 @@ func TestProfilesSane(t *testing.T) {
 
 func TestNamedProfilesRegistry(t *testing.T) {
 	ps := Profiles()
-	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal"} {
+	for _, name := range []string{"grid5000", "ec2", "wan-heavytail", "degraded", "congested-bimodal", "drifting"} {
 		p, ok := ps[name]
 		if !ok {
 			t.Fatalf("registry missing profile %q", name)
@@ -183,8 +183,32 @@ func TestNamedProfilesRegistry(t *testing.T) {
 			}
 		}
 	}
-	if len(ps) != 5 {
-		t.Fatalf("registry has %d profiles, want 5", len(ps))
+	if len(ps) != 6 {
+		t.Fatalf("registry has %d profiles, want 6", len(ps))
+	}
+}
+
+// TestDriftingProfileRegimes pins the drifting profile's two endpoints:
+// healthy lognormal jitter at progress 0, degraded floor-plus-stalls at
+// progress 1, with the mean multiplier roughly doubling across the drift.
+func TestDriftingProfileRegimes(t *testing.T) {
+	p, knob := DriftingProfile()
+	if p.Name != "drifting" || p.Jitter != dist.Sampler(knob) {
+		t.Fatalf("profile jitter is not the returned knob")
+	}
+	healthy := knob.Mean()
+	knob.SetProgress(1)
+	degraded := knob.Mean()
+	if degraded < 1.7*healthy {
+		t.Fatalf("drift barely degrades: %v -> %v", healthy, degraded)
+	}
+	if q := knob.Quantile(0.01); q < 0.8 {
+		t.Fatalf("degraded regime floor missing: p1 = %v", q)
+	}
+	// Independent knobs per call.
+	p2, knob2 := DriftingProfile()
+	if knob2.Progress() != 0 || p2.Jitter == p.Jitter {
+		t.Fatal("DriftingProfile shares drift state across calls")
 	}
 }
 

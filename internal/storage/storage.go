@@ -11,7 +11,6 @@
 package storage
 
 import (
-	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -189,37 +188,64 @@ func (e *Engine) compactLocked() {
 // Scan invokes fn over every live key/value in [start, end) in key order
 // (nil bounds mean unbounded); fn returning false stops the scan.
 // Tombstoned entries are skipped.
+//
+// The flushed tables already keep their keys sorted, so the scan is a
+// single k-way merge over those slices plus one sorted snapshot of the
+// memtable keys — no intermediate key-universe map, no re-filter, no
+// global re-sort. Bounds position each source once via binary search, and
+// the merge stops at the first key past end.
 func (e *Engine) Scan(start, end []byte, fn func(key []byte, v wire.Value) bool) {
 	e.mu.RLock()
-	// Snapshot the key universe.
-	keys := make(map[string]struct{}, len(e.memtable))
-	for k := range e.memtable {
-		keys[k] = struct{}{}
+	// Sources: each flushed table's sorted keys, plus the memtable keys
+	// sorted once (the only unsorted source).
+	srcs := make([][]string, 0, len(e.tables)+1)
+	if len(e.memtable) > 0 {
+		mk := make([]string, 0, len(e.memtable))
+		for k := range e.memtable {
+			mk = append(mk, k)
+		}
+		sort.Strings(mk)
+		srcs = append(srcs, mk)
 	}
 	for _, t := range e.tables {
-		for _, k := range t.keys {
-			keys[k] = struct{}{}
+		srcs = append(srcs, t.keys)
+	}
+	idx := make([]int, len(srcs))
+	if start != nil {
+		for i, s := range srcs {
+			idx[i] = sort.SearchStrings(s, string(start))
 		}
 	}
-	ordered := make([]string, 0, len(keys))
-	for k := range keys {
-		if start != nil && bytes.Compare([]byte(k), start) < 0 {
-			continue
-		}
-		if end != nil && bytes.Compare([]byte(k), end) >= 0 {
-			continue
-		}
-		ordered = append(ordered, k)
-	}
-	sort.Strings(ordered)
+	endKey := string(end)
 	type kv struct {
 		k string
 		v wire.Value
 	}
-	out := make([]kv, 0, len(ordered))
-	for _, k := range ordered {
-		if v, ok := e.lookupLocked(k); ok && !v.Tombstone {
-			out = append(out, kv{k, v})
+	var out []kv
+	for {
+		// Pick the smallest current key across sources (the source count
+		// is tiny — maxTables+1 — so a linear min beats a heap).
+		best := -1
+		var bestK string
+		for i, s := range srcs {
+			if idx[i] < len(s) && (best == -1 || s[idx[i]] < bestK) {
+				best, bestK = i, s[idx[i]]
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if end != nil && bestK >= endKey {
+			break // merge order: every remaining key is out of bounds too
+		}
+		// Advance every source past this key (cross-source dedup).
+		for i, s := range srcs {
+			for idx[i] < len(s) && s[idx[i]] == bestK {
+				idx[i]++
+			}
+		}
+		if v, ok := e.lookupLocked(bestK); ok && !v.Tombstone {
+			out = append(out, kv{bestK, v})
 		}
 	}
 	e.mu.RUnlock()

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"path/filepath"
+	"sort"
 	"sync"
 	"testing"
 	"testing/quick"
@@ -173,6 +174,76 @@ func TestScan(t *testing.T) {
 		if keys[i] != want[i] {
 			t.Fatalf("scan keys = %v, want %v", keys, want)
 		}
+	}
+}
+
+// TestScanMergeMatchesModel pits the k-way merge scan against a naive
+// model over random write/flush/tombstone histories, including versions of
+// the same key shadowed across multiple flushed tables and arbitrary
+// bounds.
+func TestScanMergeMatchesModel(t *testing.T) {
+	if err := quick.Check(func(seed int64, opsRaw uint8, loRaw, hiRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		e := NewEngine(Options{MaxFlushedTables: 3})
+		model := map[string]wire.Value{}
+		ops := int(opsRaw)%120 + 10
+		ts := int64(0)
+		for i := 0; i < ops; i++ {
+			switch rng.Intn(10) {
+			case 9:
+				e.Flush()
+			default:
+				ts++
+				k := fmt.Sprintf("k%02d", rng.Intn(25))
+				v := wire.Value{Data: []byte(fmt.Sprintf("v%d", ts)), Timestamp: ts, Tombstone: rng.Intn(8) == 0}
+				e.Apply([]byte(k), v)
+				model[k] = v
+			}
+		}
+		var start, end []byte
+		if loRaw%4 != 0 {
+			start = []byte(fmt.Sprintf("k%02d", int(loRaw)%25))
+		}
+		if hiRaw%4 != 0 {
+			end = []byte(fmt.Sprintf("k%02d", int(hiRaw)%25))
+		}
+		// Model answer: live, in-bounds keys in order.
+		var want []string
+		for k, v := range model {
+			if v.Tombstone {
+				continue
+			}
+			if start != nil && k < string(start) {
+				continue
+			}
+			if end != nil && k >= string(end) {
+				continue
+			}
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		e.Scan(start, end, func(k []byte, v wire.Value) bool {
+			got = append(got, string(k))
+			if string(v.Data) != string(model[string(k)].Data) {
+				t.Errorf("seed %d: key %s has value %q, want %q", seed, k, v.Data, model[string(k)].Data)
+				return false
+			}
+			return true
+		})
+		if len(got) != len(want) {
+			t.Errorf("seed %d: scan keys %v, want %v", seed, got, want)
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("seed %d: scan keys %v, want %v", seed, got, want)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
 	}
 }
 

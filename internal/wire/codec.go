@@ -178,6 +178,11 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.BytesWrit)
 		w.uvarint(v.RepairsSent)
 		w.uvarint(v.HintsQueued)
+		w.uvarint(uint64(len(v.Groups)))
+		for _, g := range v.Groups {
+			w.uvarint(g.Reads)
+			w.uvarint(g.Writes)
+		}
 	case Ping:
 		w.uvarint(v.ID)
 		w.varint(v.Sent)
@@ -383,6 +388,26 @@ func decodeBody(body []byte) (Message, error) {
 		for _, f := range fields {
 			if *f, err = r.rUvarint(); err != nil {
 				return nil, err
+			}
+		}
+		ng, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ng > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if ng > 0 {
+			m.Groups = make([]GroupCounters, 0, ng)
+			for i := uint64(0); i < ng; i++ {
+				var g GroupCounters
+				if g.Reads, err = r.rUvarint(); err != nil {
+					return nil, err
+				}
+				if g.Writes, err = r.rUvarint(); err != nil {
+					return nil, err
+				}
+				m.Groups = append(m.Groups, g)
 			}
 		}
 		return m, nil

@@ -248,6 +248,17 @@ type StatsResponse struct {
 	BytesWrit   uint64
 	RepairsSent uint64
 	HintsQueued uint64
+	// Groups carries per-key-group operation counters, indexed by group id
+	// (the node's GroupFn assigns keys to groups). Empty when the node
+	// tallies a single implicit group; the aggregate counters above always
+	// cover all traffic regardless.
+	Groups []GroupCounters
+}
+
+// GroupCounters is one key group's cumulative coordinated-operation tally.
+type GroupCounters struct {
+	Reads  uint64
+	Writes uint64
 }
 
 // Ping measures pairwise latency; the monitoring module's ping substitute.

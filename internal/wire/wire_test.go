@@ -24,6 +24,8 @@ func allSampleMessages() []Message {
 		Repair{Key: []byte("rp"), Value: Value{Data: []byte("rv"), Timestamp: 7}},
 		StatsRequest{ID: 10},
 		StatsResponse{ID: 11, Reads: 1, Writes: 2, ReplicaOps: 3, BytesRead: 4, BytesWrit: 5, RepairsSent: 6, HintsQueued: 7},
+		StatsResponse{ID: 15, Reads: 8, Writes: 9,
+			Groups: []GroupCounters{{Reads: 5, Writes: 3}, {Reads: 0, Writes: 0}, {Reads: 1 << 40, Writes: 7}}},
 		Ping{ID: 12, Sent: 1234567890},
 		Pong{ID: 13, Sent: -5},
 		GossipSyn{From: "node-1", Digests: []GossipEntry{{Node: "node-2", Generation: 3, Version: 9}}},
@@ -111,6 +113,26 @@ func TestRoundTripPropertyMutation(t *testing.T) {
 			bytes.Equal(got.Value.Data, in.Value.Data) &&
 			got.Value.Timestamp == in.Value.Timestamp &&
 			got.Value.Tombstone == in.Value.Tombstone && got.Hint == in.Hint
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPropertyStatsResponse(t *testing.T) {
+	if err := quick.Check(func(id, reads, writes uint64, groups []uint64) bool {
+		in := StatsResponse{ID: id, Reads: reads, Writes: writes}
+		for i, g := range groups {
+			in.Groups = append(in.Groups, GroupCounters{Reads: g, Writes: uint64(i)})
+		}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, _, err := Decode(b)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out, in)
 	}, nil); err != nil {
 		t.Fatal(err)
 	}

@@ -26,6 +26,10 @@ type RunConfig struct {
 	// Levels supplies the read consistency level per operation: Harmony's
 	// controller, or client.Fixed for the static baselines.
 	Levels client.LevelSource
+	// KeyLevels, when set, takes precedence over Levels and chooses the
+	// level per key — the per-group multi-model controller or
+	// core.PerKeyLevels.
+	KeyLevels client.KeyLevelSource
 	// WriteLevel for updates/inserts; zero means ONE (the paper's write
 	// setting).
 	WriteLevel wire.ConsistencyLevel
@@ -34,6 +38,10 @@ type RunConfig struct {
 	ShadowEvery int
 	// Seed drives all workload randomness.
 	Seed int64
+	// ClientPrefix namespaces the thread drivers' fabric identities
+	// ("<prefix>-<i>"); it must differ between runners sharing one
+	// cluster. Empty means "ycsb".
+	ClientPrefix string
 	// OpTimeout bounds each operation; zero means 5s.
 	OpTimeout time.Duration
 	// ThinkTime, when set, samples a pause in seconds that each thread
@@ -43,6 +51,14 @@ type RunConfig struct {
 	// pure closed loop. Draws use the issuing thread's seeded rng, so
 	// runs stay deterministic.
 	ThinkTime dist.Sampler
+	// ArrivalRate, when positive, switches the runner to open loop:
+	// operations arrive as a Poisson process at this aggregate rate (ops
+	// per virtual second) regardless of completions — exponential
+	// inter-arrival gaps driven by sim.Every — and are spread round-robin
+	// over the thread drivers (Threads then only sizes the driver pool
+	// and in-flight correlation space). Closed-loop thread parking,
+	// SetActiveThreads and ThinkTime do not apply in open loop.
+	ArrivalRate float64
 }
 
 // Report summarizes a completed run.
@@ -66,6 +82,26 @@ type Report struct {
 	// LevelUse tallies reads coordinated per consistency level during the
 	// run (index by wire.ConsistencyLevel).
 	LevelUse [6]uint64
+	// Groups splits the run's coordinated traffic and probe staleness by
+	// key group (index by group id), when the cluster tallies groups.
+	Groups []GroupStaleness
+}
+
+// GroupStaleness is one key group's share of a run: its coordinated
+// operations and its dual-read staleness probe outcomes.
+type GroupStaleness struct {
+	Reads         uint64
+	Writes        uint64
+	ShadowSamples uint64
+	StaleReads    uint64
+}
+
+// StaleFraction returns the group's measured stale reads over probed reads.
+func (g GroupStaleness) StaleFraction() float64 {
+	if g.ShadowSamples == 0 {
+		return 0
+	}
+	return float64(g.StaleReads) / float64(g.ShadowSamples)
 }
 
 // StaleFraction returns measured stale reads over probed reads.
@@ -93,19 +129,20 @@ type Runner struct {
 	rng     *rand.Rand
 	chooser dist.KeyChooser
 
-	active    int
-	issued    int64
-	completed int64
-	errors    int64
-	reads     int64
-	updates   int64
-	inserted  int64
-	stopped   bool
-	started   time.Time
-	baseline  cluster.Metrics
-	readLat   stats.Histogram
-	updateLat stats.Histogram
-	valuePool [][]byte
+	active      int
+	arrivalStop func()
+	issued      int64
+	completed   int64
+	errors      int64
+	reads       int64
+	updates     int64
+	inserted    int64
+	stopped     bool
+	started     time.Time
+	baseline    cluster.Metrics
+	readLat     stats.Histogram
+	updateLat   stats.Histogram
+	valuePool   [][]byte
 }
 
 type thread struct {
@@ -160,9 +197,13 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 		r.rng.Read(buf)
 		r.valuePool[i] = buf
 	}
+	prefix := cfg.ClientPrefix
+	if prefix == "" {
+		prefix = "ycsb"
+	}
 	coords := c.NodeIDs()
 	for i := 0; i < cfg.Threads; i++ {
-		id := ring.NodeID(fmt.Sprintf("ycsb-%d", i))
+		id := ring.NodeID(fmt.Sprintf("%s-%d", prefix, i))
 		// Stagger coordinator round-robin start per thread.
 		rot := make([]ring.NodeID, len(coords))
 		for j := range coords {
@@ -172,6 +213,7 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 			ID:           id,
 			Coordinators: rot,
 			Levels:       cfg.Levels,
+			KeyLevels:    cfg.KeyLevels,
 			WriteLevel:   cfg.WriteLevel,
 			Timeout:      cfg.OpTimeout,
 			ShadowEvery:  cfg.ShadowEvery,
@@ -207,18 +249,50 @@ func (r *Runner) Load() {
 	}
 }
 
-// Start begins issuing operations from all threads.
+// Start begins issuing operations: closed-loop threads by default, or the
+// Poisson arrival process when ArrivalRate is set.
 func (r *Runner) Start() {
 	r.started = r.s.Now()
 	r.baseline = r.c.AggregateMetrics()
+	if r.cfg.ArrivalRate > 0 {
+		r.startOpenLoop()
+		return
+	}
 	for _, th := range r.threads {
 		th := th
 		r.s.Post(func() { r.next(th) })
 	}
 }
 
-// Stop parks all threads after their in-flight operation completes.
-func (r *Runner) Stop() { r.stopped = true }
+// startOpenLoop launches the open-loop generator: exponential inter-arrival
+// gaps (a Poisson process at ArrivalRate) drive operations round-robin over
+// the thread drivers regardless of completions, the way independent
+// production clients offer load.
+func (r *Runner) startOpenLoop() {
+	gap := dist.NewExponential(1 / r.cfg.ArrivalRate)
+	rng := rand.New(rand.NewSource(r.cfg.Seed + 104729))
+	nextTh := 0
+	r.arrivalStop = sim.Every(r.s,
+		func() time.Duration { return dist.SampleDuration(gap, rng, time.Second) },
+		func() {
+			if r.Stopped() {
+				return
+			}
+			th := r.threads[nextTh%len(r.threads)]
+			nextTh++
+			r.issue(th)
+		})
+}
+
+// Stop parks all threads after their in-flight operation completes and
+// halts the open-loop arrival process.
+func (r *Runner) Stop() {
+	r.stopped = true
+	if r.arrivalStop != nil {
+		r.arrivalStop()
+		r.arrivalStop = nil
+	}
+}
 
 // Stopped reports whether Stop was called or the op budget is exhausted.
 func (r *Runner) Stopped() bool {
@@ -248,11 +322,18 @@ func (r *Runner) SetActiveThreads(n int) {
 // Completed returns operations finished so far.
 func (r *Runner) Completed() int64 { return r.completed }
 
+// next is the closed-loop continuation: a thread issues its next operation
+// unless the run stopped or the thread was deactivated.
 func (r *Runner) next(th *thread) {
 	if r.Stopped() || th.idx >= r.active {
 		th.parked = true
 		return
 	}
+	r.issue(th)
+}
+
+// issue dispatches one operation on a thread's driver.
+func (r *Runner) issue(th *thread) {
 	r.issued++
 	op := r.chooseOp(th.rng)
 	switch op {
@@ -343,6 +424,9 @@ func (r *Runner) finish(th *thread, start time.Time, hist *stats.Histogram, err 
 		r.errors++
 	} else {
 		hist.Record(r.s.Now().Sub(start))
+	}
+	if r.cfg.ArrivalRate > 0 {
+		return // open loop: the arrival process issues the next op
 	}
 	if r.cfg.ThinkTime != nil {
 		if d := dist.SampleDuration(r.cfg.ThinkTime, th.rng, time.Second); d > 0 {
@@ -445,6 +529,25 @@ func (r *Runner) Report() Report {
 	}
 	for i := range rep.LevelUse {
 		rep.LevelUse[i] = after.LevelUse[i] - r.baseline.LevelUse[i]
+	}
+	for g := range after.GroupReads {
+		gs := GroupStaleness{
+			Reads:  after.GroupReads[g],
+			Writes: after.GroupWrites[g],
+		}
+		if g < len(r.baseline.GroupReads) {
+			gs.Reads -= r.baseline.GroupReads[g]
+			gs.Writes -= r.baseline.GroupWrites[g]
+		}
+		if g < len(after.GroupShadowSamples) {
+			gs.ShadowSamples = after.GroupShadowSamples[g]
+			gs.StaleReads = after.GroupShadowStale[g]
+			if g < len(r.baseline.GroupShadowSamples) {
+				gs.ShadowSamples -= r.baseline.GroupShadowSamples[g]
+				gs.StaleReads -= r.baseline.GroupShadowStale[g]
+			}
+		}
+		rep.Groups = append(rep.Groups, gs)
 	}
 	if dur > 0 {
 		rep.ThroughputOps = float64(r.completed) / dur.Seconds()

@@ -165,3 +165,20 @@ func (w Workload) NewChooser() (dist.KeyChooser, error) { return w.chooser() }
 
 // Key renders the canonical YCSB key name for an index.
 func Key(i int64) []byte { return []byte(fmt.Sprintf("user%010d", i)) }
+
+// KeyIndex parses the record index back out of a canonical YCSB key; ok is
+// false for keys not produced by Key. Group functions use it to tag
+// operations by key range without allocating.
+func KeyIndex(key []byte) (int64, bool) {
+	if len(key) < 5 || string(key[:4]) != "user" {
+		return 0, false
+	}
+	var n int64
+	for _, c := range key[4:] {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		n = n*10 + int64(c-'0')
+	}
+	return n, true
+}

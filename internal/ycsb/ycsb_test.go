@@ -329,6 +329,139 @@ func TestChooseOpDistribution(t *testing.T) {
 	}
 }
 
+func TestKeyIndexRoundTrip(t *testing.T) {
+	for _, i := range []int64{0, 1, 99, 100_000, 9_999_999_999} {
+		got, ok := KeyIndex(Key(i))
+		if !ok || got != i {
+			t.Fatalf("KeyIndex(Key(%d)) = %d, %v", i, got, ok)
+		}
+	}
+	for _, bad := range [][]byte{nil, []byte("user"), []byte("userX000000001"), []byte("customer1")} {
+		if _, ok := KeyIndex(bad); ok {
+			t.Fatalf("KeyIndex(%q) accepted", bad)
+		}
+	}
+}
+
+func TestRunnerOpenLoopPoissonRate(t *testing.T) {
+	// Open loop: the offered rate is the configured arrival rate, not a
+	// function of completions.
+	const rate = 1000.0
+	s, _, r := newRunner(t, RunConfig{
+		Workload:    smallWorkload(WorkloadA()),
+		Threads:     8,
+		Seed:        7,
+		ArrivalRate: rate,
+	})
+	r.Start()
+	s.RunFor(4 * time.Second)
+	r.Stop()
+	r.Drain()
+	rep := r.Report()
+	if rep.ThroughputOps < rate*0.9 || rep.ThroughputOps > rate*1.1 {
+		t.Fatalf("open-loop throughput = %.0f ops/s, want ~%.0f", rep.ThroughputOps, rate)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d errors", rep.Errors)
+	}
+}
+
+func TestRunnerOpenLoopIgnoresThreadParking(t *testing.T) {
+	// SetActiveThreads is a closed-loop concept; the Poisson process keeps
+	// offering load regardless.
+	s, _, r := newRunner(t, RunConfig{
+		Workload:    smallWorkload(WorkloadA()),
+		Threads:     4,
+		Seed:        9,
+		ArrivalRate: 500,
+	})
+	r.Start()
+	r.SetActiveThreads(0)
+	s.RunFor(2 * time.Second)
+	r.Stop()
+	r.Drain()
+	if c := r.Completed(); c < 800 {
+		t.Fatalf("open loop issued only %d ops with parked threads", c)
+	}
+}
+
+func TestRunnerReportsGroupStaleness(t *testing.T) {
+	spec := smallSpec()
+	spec.Groups = 2
+	spec.GroupFn = func(key []byte) int {
+		if idx, ok := KeyIndex(key); ok && idx < 100 {
+			return 0
+		}
+		return 1
+	}
+	s := sim.New(11)
+	c, err := cluster.BuildSim(s, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRunner(RunConfig{
+		Workload:    smallWorkload(WorkloadA()),
+		Threads:     8,
+		Operations:  3000,
+		Seed:        11,
+		ShadowEvery: 2,
+	}, s, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Load()
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Groups) != 2 {
+		t.Fatalf("groups in report = %d, want 2", len(rep.Groups))
+	}
+	var reads, writes, samples, stale uint64
+	for _, g := range rep.Groups {
+		reads += g.Reads
+		writes += g.Writes
+		samples += g.ShadowSamples
+		stale += g.StaleReads
+	}
+	m := c.AggregateMetrics()
+	if reads != m.Reads || writes != m.Writes {
+		t.Fatalf("group ops (%d r, %d w) do not partition totals (%d r, %d w)", reads, writes, m.Reads, m.Writes)
+	}
+	if samples != rep.ShadowSamples || stale != rep.StaleReads {
+		t.Fatalf("group probes (%d/%d) do not partition totals (%d/%d)", stale, samples, rep.StaleReads, rep.ShadowSamples)
+	}
+	// Zipfian traffic concentrates on low indices: group 0 (first 100
+	// keys) must have seen a healthy share of the traffic.
+	if rep.Groups[0].Reads == 0 || rep.Groups[1].Reads == 0 {
+		t.Fatalf("degenerate group split: %+v", rep.Groups)
+	}
+}
+
+func TestRunnerKeyLevelsTakesPrecedence(t *testing.T) {
+	// A per-key source forcing ALL must shape every coordinated read.
+	s, c, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadA()),
+		Threads:    4,
+		Operations: 500,
+		Seed:       13,
+		Levels:     client.Fixed(wire.One),
+		KeyLevels:  allKeyLevels{},
+	})
+	_ = s
+	if _, err := r.RunOps(); err != nil {
+		t.Fatal(err)
+	}
+	m := c.AggregateMetrics()
+	if m.LevelUse[wire.One] != 0 || m.LevelUse[wire.All] == 0 {
+		t.Fatalf("KeyLevels ignored: level use = %v", m.LevelUse)
+	}
+}
+
+type allKeyLevels struct{}
+
+func (allKeyLevels) ReadLevelFor([]byte) wire.ConsistencyLevel { return wire.All }
+
 func TestRunnerThinkTimeThrottles(t *testing.T) {
 	run := func(think dist.Sampler) int64 {
 		s, _, r := newRunner(t, RunConfig{
