@@ -20,13 +20,15 @@ bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m .
 
 # Cheap CI smoke: micro-benchmarks across internal packages plus one
-# end-to-end scenario sweep, a single iteration each, and the hotcold
-# per-group-vs-global comparison with JSON results (uploaded as a CI
-# artifact).
+# end-to-end scenario sweep, a single iteration each, the hotcold
+# per-group-vs-global comparison, and the regroup migrating-hotspot
+# comparison (learned online regrouping vs build-time-pinned groups), each
+# with JSON results (uploaded as CI artifacts).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioStressProfiles|BenchmarkWorkloadAEventual' -benchtime 1x .
 	$(GO) run ./cmd/harmony-bench -experiment hotcold -scenario grid5000 -ops 8000 -quiet -json out/hotcold.json
+	$(GO) run ./cmd/harmony-bench -experiment regroup -ops 8000 -quiet -json out/regroup.json
 
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }

@@ -9,14 +9,18 @@
 //	harmony-bench -experiment fig5 -scenario grid5000 -ops 100000
 //	harmony-bench -experiment fig4a -csv out/
 //	harmony-bench -experiment hotcold -json out/hotcold.json
+//	harmony-bench -experiment regroup -json out/regroup.json
 //	harmony-bench -experiment fig5 -arrival 8000   # open-loop Poisson load
 //
-// Experiments: fig4a fig4b fig5 fig6 headline ablations hotcold all. fig5
-// and fig6 derive from the same measurement grid; requesting either runs
-// the grid for the selected scenario(s). hotcold compares the per-group
-// multi-model controller against the global controller on a hot/cold key
-// split; -json writes its results (plus any figures) as machine-readable
-// JSON for CI artifacts.
+// Experiments: fig4a fig4b fig5 fig6 headline ablations hotcold regroup lag
+// all. fig5 and fig6 derive from the same measurement grid; requesting
+// either runs the grid for the selected scenario(s). hotcold compares the
+// per-group multi-model controller against the global controller on a
+// hot/cold key split; regroup compares learned online regrouping against
+// build-time-pinned groups under a migrating hotspot; lag measures
+// time-from-regime-change-to-stable-level on the drifting scenario; -json
+// writes results (plus any figures) as machine-readable JSON for CI
+// artifacts.
 package main
 
 import (
@@ -34,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|all")
+		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|all")
 		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal, drifting), 'both' paper testbeds, or 'all'")
 		ops        = flag.Int64("ops", 30000, "operations per measurement point")
 		seed       = flag.Int64("seed", 1, "root random seed")
@@ -64,6 +68,8 @@ func main() {
 	start := time.Now()
 	var figures []bench.Figure
 	var hotcolds []bench.HotColdResult
+	var regroups []bench.RegroupResult
+	var lags []bench.LagResult
 
 	runGridFigures := func() {
 		ids := map[string][2]string{
@@ -91,7 +97,8 @@ func main() {
 	case wants(*experiment, "fig4b"):
 	case wants(*experiment, "fig5"), wants(*experiment, "fig6"),
 		wants(*experiment, "headline"), wants(*experiment, "ablations"),
-		wants(*experiment, "hotcold"):
+		wants(*experiment, "hotcold"), wants(*experiment, "regroup"),
+		wants(*experiment, "lag"):
 	default:
 		fatalf("unknown experiment %q", *experiment)
 	}
@@ -139,8 +146,29 @@ func main() {
 		}
 	}
 
+	if wants(*experiment, "regroup") {
+		// The migrating-hotspot comparison runs on its default scenario:
+		// group learning is scenario-independent machinery, and one testbed
+		// keeps the experiment affordable in CI.
+		spec := bench.DefaultRegroupSpec()
+		res, err := bench.Regroup(spec, opts)
+		if err != nil {
+			fatalf("regroup: %v", err)
+		}
+		fmt.Println(res.Format())
+		regroups = append(regroups, res)
+	}
+	if wants(*experiment, "lag") {
+		res, err := bench.AdaptationLag(bench.Drifting(), opts)
+		if err != nil {
+			fatalf("lag: %v", err)
+		}
+		fmt.Println(res.Format())
+		lags = append(lags, res)
+	}
+
 	if *jsonPath != "" {
-		writeJSON(*jsonPath, figures, hotcolds)
+		writeJSON(*jsonPath, figures, hotcolds, regroups, lags)
 	}
 
 	for _, f := range figures {
@@ -189,11 +217,14 @@ func runAblations(opts bench.Options, figures *[]bench.Figure) {
 
 // writeJSON persists every result of the invocation as one machine-readable
 // document (the CI artifact format).
-func writeJSON(path string, figures []bench.Figure, hotcolds []bench.HotColdResult) {
+func writeJSON(path string, figures []bench.Figure, hotcolds []bench.HotColdResult,
+	regroups []bench.RegroupResult, lags []bench.LagResult) {
 	doc := struct {
 		Figures []bench.Figure        `json:"figures,omitempty"`
 		HotCold []bench.HotColdResult `json:"hotcold,omitempty"`
-	}{Figures: figures, HotCold: hotcolds}
+		Regroup []bench.RegroupResult `json:"regroup,omitempty"`
+		Lag     []bench.LagResult     `json:"lag,omitempty"`
+	}{Figures: figures, HotCold: hotcolds, Regroup: regroups, Lag: lags}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatalf("marshal json: %v", err)

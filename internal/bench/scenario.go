@@ -28,6 +28,13 @@ type Scenario struct {
 	// drifting profile's jitter schedule). The returned stop function
 	// (may be nil) runs when the measurement ends.
 	Prepare func(s *sim.Sim, c *cluster.Cluster) (stop func())
+	// RegimeChangeAt, when positive, is the virtual instant (measured from
+	// Prepare) at which the scenario's mid-run regime change begins, and
+	// RegimeStableBy when the environment has fully settled into the new
+	// regime — the anchors re-adaptation-lag measurements need. Zero for
+	// static scenarios.
+	RegimeChangeAt time.Duration
+	RegimeStableBy time.Duration
 }
 
 // Grid5000 is the paper's first testbed scaled to simulation: 20 physical
@@ -119,7 +126,7 @@ func Drifting() Scenario {
 	spec := cluster.DefaultSpec()
 	spec.Profile = profile
 	const (
-		lead        = 1 * time.Second // healthy lead-in before the drift begins
+		lead        = 2 * time.Second // healthy lead-in before the drift begins
 		driftWindow = 5 * time.Second // full drift healthy -> degraded
 	)
 	return Scenario{
@@ -127,6 +134,8 @@ func Drifting() Scenario {
 		Spec:              spec,
 		MonitorInterval:   250 * time.Millisecond,
 		HarmonyTolerances: [2]float64{0.20, 0.40},
+		RegimeChangeAt:    lead,
+		RegimeStableBy:    lead + driftWindow,
 		Prepare: func(s *sim.Sim, c *cluster.Cluster) func() {
 			knob.SetProgress(0)
 			start := s.Now()

@@ -34,8 +34,17 @@ type LevelSource interface {
 }
 
 // KeyLevelSource supplies per-key consistency levels — the interface behind
-// the paper's future-work data categorization (core.PerKeyLevels): keys in
-// write-contended categories read at higher levels than cold ones.
+// the paper's future-work data categorization (core.PerKeyLevels, and the
+// multi-model core.Controller under the online regrouping subsystem): keys
+// in write-contended categories read at higher levels than cold ones.
+//
+// The driver consults the source at issue time for every read and never
+// caches levels, so a source whose grouping changes at runtime (the
+// regrouping subsystem swaps epochs mid-run) takes effect on the very next
+// operation. Implementations must resolve the key's group and that group's
+// level atomically — a key must never be judged with one epoch's group id
+// against another epoch's group table (core.Controller.ReadLevelFor holds
+// its lock across both lookups for exactly this reason).
 type KeyLevelSource interface {
 	ReadLevelFor(key []byte) wire.ConsistencyLevel
 }

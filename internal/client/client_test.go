@@ -286,3 +286,44 @@ func TestPerKeyLevelSourceTakesPrecedence(t *testing.T) {
 		t.Fatalf("explicit level = %v", got[2])
 	}
 }
+
+// TestKeyLevelSourceConsistentAcrossEpochSwap pins the driver half of the
+// regrouping contract: levels are resolved from the KeyLevelSource at issue
+// time, per operation, with nothing cached — so when the source's grouping
+// swaps to a new epoch between two reads, the second read immediately sees
+// the new epoch's level for its key.
+func TestKeyLevelSourceConsistentAcrossEpochSwap(t *testing.T) {
+	var got []wire.ConsistencyLevel
+	s := sim.New(1)
+	bus := transport.NewLoopback()
+	co := &fakeCoordinator{bus: bus, id: "coord"}
+	co.respond = func(m wire.Message) wire.Message {
+		req := m.(wire.ReadRequest)
+		got = append(got, req.Level)
+		return wire.ReadResponse{ID: req.ID}
+	}
+	bus.Register("coord", co)
+	// An epoch-swappable source: before the swap key "k" is cold (ONE),
+	// after it the same key is classified hot (QUORUM).
+	epoch := 0
+	src := keyLevelFunc(func(key []byte) wire.ConsistencyLevel {
+		if epoch >= 1 && string(key) == "k" {
+			return wire.Quorum
+		}
+		return wire.One
+	})
+	drv, err := New(Options{ID: "cl", Coordinators: []ring.NodeID{"coord"}, KeyLevels: src}, s, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("cl", drv)
+	drv.Read([]byte("k"), func(ReadResult) {})
+	s.RunUntilIdle(100)
+	epoch = 1 // the regrouping subsystem swapped assignments
+	drv.Read([]byte("k"), func(ReadResult) {})
+	drv.Read([]byte("other"), func(ReadResult) {})
+	s.RunUntilIdle(100)
+	if len(got) != 3 || got[0] != wire.One || got[1] != wire.Quorum || got[2] != wire.One {
+		t.Fatalf("levels = %v, want [ONE QUORUM ONE] across the epoch swap", got)
+	}
+}

@@ -47,9 +47,15 @@ type Spec struct {
 	// each coordinated read/write is tagged into a group and tallied
 	// separately, so the monitoring pipeline can adapt consistency per
 	// group instead of cluster-wide. Zero Groups means one implicit group
-	// (the classic global pipeline).
+	// (the classic global pipeline). This is only the epoch-0 assignment:
+	// the regrouping subsystem replaces it at runtime via wire.GroupUpdate.
 	Groups  int
 	GroupFn func(key []byte) int
+	// KeySampleLimit and KeyStatsDecay configure per-key access sampling
+	// on every node for the online regrouping loop (see Config); zero
+	// KeySampleLimit disables sampling.
+	KeySampleLimit int
+	KeyStatsDecay  float64
 }
 
 // ServiceProfile gives per-message-class service times for the node queue.
@@ -252,6 +258,8 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 			Engine:           spec.Engine,
 			Groups:           spec.Groups,
 			GroupFn:          spec.GroupFn,
+			KeySampleLimit:   spec.KeySampleLimit,
+			KeyStatsDecay:    spec.KeyStatsDecay,
 			Rand:             s.NewStream(),
 		}, rt, bus)
 		var h transport.Handler = n
@@ -272,11 +280,23 @@ func (c *Cluster) Node(id ring.NodeID) *Node { return c.byID[id] }
 // NodeIDs returns all node IDs in deterministic order.
 func (c *Cluster) NodeIDs() []ring.NodeID { return c.Topo.Nodes() }
 
-// AggregateMetrics sums metrics across all nodes.
+// AggregateMetrics sums metrics across all nodes. Per-group counters only
+// aggregate over nodes at the newest grouping epoch: during a GroupUpdate
+// rollout a laggard node's group counters still describe the old epoch's
+// groups, and mixing the two would attribute one epoch's traffic to
+// another epoch's groups (the same invariant the monitor enforces with its
+// epoch consensus). Aggregate counters always cover every node.
 func (c *Cluster) AggregateMetrics() Metrics {
 	var total Metrics
+	snaps := make([]Metrics, 0, len(c.Nodes))
 	for _, n := range c.Nodes {
 		s := n.Snapshot()
+		snaps = append(snaps, s)
+		if s.GroupEpoch > total.GroupEpoch {
+			total.GroupEpoch = s.GroupEpoch
+		}
+	}
+	for _, s := range snaps {
 		total.Reads += s.Reads
 		total.Writes += s.Writes
 		total.ReplicaOps += s.ReplicaOps
@@ -292,8 +312,12 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		for i := range s.LevelUse {
 			total.LevelUse[i] += s.LevelUse[i]
 		}
+		if s.GroupEpoch != total.GroupEpoch {
+			continue // old-epoch groups: counters describe retired groups
+		}
 		total.GroupReads = addCounters(total.GroupReads, s.GroupReads)
 		total.GroupWrites = addCounters(total.GroupWrites, s.GroupWrites)
+		total.GroupBytesWritten = addCounters(total.GroupBytesWritten, s.GroupBytesWritten)
 		total.GroupShadowSamples = addCounters(total.GroupShadowSamples, s.GroupShadowSamples)
 		total.GroupShadowStale = addCounters(total.GroupShadowStale, s.GroupShadowStale)
 	}

@@ -59,8 +59,20 @@ type Config struct {
 	// GroupFn maps a key to its group in [0, Groups); nil assigns every
 	// key to group 0. Out-of-range results are clamped into range. The
 	// function runs on every coordinated operation, so it must be cheap
-	// and must not retain the key slice.
+	// and must not retain the key slice. Groups and GroupFn are only the
+	// initial assignment: a wire.GroupUpdate from the regrouping subsystem
+	// atomically replaces both at runtime (see applyGroupUpdate).
 	GroupFn func(key []byte) int
+	// KeySampleLimit enables per-key access sampling for the online
+	// regrouping loop: each coordinated read/write is tallied into a
+	// decayed per-key sampler and the top KeySampleLimit keys ride on
+	// every StatsResponse. Zero disables sampling (no per-op overhead,
+	// lean stats frames).
+	KeySampleLimit int
+	// KeyStatsDecay is the multiplicative decay applied to the sampler's
+	// weights on every stats poll; outside (0, 1] means 0.5. Lower values
+	// forget migrated-away hotspots faster.
+	KeyStatsDecay float64
 	// Alive reports whether a peer is believed up; nil means always true.
 	// Wire a gossip.Detector's Alive method here for failure awareness.
 	Alive func(ring.NodeID) bool
@@ -90,14 +102,23 @@ type Metrics struct {
 	// wire.ConsistencyLevel). Slot 0 is unused.
 	LevelUse [6]uint64
 	// GroupReads / GroupWrites tally coordinated operations per key group
-	// (index by group id, length = Config.Groups). They partition Reads
-	// and Writes: summing a slice reproduces the aggregate counter.
+	// (index by group id, length = the node's current group count). They
+	// partition the traffic coordinated since the current grouping epoch
+	// began: group counters re-baseline to zero when a GroupUpdate applies,
+	// because the old groups no longer exist (the aggregate Reads/Writes
+	// above stay cumulative since process start).
 	GroupReads  []uint64
 	GroupWrites []uint64
+	// GroupBytesWritten tallies coordinated write payload bytes per key
+	// group, so the monitor can derive per-group mean write sizes.
+	GroupBytesWritten []uint64
 	// GroupShadowSamples / GroupShadowStale split the dual-read staleness
 	// probe counters by key group.
 	GroupShadowSamples []uint64
 	GroupShadowStale   []uint64
+	// GroupEpoch is the grouping epoch the group counters belong to (zero
+	// until the first GroupUpdate applies).
+	GroupEpoch uint64
 }
 
 // clone deep-copies the metrics so snapshots do not alias the live
@@ -106,6 +127,7 @@ func (m Metrics) clone() Metrics {
 	out := m
 	out.GroupReads = append([]uint64(nil), m.GroupReads...)
 	out.GroupWrites = append([]uint64(nil), m.GroupWrites...)
+	out.GroupBytesWritten = append([]uint64(nil), m.GroupBytesWritten...)
 	out.GroupShadowSamples = append([]uint64(nil), m.GroupShadowSamples...)
 	out.GroupShadowStale = append([]uint64(nil), m.GroupShadowStale...)
 	return out
@@ -126,6 +148,7 @@ type readOp struct {
 	respAt    int64 // virtual UnixNano when the client response was sent
 	shadow    bool
 	group     int
+	epoch     uint64 // grouping epoch op.group belongs to
 	level     wire.ConsistencyLevel
 	cancel    func()
 	// Blocking read repair (CL=ALL, paper Fig. 1): the response to the
@@ -162,6 +185,13 @@ type Node struct {
 	hintStop          func()
 	lastTS            int64
 
+	// Live grouping state, initialized from Config and atomically replaced
+	// by applyGroupUpdate. Only touched on the node's runtime.
+	epoch   uint64
+	groups  int
+	groupFn func(key []byte) int
+	sampler *keySampler
+
 	metricsMu sync.Mutex
 	metrics   Metrics
 }
@@ -187,7 +217,7 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 	if cfg.Groups < 1 {
 		cfg.Groups = 1
 	}
-	return &Node{
+	n := &Node{
 		cfg:               cfg,
 		rt:                rt,
 		send:              send,
@@ -196,26 +226,40 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 		pendingWrites:     make(map[uint64]*writeOp),
 		pendingRepairAcks: make(map[uint64]*readOp),
 		hints:             make(map[ring.NodeID][]wire.Mutation),
+		groups:            cfg.Groups,
+		groupFn:           cfg.GroupFn,
 		metrics: Metrics{
 			GroupReads:         make([]uint64, cfg.Groups),
 			GroupWrites:        make([]uint64, cfg.Groups),
+			GroupBytesWritten:  make([]uint64, cfg.Groups),
 			GroupShadowSamples: make([]uint64, cfg.Groups),
 			GroupShadowStale:   make([]uint64, cfg.Groups),
 		},
 	}
+	if cfg.KeySampleLimit > 0 {
+		n.sampler = newKeySampler(cfg.KeyStatsDecay, 16*cfg.KeySampleLimit)
+	}
+	return n
 }
 
-// groupOf assigns a key to its telemetry group, clamping GroupFn results
-// into the configured range.
+// groupOf assigns a key to its telemetry group, clamping group-function
+// results into the current epoch's range.
 func (n *Node) groupOf(key []byte) int {
-	if n.cfg.GroupFn == nil {
+	if n.groupFn == nil {
 		return 0
 	}
-	g := n.cfg.GroupFn(key)
-	if g < 0 || g >= n.cfg.Groups {
+	g := n.groupFn(key)
+	if g < 0 || g >= n.groups {
 		return 0
 	}
 	return g
+}
+
+// Epoch reports the node's current grouping epoch (tests).
+func (n *Node) Epoch() uint64 {
+	n.metricsMu.Lock()
+	defer n.metricsMu.Unlock()
+	return n.metrics.GroupEpoch
 }
 
 // ID returns the node's identity.
@@ -296,6 +340,8 @@ func (n *Node) Deliver(from ring.NodeID, m wire.Message) {
 		n.applyRepair(msg)
 	case wire.StatsRequest:
 		n.serveStats(from, msg)
+	case wire.GroupUpdate:
+		n.applyGroupUpdate(msg)
 	case wire.Ping:
 		n.send.Send(n.cfg.ID, from, wire.Pong{ID: msg.ID, Sent: msg.Sent})
 	}
@@ -337,9 +383,13 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		total:    len(targets),
 		shadow:   req.Shadow,
 		group:    n.groupOf(req.Key),
+		epoch:    n.epoch,
 		level:    level,
 	}
 	n.pendingReads[op.id] = op
+	if n.sampler != nil {
+		n.sampler.observe(req.Key, 1, 0)
+	}
 	n.withMetrics(func(m *Metrics) {
 		m.Reads++
 		m.GroupReads[op.group]++
@@ -447,7 +497,14 @@ func (n *Node) finishRead(op *readOp) {
 		if best.Timestamp > op.respTS && best.Timestamp <= op.respAt {
 			n.withMetrics(func(m *Metrics) {
 				m.ShadowStale++
-				m.GroupShadowStale[op.group]++
+				// A GroupUpdate may have re-baselined the group counters
+				// while this read was in flight; its group id belongs to
+				// the issue-time epoch, so drop the per-group sample
+				// rather than attribute it to the new epoch's groups (the
+				// matching GroupShadowSamples increment was zeroed away).
+				if op.epoch == m.GroupEpoch && op.group < len(m.GroupShadowStale) {
+					m.GroupShadowStale[op.group]++
+				}
 			})
 		}
 	}
@@ -536,9 +593,13 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 	}
 	n.pendingWrites[op.id] = op
 	group := n.groupOf(req.Key)
+	if n.sampler != nil {
+		n.sampler.observe(req.Key, 0, 1)
+	}
 	n.withMetrics(func(m *Metrics) {
 		m.Writes++
 		m.GroupWrites[group]++
+		m.GroupBytesWritten[group] += uint64(len(req.Value))
 		m.BytesWritten += uint64(len(req.Value))
 	})
 	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
@@ -671,15 +732,63 @@ func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 		BytesWrit:   s.BytesWritten,
 		RepairsSent: s.RepairsSent,
 		HintsQueued: s.HintsQueued,
+		Epoch:       s.GroupEpoch,
 	}
 	// A single implicit group carries no extra signal; keep the frame lean.
-	if n.cfg.Groups > 1 {
-		resp.Groups = make([]wire.GroupCounters, n.cfg.Groups)
-		for g := 0; g < n.cfg.Groups; g++ {
-			resp.Groups[g] = wire.GroupCounters{Reads: s.GroupReads[g], Writes: s.GroupWrites[g]}
+	if n.groups > 1 {
+		resp.Groups = make([]wire.GroupCounters, n.groups)
+		for g := 0; g < n.groups && g < len(s.GroupReads); g++ {
+			resp.Groups[g] = wire.GroupCounters{
+				Reads:        s.GroupReads[g],
+				Writes:       s.GroupWrites[g],
+				BytesWritten: s.GroupBytesWritten[g],
+			}
 		}
 	}
+	if n.sampler != nil {
+		resp.KeySamples = n.sampler.export(n.cfg.KeySampleLimit)
+	}
 	n.send.Send(n.cfg.ID, from, resp)
+}
+
+// applyGroupUpdate installs a new grouping epoch broadcast by the
+// regrouping subsystem: the node's group function and group count swap
+// atomically with a counter re-baseline, so telemetry from the old epoch's
+// groups is never attributed to the new epoch's. Updates apply exactly once
+// per epoch — duplicates and stale epochs (including redeliveries of the
+// current one) are ignored, which keeps the re-baseline from zeroing
+// counters twice.
+func (n *Node) applyGroupUpdate(u wire.GroupUpdate) {
+	groups := len(u.Tolerances)
+	if groups < 1 || u.Epoch <= n.epoch {
+		return
+	}
+	def := int(u.Default)
+	if def < 0 || def >= groups {
+		def = groups - 1
+	}
+	assign := make(map[string]int, len(u.Entries))
+	for _, e := range u.Entries {
+		if g := int(e.Group); g >= 0 && g < groups {
+			assign[string(e.Key)] = g
+		}
+	}
+	n.epoch = u.Epoch
+	n.groups = groups
+	n.groupFn = func(key []byte) int {
+		if g, ok := assign[string(key)]; ok {
+			return g
+		}
+		return def
+	}
+	n.withMetrics(func(m *Metrics) {
+		m.GroupEpoch = u.Epoch
+		m.GroupReads = make([]uint64, groups)
+		m.GroupWrites = make([]uint64, groups)
+		m.GroupBytesWritten = make([]uint64, groups)
+		m.GroupShadowSamples = make([]uint64, groups)
+		m.GroupShadowStale = make([]uint64, groups)
+	})
 }
 
 var _ transport.Handler = (*Node)(nil)

@@ -1,0 +1,343 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/simnet"
+	"harmony/internal/wire"
+)
+
+// statsProbe captures StatsResponses sent to a test endpoint. (A struct
+// pointer, not transport.HandlerFunc: the bus compares handler identity at
+// delivery time and func values are not comparable.)
+type statsProbe struct {
+	got chan wire.StatsResponse
+}
+
+func (p *statsProbe) Deliver(_ ring.NodeID, m wire.Message) {
+	if resp, ok := m.(wire.StatsResponse); ok {
+		select {
+		case p.got <- resp:
+		default:
+		}
+	}
+}
+
+// broadcastUpdate sends a GroupUpdate to every node and lets it settle.
+func broadcastUpdate(h *testHarness, u wire.GroupUpdate) {
+	for _, id := range h.c.NodeIDs() {
+		h.c.Bus.Send("probe", id, u)
+	}
+	h.s.RunFor(time.Second)
+}
+
+func TestGroupUpdateSwapsAssignmentAndRebaselines(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	h := newHarness(t, spec, client.Options{})
+	h.write(t, "a0", "v")
+	h.write(t, "b0", "v")
+	h.read(t, "a0", wire.One)
+
+	before := h.c.AggregateMetrics()
+	if before.GroupWrites[0] != 1 || before.GroupWrites[1] != 1 || before.GroupEpoch != 0 {
+		t.Fatalf("pre-update metrics = %+v", before)
+	}
+
+	// Epoch 1: three groups, 'a0' now belongs to group 2, everything else
+	// defaults to group 1.
+	broadcastUpdate(h, wire.GroupUpdate{
+		Epoch:      1,
+		Tolerances: []float64{0.02, 0.4, 0.9},
+		Default:    1,
+		Entries:    []wire.GroupAssign{{Key: []byte("a0"), Group: 2}},
+	})
+	m := h.c.AggregateMetrics()
+	if m.GroupEpoch != 1 {
+		t.Fatalf("epoch = %d, want 1", m.GroupEpoch)
+	}
+	if len(m.GroupReads) != 3 {
+		t.Fatalf("group slices not resized: %v", m.GroupReads)
+	}
+	if m.GroupReads[0]+m.GroupReads[1]+m.GroupReads[2] != 0 ||
+		m.GroupWrites[0]+m.GroupWrites[1]+m.GroupWrites[2] != 0 {
+		t.Fatalf("counters not re-baselined: %+v", m)
+	}
+	if m.Reads != before.Reads || m.Writes != before.Writes {
+		t.Fatal("aggregate counters must stay cumulative across epochs")
+	}
+
+	// New traffic tallies under the new assignment.
+	h.read(t, "a0", wire.One)  // assigned group 2
+	h.read(t, "zzz", wire.One) // unassigned -> default group 1
+	h.write(t, "a0", "vv")
+	m = h.c.AggregateMetrics()
+	if m.GroupReads[2] != 1 || m.GroupReads[1] != 1 || m.GroupReads[0] != 0 {
+		t.Fatalf("post-update reads = %v", m.GroupReads)
+	}
+	if m.GroupWrites[2] != 1 || m.GroupBytesWritten[2] != 2 {
+		t.Fatalf("post-update writes = %v bytes = %v", m.GroupWrites, m.GroupBytesWritten)
+	}
+}
+
+func TestGroupUpdateAppliesExactlyOncePerEpoch(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	h := newHarness(t, spec, client.Options{})
+
+	up := wire.GroupUpdate{Epoch: 1, Tolerances: []float64{0.1, 0.5}, Default: 1}
+	broadcastUpdate(h, up)
+	h.write(t, "a0", "v")
+	h.read(t, "a0", wire.One)
+	mid := h.c.AggregateMetrics()
+	if mid.GroupWrites[1] != 1 || mid.GroupReads[1] != 1 {
+		t.Fatalf("mid metrics = %+v", mid)
+	}
+
+	// Redelivering the same epoch (and older epochs) must not zero the
+	// counters a second time.
+	broadcastUpdate(h, up)
+	broadcastUpdate(h, wire.GroupUpdate{Epoch: 0, Tolerances: []float64{0.3}})
+	after := h.c.AggregateMetrics()
+	if after.GroupWrites[1] != 1 || after.GroupReads[1] != 1 || after.GroupEpoch != 1 {
+		t.Fatalf("duplicate update re-baselined: %+v", after)
+	}
+
+	// A malformed update (no groups) is ignored outright.
+	broadcastUpdate(h, wire.GroupUpdate{Epoch: 9})
+	if got := h.c.AggregateMetrics().GroupEpoch; got != 1 {
+		t.Fatalf("malformed update advanced the epoch to %d", got)
+	}
+
+	// The next epoch re-baselines exactly once more.
+	broadcastUpdate(h, wire.GroupUpdate{Epoch: 2, Tolerances: []float64{0.1, 0.5}, Default: 0})
+	final := h.c.AggregateMetrics()
+	if final.GroupEpoch != 2 || final.GroupWrites[1] != 0 {
+		t.Fatalf("epoch 2 not applied cleanly: %+v", final)
+	}
+}
+
+func TestStatsResponseCarriesEpochAndKeySamples(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	spec.KeySampleLimit = 4
+	h := newHarness(t, spec, client.Options{})
+
+	// Hammer one key through a single coordinator so its sampler sees it.
+	coord := h.c.NodeIDs()[0]
+	probe := &statsProbe{got: make(chan wire.StatsResponse, 1)}
+	h.c.Bus.Register("probe", h.s, probe)
+	for i := 0; i < 6; i++ {
+		h.c.Bus.Send("probe", coord, wire.ReadRequest{ID: uint64(100 + i), Key: []byte("a-hot"), Level: wire.One})
+		h.c.Bus.Send("probe", coord, wire.WriteRequest{ID: uint64(200 + i), Key: []byte("a-hot"), Value: []byte("v"), Level: wire.One})
+	}
+	h.s.RunFor(time.Second)
+
+	broadcastUpdate(h, wire.GroupUpdate{Epoch: 3, Tolerances: []float64{0.1, 0.5}, Default: 1})
+	h.c.Bus.Send("probe", coord, wire.StatsRequest{ID: 1})
+	h.s.RunFor(time.Second)
+
+	select {
+	case resp := <-probe.got:
+		if resp.Epoch != 3 {
+			t.Fatalf("stats epoch = %d, want 3", resp.Epoch)
+		}
+		if len(resp.Groups) != 2 {
+			t.Fatalf("stats groups = %d, want 2", len(resp.Groups))
+		}
+		if len(resp.KeySamples) == 0 || len(resp.KeySamples) > 4 {
+			t.Fatalf("key samples = %d, want 1..4", len(resp.KeySamples))
+		}
+		top := resp.KeySamples[0]
+		if string(top.Key) != "a-hot" || top.Reads <= 0 || top.Writes <= 0 {
+			t.Fatalf("top sample = %+v, want the hammered key with both weights", top)
+		}
+	default:
+		t.Fatal("no stats response captured")
+	}
+}
+
+func TestAggregateMetricsSkipsLaggardEpochGroups(t *testing.T) {
+	spec := DefaultSpec()
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	h := newHarness(t, spec, client.Options{})
+	h.write(t, "a0", "v")
+	h.read(t, "a0", wire.One)
+
+	// Roll only one node forward: the cluster is mid-rollout with mixed
+	// epochs, and the laggards' old-group counters must not blend into the
+	// new epoch's aggregate.
+	h.c.Bus.Send("probe", h.c.NodeIDs()[0], wire.GroupUpdate{
+		Epoch: 1, Tolerances: []float64{0.1, 0.5, 0.9}, Default: 2,
+	})
+	h.s.RunFor(time.Second)
+	m := h.c.AggregateMetrics()
+	if m.GroupEpoch != 1 {
+		t.Fatalf("aggregate epoch = %d, want the newest (1)", m.GroupEpoch)
+	}
+	var groupOps uint64
+	for _, v := range m.GroupReads {
+		groupOps += v
+	}
+	for _, v := range m.GroupWrites {
+		groupOps += v
+	}
+	if groupOps != 0 {
+		t.Fatalf("laggard nodes' old-epoch group counters leaked into the aggregate: %+v", m)
+	}
+	if m.Reads == 0 || m.Writes == 0 {
+		t.Fatal("aggregate counters must still cover every node")
+	}
+
+	// Once every node is at the same epoch the group aggregate resumes.
+	broadcastUpdate(h, wire.GroupUpdate{Epoch: 2, Tolerances: []float64{0.1, 0.5}, Default: 1})
+	h.write(t, "zz", "v")
+	m = h.c.AggregateMetrics()
+	if m.GroupEpoch != 2 || m.GroupWrites[1] != 1 {
+		t.Fatalf("post-rollout aggregate = %+v", m)
+	}
+}
+
+func TestKeySamplerRankEvictionSurvivesUniformWeights(t *testing.T) {
+	ks := newKeySampler(0.5, 8)
+	for i := 0; i < 8; i++ {
+		ks.observe([]byte(fmt.Sprintf("u%d", i)), 1, 0) // all tied
+	}
+	ks.observe([]byte("next"), 1, 0) // triggers eviction at the cap
+	if got := len(ks.keys); got != 7 {
+		t.Fatalf("tied-weight eviction left %d keys, want 7 (evict 25%% by rank, not the whole tie)", got)
+	}
+}
+
+func TestKeySamplerEvictsLightKeysAtCap(t *testing.T) {
+	ks := newKeySampler(0.5, 8)
+	for i := 0; i < 8; i++ {
+		ks.observe([]byte(fmt.Sprintf("k%d", i)), float64(i+1), 0)
+	}
+	ks.observe([]byte("newcomer"), 100, 0) // must fit despite the cap
+	out := ks.export(3)
+	if len(out) != 3 || string(out[0].Key) != "newcomer" {
+		t.Fatalf("export = %+v, want newcomer on top", out)
+	}
+	// Decay ages everything out after enough exports.
+	for i := 0; i < 16; i++ {
+		ks.export(0)
+	}
+	if got := len(ks.export(0)); got != 0 {
+		t.Fatalf("%d keys survived full decay", got)
+	}
+}
+
+// TestGroupUpdateRebaselineUnderRace exercises the epoch swap with real
+// concurrency: goroutine runtimes deliver duplicate GroupUpdates and client
+// traffic while another goroutine snapshots metrics. Under -race this
+// proves the re-baseline happens exactly once per epoch with no data races
+// between the swap, the counter writes, and the snapshots.
+func TestGroupUpdateRebaselineUnderRace(t *testing.T) {
+	spec := DefaultSpec()
+	spec.DCs, spec.RacksPerDC, spec.NodesPerRack = 1, 1, 3
+	spec.RF = 3
+	spec.Groups = 2
+	spec.GroupFn = groupByPrefix
+	spec.Profile = simnet.UniformProfile(100 * time.Microsecond)
+	c, err := BuildReal(spec, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Stop()
+	rt := sim.NewRealRuntime()
+	defer rt.Stop()
+	drv, err := client.New(client.Options{ID: "race-client", Coordinators: c.NodeIDs()}, rt, c.Bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Bus.Register("race-client", rt, drv)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // concurrent snapshot reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				for _, n := range c.Nodes {
+					_ = n.Snapshot()
+					_ = n.Epoch()
+				}
+			}
+		}
+	}()
+
+	writeSync := func(key string) {
+		done := make(chan struct{})
+		rt.Post(func() {
+			drv.Write([]byte(key), []byte("v"), func(client.WriteResult) { close(done) })
+		})
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			t.Error("write timed out")
+		}
+	}
+
+	for epoch := uint64(1); epoch <= 5; epoch++ {
+		u := wire.GroupUpdate{Epoch: epoch, Tolerances: []float64{0.1, 0.5}, Default: 1}
+		// Duplicate deliveries of the same epoch from multiple goroutines.
+		var du sync.WaitGroup
+		for dup := 0; dup < 3; dup++ {
+			du.Add(1)
+			go func() {
+				defer du.Done()
+				for _, id := range c.NodeIDs() {
+					c.Bus.Send("probe", id, u)
+				}
+			}()
+		}
+		du.Wait()
+		writeSync(fmt.Sprintf("a%d", epoch))
+	}
+	// Let updates land everywhere, then verify every node converged on the
+	// final epoch having re-baselined exactly once per epoch (counters
+	// reflect only post-final-epoch traffic, bounded by total writes).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		all := true
+		for _, n := range c.Nodes {
+			if n.Epoch() != 5 {
+				all = false
+			}
+		}
+		if all || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	m := c.AggregateMetrics()
+	if m.GroupEpoch != 5 {
+		t.Fatalf("final epoch = %d, want 5", m.GroupEpoch)
+	}
+	if len(m.GroupReads) != 2 || len(m.GroupWrites) != 2 {
+		t.Fatalf("final group slices = %v/%v", m.GroupReads, m.GroupWrites)
+	}
+	if m.Writes != 5 {
+		t.Fatalf("aggregate writes = %d, want 5 (cumulative across epochs)", m.Writes)
+	}
+	if got := m.GroupWrites[0] + m.GroupWrites[1]; got > 1 {
+		t.Fatalf("post-epoch-5 group writes = %d, want <= 1 (re-baselined)", got)
+	}
+}

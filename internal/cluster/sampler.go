@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"sort"
+
+	"harmony/internal/wire"
+)
+
+// keySampler is the node-side half of the online regrouping loop: a decayed
+// per-key tally of the reads and writes this node coordinates, exported as
+// the top-weight samples on every stats poll. It deliberately mirrors
+// core.KeyStats without depending on it (the core package's tests drive
+// whole clusters, so cluster must stay import-free of core); the monitor
+// side merges these samples back into a core.KeyStats for clustering.
+//
+// The sampler is only touched from the node's runtime, so it needs no lock.
+type keySampler struct {
+	decay float64
+	max   int // tracked-key cap; exceeding it evicts the lightest keys
+	keys  map[string]*sampleWeights
+}
+
+type sampleWeights struct {
+	reads, writes float64
+}
+
+// newKeySampler tracks up to max keys (max <= 0 means 4096) with the given
+// per-export decay (outside (0, 1] means 0.5).
+func newKeySampler(decay float64, max int) *keySampler {
+	if decay <= 0 || decay > 1 {
+		decay = 0.5
+	}
+	if max <= 0 {
+		max = 4096
+	}
+	return &keySampler{decay: decay, max: max, keys: make(map[string]*sampleWeights)}
+}
+
+func (ks *keySampler) observe(key []byte, r, w float64) {
+	sw, ok := ks.keys[string(key)]
+	if !ok {
+		if len(ks.keys) >= ks.max {
+			ks.evict()
+		}
+		sw = &sampleWeights{}
+		ks.keys[string(key)] = sw
+	}
+	sw.reads += r
+	sw.writes += w
+}
+
+// evict drops the lightest 25% of tracked keys (by rank, not by weight
+// threshold: a near-uniform workload has most keys at the same weight, and
+// deleting everything tied with the percentile cut would wipe the whole
+// sample) so newly hot keys can enter even at the cap.
+func (ks *keySampler) evict() {
+	type kw struct {
+		k string
+		w float64
+	}
+	all := make([]kw, 0, len(ks.keys))
+	for k, sw := range ks.keys {
+		all = append(all, kw{k: k, w: sw.reads + sw.writes})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w < all[j].w
+		}
+		return all[i].k < all[j].k
+	})
+	n := len(all) / 4
+	if n < 1 {
+		n = 1
+	}
+	for _, e := range all[:n] {
+		delete(ks.keys, e.k)
+	}
+}
+
+// export returns the top keys by decayed weight, then ages every weight so
+// keys that stop being accessed fade out within a few polls.
+func (ks *keySampler) export(limit int) []wire.KeySample {
+	out := make([]wire.KeySample, 0, len(ks.keys))
+	for k, sw := range ks.keys {
+		out = append(out, wire.KeySample{Key: []byte(k), Reads: sw.reads, Writes: sw.writes})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		wi, wj := out[i].Reads+out[i].Writes, out[j].Reads+out[j].Writes
+		if wi != wj {
+			return wi > wj
+		}
+		return string(out[i].Key) < string(out[j].Key)
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	for k, sw := range ks.keys {
+		sw.reads *= ks.decay
+		sw.writes *= ks.decay
+		if sw.reads+sw.writes < 0.01 {
+			delete(ks.keys, k)
+		}
+	}
+	return out
+}

@@ -52,6 +52,22 @@ func (ks *KeyStats) ObserveRead(key []byte) { ks.observe(key, 1, 0) }
 // ObserveWrite records one write of key.
 func (ks *KeyStats) ObserveWrite(key []byte) { ks.observe(key, 0, 1) }
 
+// Add merges pre-aggregated weights for key — the hook the regrouping
+// subsystem uses to fold per-node samples into one cluster-wide view.
+// Non-positive or non-finite weights are ignored.
+func (ks *KeyStats) Add(key []byte, reads, writes float64) {
+	if !(reads > 0) {
+		reads = 0
+	}
+	if !(writes > 0) {
+		writes = 0
+	}
+	if math.IsInf(reads, 1) || math.IsInf(writes, 1) || reads+writes == 0 {
+		return
+	}
+	ks.observe(key, reads, writes)
+}
+
 func (ks *KeyStats) observe(key []byte, r, w float64) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
@@ -130,8 +146,8 @@ type Category struct {
 // Categorizer clusters keys into consistency categories. It is safe for
 // concurrent use; Recluster swaps the assignment atomically.
 type Categorizer struct {
-	k   int
-	rng *rand.Rand
+	k    int
+	seed int64
 
 	mu         sync.Mutex
 	categories []Category
@@ -147,7 +163,7 @@ func NewCategorizer(k int, defaultTol float64, seed int64) (*Categorizer, error)
 	}
 	return &Categorizer{
 		k:          k,
-		rng:        rand.New(rand.NewSource(seed)),
+		seed:       seed,
 		assign:     make(map[string]int),
 		defaultTol: defaultTol,
 	}, nil
@@ -157,15 +173,37 @@ func NewCategorizer(k int, defaultTol float64, seed int64) (*Categorizer, error)
 // tolerances: categories are ranked by how write-contended their centroid
 // is, and tolerances are spread evenly from tight (most contended) to loose
 // (least contended) within [minTol, maxTol].
+//
+// The resulting categories are in canonical contention order: category 0 is
+// always the most write-contended (tightest tolerance), the last category
+// the least contended (loosest). The order is stable across reclusterings
+// of a steady workload, which keeps category identities — and therefore the
+// regrouping subsystem's epochs — from churning when nothing changed.
+//
+// Degenerate inputs are guarded rather than fatal: an empty or too-small
+// KeyStats returns an error without touching the current assignment, and
+// all-identical features collapse into one populated category with finite
+// tolerances (never NaN).
 func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
+	if math.IsNaN(minTol) || math.IsNaN(maxTol) {
+		return fmt.Errorf("core: tolerance bounds must be numbers, got [%v, %v]", minTol, maxTol)
+	}
+	minTol, maxTol = clamp01(minTol), clamp01(maxTol)
+	if minTol > maxTol {
+		minTol, maxTol = maxTol, minTol
+	}
 	keys, feats := ks.features()
+	if len(keys) == 0 {
+		return fmt.Errorf("core: no keys observed")
+	}
 	if len(keys) < c.k {
 		return fmt.Errorf("core: %d keys tracked, need >= %d", len(keys), c.k)
 	}
 	centroids := c.kmeans(feats)
 
 	// Rank centroids by contention score (write share dominates, intensity
-	// breaks ties); most contended gets the tightest tolerance.
+	// breaks ties); most contended gets the tightest tolerance. rankOf
+	// remaps raw k-means cluster indices into canonical contention order.
 	type ranked struct {
 		idx   int
 		score float64
@@ -174,27 +212,27 @@ func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
 	for i, ct := range centroids {
 		order[i] = ranked{idx: i, score: ct.writeShare*10 + ct.writeIntensity}
 	}
-	sort.Slice(order, func(i, j int) bool { return order[i].score > order[j].score })
+	sort.SliceStable(order, func(i, j int) bool { return order[i].score > order[j].score })
+	rankOf := make([]int, len(centroids))
+	for rank, r := range order {
+		rankOf[r.idx] = rank
+	}
 
-	tolOf := make([]float64, len(centroids))
+	cats := make([]Category, len(centroids))
 	for rank, r := range order {
 		frac := 0.0
 		if len(order) > 1 {
 			frac = float64(rank) / float64(len(order)-1)
 		}
-		tolOf[r.idx] = minTol + frac*(maxTol-minTol)
+		ct := centroids[r.idx]
+		cats[rank].Tolerance = minTol + frac*(maxTol-minTol)
+		cats[rank].Centroid = [2]float64{ct.writeIntensity, ct.writeShare}
 	}
-
-	cats := make([]Category, len(centroids))
 	assign := make(map[string]int, len(keys))
 	for i, f := range feats {
-		best := nearest(centroids, f)
+		best := rankOf[nearest(centroids, f)]
 		assign[keys[i]] = best
 		cats[best].Keys++
-	}
-	for i, ct := range centroids {
-		cats[i].Tolerance = tolOf[i]
-		cats[i].Centroid = [2]float64{ct.writeIntensity, ct.writeShare}
 	}
 
 	c.mu.Lock()
@@ -204,10 +242,35 @@ func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
 	return nil
 }
 
-// kmeans is a standard Lloyd iteration with k-means++-style seeding.
+// kmeans runs several restarts of Lloyd's algorithm and keeps the solution
+// with the lowest within-cluster sum of squares. Every Recluster call
+// re-seeds the restarts from the same fixed seed, so repeated clusterings
+// of a steady workload converge to the same optimum instead of hopping
+// between local minima — exactly the stability the epoch-versioned
+// regrouping loop needs (a different local optimum would reshuffle group
+// membership and force a spurious epoch).
 func (c *Categorizer) kmeans(feats []feature) []feature {
+	const restarts = 4
+	var best []feature
+	bestCost := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		rng := rand.New(rand.NewSource(c.seed + int64(r)*1_000_003))
+		centroids := c.kmeansOnce(feats, rng)
+		cost := 0.0
+		for _, f := range feats {
+			cost += dist2(f, centroids[nearest(centroids, f)])
+		}
+		if cost < bestCost {
+			best, bestCost = centroids, cost
+		}
+	}
+	return best
+}
+
+// kmeansOnce is a standard Lloyd iteration with k-means++-style seeding.
+func (c *Categorizer) kmeansOnce(feats []feature, rng *rand.Rand) []feature {
 	centroids := make([]feature, 0, c.k)
-	centroids = append(centroids, feats[c.rng.Intn(len(feats))])
+	centroids = append(centroids, feats[rng.Intn(len(feats))])
 	for len(centroids) < c.k {
 		// Pick the next seed proportional to squared distance.
 		dists := make([]float64, len(feats))
@@ -217,7 +280,7 @@ func (c *Categorizer) kmeans(feats []feature) []feature {
 			dists[i] = d
 			total += d
 		}
-		target := c.rng.Float64() * total
+		target := rng.Float64() * total
 		pick := 0
 		for i, d := range dists {
 			target -= d
@@ -283,6 +346,19 @@ func (c *Categorizer) Categories() []Category {
 	defer c.mu.Unlock()
 	out := make([]Category, len(c.categories))
 	copy(out, c.categories)
+	return out
+}
+
+// Assignment returns a copy of the current key→category map (categories in
+// canonical contention order, see Recluster). Empty before the first
+// successful Recluster.
+func (c *Categorizer) Assignment() map[string]int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]int, len(c.assign))
+	for k, g := range c.assign {
+		out[k] = g
+	}
 	return out
 }
 

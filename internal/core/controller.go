@@ -67,12 +67,16 @@ type ControllerConfig struct {
 	// the global decisions exactly).
 	Groups int
 	// GroupFn maps a key to its group for ReadLevelFor; it must match the
-	// cluster's Config.GroupFn. Nil assigns every key to group 0.
+	// cluster's Config.GroupFn. Nil assigns every key to group 0. It is
+	// consulted with the controller's lock held so a key is always judged
+	// by the epoch its group id belongs to; it must be cheap and must not
+	// call back into the controller. Regroup supersedes it at runtime.
 	GroupFn func(key []byte) int
 	// GroupTolerances overrides Policy.ToleratedStaleRate per group
 	// (index by group id); groups beyond the slice fall back to the
 	// global policy. This is how hot contended data gets a tight target
-	// while cold read-mostly data keeps a loose one.
+	// while cold read-mostly data keeps a loose one. Regroup supersedes
+	// it at runtime.
 	GroupTolerances []float64
 	// OnGroupDecision, when set, observes every per-group decision.
 	OnGroupDecision func(group int, d Decision)
@@ -105,6 +109,13 @@ type Controller struct {
 	history []Decision
 	groups  []groupState
 	keep    int
+	// Mutable group structure, swapped atomically by Regroup: the grouping
+	// epoch, the key→group function, and the per-group tolerances always
+	// change together under mu, so ReadLevelFor never judges a key with a
+	// group id from one epoch against the group table of another.
+	epoch   uint64
+	groupFn func(key []byte) int
+	tols    []float64
 }
 
 // groupState is one key group's live decision stream.
@@ -128,16 +139,36 @@ func NewController(cfg ControllerConfig) *Controller {
 	for g := range groups {
 		groups[g].level = wire.One
 	}
-	return &Controller{cfg: cfg, level: wire.One, groups: groups, keep: 4096}
+	return &Controller{
+		cfg:     cfg,
+		level:   wire.One,
+		groups:  groups,
+		keep:    4096,
+		groupFn: cfg.GroupFn,
+		tols:    append([]float64(nil), cfg.GroupTolerances...),
+	}
 }
 
-// Groups reports how many key groups the controller adapts.
-func (c *Controller) Groups() int { return c.cfg.Groups }
+// Groups reports how many key groups the controller currently adapts.
+func (c *Controller) Groups() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.groups)
+}
 
-// groupTolerance resolves the tolerable stale-read rate for a group.
-func (c *Controller) groupTolerance(g int) float64 {
-	if g < len(c.cfg.GroupTolerances) {
-		t := c.cfg.GroupTolerances[g]
+// Epoch reports the grouping epoch the controller's group table belongs to
+// (zero until the first Regroup).
+func (c *Controller) Epoch() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.epoch
+}
+
+// groupToleranceLocked resolves the tolerable stale-read rate for a group.
+// Callers must hold c.mu.
+func (c *Controller) groupToleranceLocked(g int) float64 {
+	if g < len(c.tols) {
+		t := c.tols[g]
 		if t < 0 {
 			t = 0
 		}
@@ -147,6 +178,50 @@ func (c *Controller) groupTolerance(g int) float64 {
 		return t
 	}
 	return c.cfg.Policy.ToleratedStaleRate
+}
+
+// Regroup atomically installs a new grouping epoch: the key→group function,
+// the per-group tolerances, and the per-group decision streams swap
+// together. len(tolerances) is the new group count. parents[g] names the
+// old group whose decision stream seeds new group g — the model migration
+// that keeps a renamed-but-unchanged group at its adapted level instead of
+// resetting everything to eventual consistency on every regroup; a negative
+// (or out-of-range) parent seeds the group from the global stream. Groups
+// without heirs are retired. Epochs must strictly increase: a stale or
+// duplicate epoch is ignored, so redelivered updates apply exactly once.
+func (c *Controller) Regroup(epoch uint64, groupFn func(key []byte) int, tolerances []float64, parents []int) {
+	n := len(tolerances)
+	if n < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if epoch <= c.epoch {
+		return
+	}
+	next := make([]groupState, n)
+	for g := range next {
+		parent := -1
+		if g < len(parents) {
+			parent = parents[g]
+		}
+		if parent >= 0 && parent < len(c.groups) {
+			old := &c.groups[parent]
+			next[g] = groupState{
+				level:   old.level,
+				last:    old.last,
+				history: append([]Decision(nil), old.history...),
+			}
+		} else {
+			// Fresh group: inherit the cluster-wide stream until its own
+			// first per-group observation arrives.
+			next[g] = groupState{level: c.level, last: c.last}
+		}
+	}
+	c.epoch = epoch
+	c.groups = next
+	c.groupFn = groupFn
+	c.tols = append([]float64(nil), tolerances...)
 }
 
 // ReadLevel implements client.LevelSource.
@@ -159,14 +234,16 @@ func (c *Controller) ReadLevel() wire.ConsistencyLevel {
 // ReadLevelFor implements client.KeyLevelSource: the key's group decides
 // the level. Out-of-range GroupFn results clamp to group 0, matching the
 // cluster nodes' telemetry clamp so a miscategorized key is served by the
-// same group whose counters it feeds.
+// same group whose counters it feeds. The group function runs under the
+// controller's lock so the (group id, group table) pair is always from one
+// epoch, even while a Regroup races this read.
 func (c *Controller) ReadLevelFor(key []byte) wire.ConsistencyLevel {
-	g := 0
-	if c.cfg.GroupFn != nil {
-		g = c.cfg.GroupFn(key)
-	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	g := 0
+	if c.groupFn != nil {
+		g = c.groupFn(key)
+	}
 	if g < 0 || g >= len(c.groups) {
 		g = 0
 	}
@@ -228,13 +305,18 @@ func (c *Controller) decide(at time.Time, model Model, tolerated float64) Decisi
 	return d
 }
 
-// propagation resolves the Tp input shared by every group's model.
+// propagation resolves the Tp input from the cluster-wide mean write size.
 func (c *Controller) propagation(obs Observation) time.Duration {
+	return c.propagationWith(obs, c.cfg.AvgWriteBytes)
+}
+
+// propagationWith resolves Tp for one model using avgw as the mean write
+// payload; non-positive avgw falls back to the observed cluster-wide mean.
+func (c *Controller) propagationWith(obs Observation, avgw float64) time.Duration {
 	ln := obs.Latency
 	if c.cfg.UseMeanLatency {
 		ln = obs.MeanLatency
 	}
-	avgw := c.cfg.AvgWriteBytes
 	if avgw <= 0 {
 		avgw = obs.AvgWriteBytes
 	}
@@ -257,24 +339,30 @@ func (c *Controller) Observe(obs Observation) {
 		Tp:      tp,
 	}, c.cfg.Policy.ToleratedStaleRate)
 
+	c.mu.Lock()
 	// Per-group decisions: measured group rates when the monitor reports
-	// exactly the groups this controller adapts; any shape mismatch means
-	// the cluster's GroupFn and ours disagree, so every group falls back
-	// to the cluster-wide rates. With one group the streams therefore
-	// coincide with the global one — the refactor is a strict
-	// generalization of the global controller.
-	aligned := len(obs.Groups) == len(c.groups)
+	// exactly the groups of this controller's current epoch; any shape or
+	// epoch mismatch means the cluster's grouping and ours disagree (a
+	// regroup is still propagating, or the GroupFns differ), so every
+	// group falls back to the cluster-wide rates. With one group the
+	// streams therefore coincide with the global one — the refactor is a
+	// strict generalization of the global controller.
+	aligned := len(obs.Groups) == len(c.groups) && obs.Epoch == c.epoch
 	groupDs := make([]Decision, len(c.groups))
 	for g := range c.groups {
 		model := Model{N: c.cfg.N, LambdaR: obs.ReadRate, LambdaW: obs.WriteInterval, Tp: tp}
 		if aligned {
 			model.LambdaR = obs.Groups[g].ReadRate
 			model.LambdaW = obs.Groups[g].WriteInterval
+			// Groups with distinct measured payload sizes get distinct Tp
+			// estimates (unless a configured AvgWriteBytes pins avgw).
+			if gw := obs.Groups[g].AvgWriteBytes; gw > 0 && c.cfg.AvgWriteBytes <= 0 {
+				model.Tp = c.propagationWith(obs, gw)
+			}
 		}
-		groupDs[g] = c.decide(obs.At, model, c.groupTolerance(g))
+		groupDs[g] = c.decide(obs.At, model, c.groupToleranceLocked(g))
 	}
 
-	c.mu.Lock()
 	c.level = global.Level
 	c.last = global
 	c.history = appendCapped(c.history, global, c.keep)

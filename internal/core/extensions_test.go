@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -42,6 +43,116 @@ func TestReclusterNeedsEnoughKeys(t *testing.T) {
 	}
 	if err := cat.Recluster(ks, 0.05, 0.8); err == nil {
 		t.Fatal("clustered with fewer keys than categories")
+	}
+}
+
+func TestReclusterEmptyStatsErrorsCleanly(t *testing.T) {
+	cat, err := NewCategorizer(2, 0.5, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Recluster(NewKeyStats(1), 0.05, 0.8); err == nil {
+		t.Fatal("reclustered an empty KeyStats")
+	}
+	if got := cat.ToleranceFor([]byte("x")); got != 0.5 {
+		t.Fatalf("failed recluster disturbed the default tolerance: %v", got)
+	}
+}
+
+func TestReclusterIdenticalFeaturesNoNaN(t *testing.T) {
+	// Every key has the exact same access pattern: k-means collapses onto
+	// one point, empty clusters keep duplicate centroids, and tolerances
+	// must still come out finite and in-bounds.
+	ks := NewKeyStats(1)
+	for i := 0; i < 20; i++ {
+		key := []byte(fmt.Sprintf("same%d", i))
+		for j := 0; j < 10; j++ {
+			ks.ObserveRead(key)
+			ks.ObserveWrite(key)
+		}
+	}
+	cat, _ := NewCategorizer(3, 0.5, 9)
+	if err := cat.Recluster(ks, 0.05, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, c := range cat.Categories() {
+		if math.IsNaN(c.Tolerance) || c.Tolerance < 0.05-1e-9 || c.Tolerance > 0.8+1e-9 {
+			t.Fatalf("category %d tolerance = %v", i, c.Tolerance)
+		}
+		if math.IsNaN(c.Centroid[0]) || math.IsNaN(c.Centroid[1]) {
+			t.Fatalf("category %d centroid = %v", i, c.Centroid)
+		}
+		total += c.Keys
+	}
+	if total != 20 {
+		t.Fatalf("assigned %d of 20 keys", total)
+	}
+	for i := 0; i < 20; i++ {
+		tol := cat.ToleranceFor([]byte(fmt.Sprintf("same%d", i)))
+		if math.IsNaN(tol) {
+			t.Fatalf("same%d tolerance is NaN", i)
+		}
+	}
+}
+
+func TestReclusterSanitizesToleranceBounds(t *testing.T) {
+	ks := NewKeyStats(1)
+	populateBimodal(ks, 10, 10)
+	cat, _ := NewCategorizer(2, 0.5, 5)
+	// NaN bounds are rejected without touching state.
+	if err := cat.Recluster(ks, math.NaN(), 0.8); err == nil {
+		t.Fatal("NaN tolerance bound accepted")
+	}
+	// Reversed and out-of-range bounds are swapped/clamped, never emitted.
+	if err := cat.Recluster(ks, 1.7, -0.3); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range cat.Categories() {
+		if c.Tolerance < 0 || c.Tolerance > 1 || math.IsNaN(c.Tolerance) {
+			t.Fatalf("category %d tolerance = %v, want within [0, 1]", i, c.Tolerance)
+		}
+	}
+}
+
+func TestReclusterCanonicalContentionOrder(t *testing.T) {
+	ks := NewKeyStats(1)
+	populateBimodal(ks, 25, 25)
+	cat, _ := NewCategorizer(2, 0.5, 11)
+	if err := cat.Recluster(ks, 0.05, 0.8); err != nil {
+		t.Fatal(err)
+	}
+	cats := cat.Categories()
+	for i := 1; i < len(cats); i++ {
+		if cats[i].Tolerance < cats[i-1].Tolerance {
+			t.Fatalf("tolerances not nondecreasing: %v", cats)
+		}
+	}
+	// Category 0 is the write-contended one, so the hot keys live there.
+	if got := cat.Assignment()["hot0"]; got != 0 {
+		t.Fatalf("hot key in category %d, want the canonical tightest (0)", got)
+	}
+	if got := cat.Assignment()["cold0"]; got != 1 {
+		t.Fatalf("cold key in category %d, want the canonical loosest (1)", got)
+	}
+}
+
+func TestKeyStatsAddIgnoresDegenerateWeights(t *testing.T) {
+	ks := NewKeyStats(1)
+	ks.Add([]byte("big"), 10, 5)
+	ks.Add([]byte("small"), 1, 0)
+	ks.Add([]byte("junk"), math.NaN(), math.Inf(1)) // ignored
+	ks.Add([]byte("junk"), -3, 0)                   // ignored
+	if ks.Len() != 2 {
+		t.Fatalf("len = %d, want 2 (junk weights ignored)", ks.Len())
+	}
+	// The merged weights feed clustering: both keys are clusterable.
+	cat, _ := NewCategorizer(2, 0.5, 1)
+	if err := cat.Recluster(ks, 0.1, 0.9); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(cat.Assignment()); got != 2 {
+		t.Fatalf("assigned %d keys, want 2", got)
 	}
 }
 

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"harmony/internal/wire"
+)
+
+// LagMeter quantifies re-adaptation lag: the time from a marked regime
+// change (a network drift, a hotspot migration) until the controller first
+// reaches the consistency level it ends up operating at in the new regime.
+// Chain OnDecision into ControllerConfig.OnDecision (or OnGroupDecision for
+// one group's stream) and call MarkRegimeChange at the instant the
+// environment shifts.
+//
+// The "new operating level" is the modal level over the trailing Window
+// decisions rather than a strict consecutive run: when the post-change
+// estimate sits near a decision boundary, the controller legitimately
+// dithers between adjacent levels, and demanding a long unbroken run would
+// report "never stabilized" for a controller that re-adapted within one
+// monitoring round. Lag is therefore time-to-first-decision at the modal
+// level; a controller already operating at the new regime's level reports
+// zero lag.
+type LagMeter struct {
+	// Window is how many trailing decisions define the operating mode;
+	// zero means 8.
+	Window int
+
+	mu       sync.Mutex
+	marked   bool
+	markedAt time.Time
+	pre      []lagDecision
+	post     []lagDecision
+}
+
+type lagDecision struct {
+	at    time.Time
+	level wire.ConsistencyLevel
+}
+
+const lagKeep = 4096
+
+// MarkRegimeChange records the instant the environment changed; subsequent
+// decisions are judged against it. Re-marking restarts the measurement.
+func (l *LagMeter) MarkRegimeChange(at time.Time) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.marked = true
+	l.markedAt = at
+	l.post = l.post[:0]
+}
+
+// OnDecision consumes one controller decision; wire it into
+// ControllerConfig.OnDecision (compose with other observers as needed).
+func (l *LagMeter) OnDecision(d Decision) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.marked || !d.At.After(l.markedAt) {
+		l.pre = append(l.pre, lagDecision{at: d.At, level: d.Level})
+		if len(l.pre) > lagKeep {
+			l.pre = l.pre[len(l.pre)-lagKeep:]
+		}
+		return
+	}
+	l.post = append(l.post, lagDecision{at: d.At, level: d.Level})
+	if len(l.post) > lagKeep {
+		l.post = l.post[len(l.post)-lagKeep:]
+	}
+}
+
+// OnGroupDecision adapts OnDecision to the per-group callback shape for a
+// single group of interest.
+func (l *LagMeter) OnGroupDecision(group int) func(g int, d Decision) {
+	return func(g int, d Decision) {
+		if g == group {
+			l.OnDecision(d)
+		}
+	}
+}
+
+// window returns the effective mode window.
+func (l *LagMeter) window() int {
+	if l.Window <= 0 {
+		return 8
+	}
+	return l.Window
+}
+
+// modal returns the most frequent level of the trailing window (ties break
+// toward the stronger level — if the stream splits evenly the controller is
+// effectively paying for the stronger one). Shorter histories use what they
+// have; an empty one reports the default ONE.
+func modal(post []lagDecision, w int) wire.ConsistencyLevel {
+	if w > len(post) {
+		w = len(post)
+	}
+	if w == 0 {
+		return wire.One
+	}
+	var counts [8]int
+	for _, d := range post[len(post)-w:] {
+		counts[int(d.level)%len(counts)]++
+	}
+	best, bestN := wire.One, -1
+	for lvl := int(wire.One); lvl <= int(wire.All); lvl++ {
+		if counts[lvl] >= bestN && counts[lvl] > 0 {
+			best, bestN = wire.ConsistencyLevel(lvl), counts[lvl]
+		}
+	}
+	return best
+}
+
+// Lag returns the measured re-adaptation lag: time from the marked regime
+// change to the first decision at the level the stream now operates at. ok
+// is false before MarkRegimeChange or until a full mode window of decisions
+// has accumulated after it.
+func (l *LagMeter) Lag() (lag time.Duration, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	w := l.window()
+	if !l.marked || len(l.post) < w {
+		return 0, false
+	}
+	final := modal(l.post, w)
+	if final == modal(l.pre, w) {
+		// The regime change did not move the operating level (or the
+		// controller was already there): no lag to speak of.
+		return 0, true
+	}
+	for _, d := range l.post {
+		if d.level == final {
+			lag = d.at.Sub(l.markedAt)
+			if lag < 0 {
+				lag = 0
+			}
+			return lag, true
+		}
+	}
+	return 0, false // unreachable: the mode is drawn from post
+}
+
+// PreLevel returns the old regime's operating level: the modal level of the
+// trailing window of decisions before the regime change was marked.
+func (l *LagMeter) PreLevel() wire.ConsistencyLevel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return modal(l.pre, l.window())
+}
+
+// StableLevel returns the new regime's operating level (meaningful when Lag
+// reported ok).
+func (l *LagMeter) StableLevel() wire.ConsistencyLevel {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.post) == 0 {
+		return modal(l.pre, l.window())
+	}
+	return modal(l.post, l.window())
+}

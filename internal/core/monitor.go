@@ -45,8 +45,15 @@ type Observation struct {
 	// when the polled nodes report per-group counters. Rates use the same
 	// scope (per-node average vs cluster total) as ReadRate/WriteInterval,
 	// and the groups partition the aggregate traffic. Empty when the
-	// cluster runs the classic single-group pipeline.
+	// cluster runs the classic single-group pipeline, and empty for the
+	// transition rounds around a grouping-epoch change: per-group counters
+	// re-baseline on regroup, so deltas spanning two epochs are discarded
+	// rather than reported.
 	Groups []GroupRates
+	// Epoch is the grouping epoch the per-group rates belong to (zero for
+	// clusters that never regroup). Consumers adapting per-group state must
+	// ignore Groups whose epoch does not match their own group table.
+	Epoch uint64
 }
 
 // GroupRates is one key group's measured arrival process over a window.
@@ -56,6 +63,10 @@ type GroupRates struct {
 	// WriteInterval is the group's mean time between writes λw (seconds);
 	// zero when the group saw no writes in the window.
 	WriteInterval float64
+	// AvgWriteBytes is the group's measured mean write payload over the
+	// window — groups with different payload sizes get distinct Tp
+	// estimates. Zero when the group saw no writes.
+	AvgWriteBytes float64
 }
 
 // MonitorConfig configures the monitoring module.
@@ -82,6 +93,10 @@ type MonitorConfig struct {
 	ReplicaSetSize int
 	// OnObservation receives each completed round.
 	OnObservation func(Observation)
+	// OnNodeStats receives every node's raw stats response as a round
+	// closes, before rates are derived — the tap the regrouping subsystem
+	// uses to collect per-node key samples without a second poll loop.
+	OnNodeStats func(node ring.NodeID, s wire.StatsResponse)
 }
 
 // Monitor polls every storage node for its operation counters (the paper
@@ -102,10 +117,16 @@ type Monitor struct {
 	lastReads  uint64
 	lastWrites uint64
 	lastBytesW uint64
-	lastGroups []wire.GroupCounters
 	lastAt     time.Time
 	havePrev   bool
 	rounds     uint64
+	// Group-counter baseline, valid only within one grouping epoch: nodes
+	// zero their per-group counters when they apply a GroupUpdate, so the
+	// baseline resets (and one round of group rates is discarded) whenever
+	// the reported epoch moves or the polled nodes disagree mid-rollout.
+	lastGroups     []wire.GroupCounters
+	lastGroupEpoch uint64
+	groupBase      bool
 }
 
 type roundState struct {
@@ -212,20 +233,51 @@ func (m *Monitor) closeRound() {
 	now := m.rt.Now()
 	collectionTime := now.Sub(r.started)
 
+	if m.cfg.OnNodeStats != nil {
+		for _, n := range m.cfg.Nodes {
+			if s, ok := r.stats[n]; ok {
+				m.cfg.OnNodeStats(n, s)
+			}
+		}
+	}
+
 	var reads, writes, bytesW uint64
-	var groups []wire.GroupCounters
 	for _, s := range r.stats {
 		reads += s.Reads
 		writes += s.Writes
 		bytesW += s.BytesWrit
-		for len(groups) < len(s.Groups) {
-			groups = append(groups, wire.GroupCounters{})
-		}
-		for g, gc := range s.Groups {
-			groups[g].Reads += gc.Reads
-			groups[g].Writes += gc.Writes
+	}
+	// Per-group counters only aggregate when every reporting node tallies
+	// under the same grouping epoch; during a GroupUpdate rollout some
+	// nodes still count the old groups, and mixing the two would attribute
+	// one epoch's traffic to another epoch's groups.
+	groupEpoch := uint64(0)
+	epochAgreed := len(r.stats) > 0
+	firstStat := true
+	for _, s := range r.stats {
+		if firstStat {
+			groupEpoch, firstStat = s.Epoch, false
+		} else if s.Epoch != groupEpoch {
+			epochAgreed = false
 		}
 	}
+	var groups []wire.GroupCounters
+	if epochAgreed {
+		for _, s := range r.stats {
+			for len(groups) < len(s.Groups) {
+				groups = append(groups, wire.GroupCounters{})
+			}
+			for g, gc := range s.Groups {
+				groups[g].Reads += gc.Reads
+				groups[g].Writes += gc.Writes
+				groups[g].BytesWritten += gc.BytesWritten
+			}
+		}
+	}
+	// A valid baseline needs the previous round to have agreed on this same
+	// epoch; otherwise this round only re-establishes it and the group
+	// rates are discarded (cross-epoch samples are never mixed).
+	groupsComparable := epochAgreed && m.groupBase && groupEpoch == m.lastGroupEpoch
 	var maxRTT, sumRTT time.Duration
 	all := make([]time.Duration, 0, len(r.rtts))
 	for _, rtt := range r.rtts {
@@ -247,6 +299,8 @@ func (m *Monitor) closeRound() {
 	defer func() {
 		m.lastReads, m.lastWrites, m.lastBytesW = reads, writes, bytesW
 		m.lastGroups = groups
+		m.lastGroupEpoch = groupEpoch
+		m.groupBase = epochAgreed
 		m.lastAt = now
 		m.havePrev = true
 		m.rounds++
@@ -282,7 +336,8 @@ func (m *Monitor) closeRound() {
 		obs.WriteInterval = window.Seconds() * scale / float64(dWrites)
 		obs.AvgWriteBytes = float64(counterDelta(bytesW, m.lastBytesW)) / float64(dWrites)
 	}
-	if len(groups) > 0 {
+	if groupsComparable && len(groups) > 0 {
+		obs.Epoch = groupEpoch
 		obs.Groups = make([]GroupRates, len(groups))
 		for g, gc := range groups {
 			var prev wire.GroupCounters
@@ -294,6 +349,7 @@ func (m *Monitor) closeRound() {
 			}
 			if dw := counterDelta(gc.Writes, prev.Writes); dw > 0 {
 				gr.WriteInterval = window.Seconds() * scale / float64(dw)
+				gr.AvgWriteBytes = float64(counterDelta(gc.BytesWritten, prev.BytesWritten)) / float64(dw)
 			}
 			obs.Groups[g] = gr
 		}

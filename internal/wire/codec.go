@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 )
 
 // Codec errors.
@@ -48,6 +49,12 @@ func (w *buffer) bool(v bool) {
 }
 
 func (w *buffer) byte(v byte) { w.b = append(w.b, v) }
+
+// f64 writes a float64 as fixed 8-byte big-endian IEEE-754 bits (float bits
+// are high-entropy, so varint encoding would not help).
+func (w *buffer) f64(v float64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
+}
 
 func (r *buffer) rUvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.b[r.off:])
@@ -101,6 +108,15 @@ func (r *buffer) rByte() (byte, error) {
 	b := r.b[r.off]
 	r.off++
 	return b, nil
+}
+
+func (r *buffer) rF64() (float64, error) {
+	if len(r.b)-r.off < 8 {
+		return 0, ErrTruncated
+	}
+	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
+	r.off += 8
+	return v, nil
 }
 
 func (w *buffer) value(v Value) {
@@ -182,6 +198,14 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		for _, g := range v.Groups {
 			w.uvarint(g.Reads)
 			w.uvarint(g.Writes)
+			w.uvarint(g.BytesWritten)
+		}
+		w.uvarint(v.Epoch)
+		w.uvarint(uint64(len(v.KeySamples)))
+		for _, ks := range v.KeySamples {
+			w.bytes(ks.Key)
+			w.f64(ks.Reads)
+			w.f64(ks.Writes)
 		}
 	case Ping:
 		w.uvarint(v.ID)
@@ -209,6 +233,18 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.ID)
 		w.byte(byte(v.Code))
 		w.str(v.Msg)
+	case GroupUpdate:
+		w.uvarint(v.Epoch)
+		w.uvarint(uint64(len(v.Tolerances)))
+		for _, tol := range v.Tolerances {
+			w.f64(tol)
+		}
+		w.uvarint(uint64(v.Default))
+		w.uvarint(uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			w.bytes(e.Key)
+			w.uvarint(uint64(e.Group))
+		}
 	default:
 		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, m)
 	}
@@ -407,7 +443,36 @@ func decodeBody(body []byte) (Message, error) {
 				if g.Writes, err = r.rUvarint(); err != nil {
 					return nil, err
 				}
+				if g.BytesWritten, err = r.rUvarint(); err != nil {
+					return nil, err
+				}
 				m.Groups = append(m.Groups, g)
+			}
+		}
+		if m.Epoch, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		nk, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nk > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if nk > 0 {
+			m.KeySamples = make([]KeySample, 0, nk)
+			for i := uint64(0); i < nk; i++ {
+				var ks KeySample
+				if ks.Key, err = r.rBytes(); err != nil {
+					return nil, err
+				}
+				if ks.Reads, err = r.rF64(); err != nil {
+					return nil, err
+				}
+				if ks.Writes, err = r.rF64(); err != nil {
+					return nil, err
+				}
+				m.KeySamples = append(m.KeySamples, ks)
 			}
 		}
 		return m, nil
@@ -459,6 +524,56 @@ func decodeBody(body []byte) (Message, error) {
 		m.Code = ErrorCode(cb)
 		if m.Msg, err = r.rStr(); err != nil {
 			return nil, err
+		}
+		return m, nil
+	case KindGroupUpdate:
+		var m GroupUpdate
+		if m.Epoch, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		nt, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nt > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if nt > 0 {
+			m.Tolerances = make([]float64, 0, nt)
+			for i := uint64(0); i < nt; i++ {
+				tol, err := r.rF64()
+				if err != nil {
+					return nil, err
+				}
+				m.Tolerances = append(m.Tolerances, tol)
+			}
+		}
+		def, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.Default = uint32(def)
+		ne, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ne > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if ne > 0 {
+			m.Entries = make([]GroupAssign, 0, ne)
+			for i := uint64(0); i < ne; i++ {
+				var e GroupAssign
+				if e.Key, err = r.rBytes(); err != nil {
+					return nil, err
+				}
+				g, err := r.rUvarint()
+				if err != nil {
+					return nil, err
+				}
+				e.Group = uint32(g)
+				m.Entries = append(m.Entries, e)
+			}
 		}
 		return m, nil
 	}

@@ -39,6 +39,7 @@ const (
 	KindGossipSyn
 	KindGossipAck
 	KindError
+	KindGroupUpdate
 	kindSentinel // keep last
 )
 
@@ -46,7 +47,7 @@ var kindNames = [...]string{
 	"invalid", "read-req", "read-resp", "write-req", "write-resp",
 	"replica-read", "replica-read-resp", "mutation", "mutation-ack",
 	"repair", "stats-req", "stats-resp", "ping", "pong",
-	"gossip-syn", "gossip-ack", "error",
+	"gossip-syn", "gossip-ack", "error", "group-update",
 }
 
 // String returns the kind's wire name.
@@ -253,12 +254,64 @@ type StatsResponse struct {
 	// tallies a single implicit group; the aggregate counters above always
 	// cover all traffic regardless.
 	Groups []GroupCounters
+	// Epoch is the grouping epoch the per-group counters belong to. Group
+	// counters re-baseline (restart from zero) whenever a node applies a
+	// GroupUpdate, so samples from different epochs must never be mixed:
+	// the monitor discards group counters whose epoch disagrees with the
+	// round's consensus. Zero for clusters that never regroup.
+	Epoch uint64
+	// KeySamples is the node's view of its hottest coordinated keys: the
+	// top keys of a decayed per-key access tally, the raw material the
+	// regrouping subsystem clusters into consistency categories. Empty
+	// when key sampling is disabled.
+	KeySamples []KeySample
 }
 
 // GroupCounters is one key group's cumulative coordinated-operation tally.
 type GroupCounters struct {
 	Reads  uint64
 	Writes uint64
+	// BytesWritten is the group's cumulative coordinated write payload, so
+	// the monitor can derive a per-group mean write size (groups with
+	// different payload sizes get distinct Tp estimates).
+	BytesWritten uint64
+}
+
+// KeySample is one key's exponentially decayed read/write weight as sampled
+// by a storage node. Weights are decayed floats, not counters: each stats
+// poll multiplies them down, so a key that stops being accessed fades out of
+// the sample within a few rounds.
+type KeySample struct {
+	Key    []byte
+	Reads  float64
+	Writes float64
+}
+
+// GroupUpdate is an epoch-versioned key-grouping assignment broadcast by
+// the regrouping subsystem to every storage node: which group each sampled
+// key belongs to, each group's tolerable stale-read rate, and the group
+// unassigned keys default to. A node applies an update exactly once per
+// epoch (stale or duplicate epochs are ignored), atomically swapping its
+// GroupFn and re-baselining its per-group counters so telemetry from epoch
+// e is never mixed with epoch e+1.
+type GroupUpdate struct {
+	// Epoch strictly increases with every assignment change.
+	Epoch uint64
+	// Tolerances holds one tolerable stale-read rate per group; its length
+	// is the group count of the new assignment.
+	Tolerances []float64
+	// Default is the group for keys absent from Entries (index into
+	// Tolerances); unseen keys are by construction cold, so this is
+	// normally the loosest group.
+	Default uint32
+	// Entries maps the sampled keys to their groups.
+	Entries []GroupAssign
+}
+
+// GroupAssign is one key→group binding of a GroupUpdate.
+type GroupAssign struct {
+	Key   []byte
+	Group uint32
 }
 
 // Ping measures pairwise latency; the monitoring module's ping substitute.
@@ -344,3 +397,4 @@ func (Pong) Kind() Kind            { return KindPong }
 func (GossipSyn) Kind() Kind       { return KindGossipSyn }
 func (GossipAck) Kind() Kind       { return KindGossipAck }
 func (Error) Kind() Kind           { return KindError }
+func (GroupUpdate) Kind() Kind     { return KindGroupUpdate }

@@ -25,12 +25,21 @@ func allSampleMessages() []Message {
 		StatsRequest{ID: 10},
 		StatsResponse{ID: 11, Reads: 1, Writes: 2, ReplicaOps: 3, BytesRead: 4, BytesWrit: 5, RepairsSent: 6, HintsQueued: 7},
 		StatsResponse{ID: 15, Reads: 8, Writes: 9,
-			Groups: []GroupCounters{{Reads: 5, Writes: 3}, {Reads: 0, Writes: 0}, {Reads: 1 << 40, Writes: 7}}},
+			Groups: []GroupCounters{{Reads: 5, Writes: 3, BytesWritten: 4096}, {Reads: 0, Writes: 0}, {Reads: 1 << 40, Writes: 7}}},
+		StatsResponse{ID: 16, Reads: 2, Epoch: 9,
+			Groups: []GroupCounters{{Reads: 1, Writes: 1, BytesWritten: 100}},
+			KeySamples: []KeySample{
+				{Key: []byte("hot0"), Reads: 12.5, Writes: 3.25},
+				{Key: []byte("cold7"), Reads: 0.125, Writes: 0},
+			}},
 		Ping{ID: 12, Sent: 1234567890},
 		Pong{ID: 13, Sent: -5},
 		GossipSyn{From: "node-1", Digests: []GossipEntry{{Node: "node-2", Generation: 3, Version: 9}}},
 		GossipAck{From: "node-2", Entries: []GossipEntry{{Node: "node-1", Generation: 1, Version: 2}, {Node: "node-3", Generation: 4, Version: 5}}},
 		Error{ID: 14, Code: ErrTimeout, Msg: "replica timeout"},
+		GroupUpdate{Epoch: 3, Tolerances: []float64{0.02, 0.4}, Default: 1,
+			Entries: []GroupAssign{{Key: []byte("user0000000001"), Group: 0}, {Key: []byte("user0000000002"), Group: 1}}},
+		GroupUpdate{Epoch: 1, Tolerances: []float64{0.5}},
 	}
 }
 
@@ -130,6 +139,69 @@ func TestRoundTripPropertyStatsResponse(t *testing.T) {
 		}
 		out, _, err := Decode(b)
 		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out, in)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPropertyStatsResponseEpochSamples(t *testing.T) {
+	if err := quick.Check(func(id, epoch uint64, keys [][]byte, reads, writes []float64, bytesW []uint64) bool {
+		in := StatsResponse{ID: id, Epoch: epoch}
+		for i, k := range keys {
+			if len(k) == 0 {
+				k = nil // empty keys decode as nil
+			}
+			ks := KeySample{Key: k}
+			if i < len(reads) {
+				ks.Reads = reads[i]
+			}
+			if i < len(writes) {
+				ks.Writes = writes[i]
+			}
+			in.KeySamples = append(in.KeySamples, ks)
+		}
+		for i, b := range bytesW {
+			in.Groups = append(in.Groups, GroupCounters{Reads: uint64(i), Writes: b % 7, BytesWritten: b})
+		}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, n, err := Decode(b)
+		if err != nil || n != len(b) {
+			return false
+		}
+		return reflect.DeepEqual(out, in)
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundTripPropertyGroupUpdate(t *testing.T) {
+	if err := quick.Check(func(epoch uint64, tols []float64, def uint32, keys [][]byte, groups []uint32) bool {
+		if len(tols) == 0 {
+			tols = nil // empty slices decode as nil
+		}
+		in := GroupUpdate{Epoch: epoch, Tolerances: tols, Default: def}
+		for i, k := range keys {
+			if len(k) == 0 {
+				k = nil // empty keys decode as nil
+			}
+			e := GroupAssign{Key: k}
+			if i < len(groups) {
+				e.Group = groups[i]
+			}
+			in.Entries = append(in.Entries, e)
+		}
+		b, err := Encode(nil, in)
+		if err != nil {
+			return false
+		}
+		out, n, err := Decode(b)
+		if err != nil || n != len(b) {
 			return false
 		}
 		return reflect.DeepEqual(out, in)

@@ -59,6 +59,12 @@ type RunConfig struct {
 	// and in-flight correlation space). Closed-loop thread parking,
 	// SetActiveThreads and ThinkTime do not apply in open loop.
 	ArrivalRate float64
+	// KeyOffset shifts every chosen key index by a constant: the chooser
+	// draws i in [0, RecordCount) and the runner accesses Key(i+KeyOffset).
+	// SetKeyOffset moves it mid-run — the mechanism behind migrating-
+	// hotspot experiments (the popularity distribution keeps its shape
+	// while the hot range jumps elsewhere in the keyspace).
+	KeyOffset int64
 }
 
 // Report summarizes a completed run.
@@ -364,8 +370,13 @@ func (r *Runner) chooseOp(rng *rand.Rand) OpType {
 }
 
 func (r *Runner) pickKey(rng *rand.Rand) []byte {
-	return Key(r.chooser.Next(rng))
+	return Key(r.chooser.Next(rng) + r.cfg.KeyOffset)
 }
+
+// SetKeyOffset moves the runner's key window mid-run (see
+// RunConfig.KeyOffset). Call it from the simulation's goroutine, like the
+// other runner controls.
+func (r *Runner) SetKeyOffset(off int64) { r.cfg.KeyOffset = off }
 
 func (r *Runner) value(rng *rand.Rand) []byte {
 	return r.valuePool[rng.Intn(len(r.valuePool))]
@@ -530,22 +541,26 @@ func (r *Runner) Report() Report {
 	for i := range rep.LevelUse {
 		rep.LevelUse[i] = after.LevelUse[i] - r.baseline.LevelUse[i]
 	}
+	// Group counters re-baseline whenever a grouping epoch applies, so the
+	// baseline only subtracts within one epoch; across an epoch change the
+	// current counters already are the delta since the (newer) re-baseline.
+	// The <= guard also absorbs a reset the epoch field missed.
+	sameEpoch := after.GroupEpoch == r.baseline.GroupEpoch
+	groupDelta := func(cur []uint64, prev []uint64, g int) uint64 {
+		c := cur[g]
+		if sameEpoch && g < len(prev) && prev[g] <= c {
+			return c - prev[g]
+		}
+		return c
+	}
 	for g := range after.GroupReads {
 		gs := GroupStaleness{
-			Reads:  after.GroupReads[g],
-			Writes: after.GroupWrites[g],
-		}
-		if g < len(r.baseline.GroupReads) {
-			gs.Reads -= r.baseline.GroupReads[g]
-			gs.Writes -= r.baseline.GroupWrites[g]
+			Reads:  groupDelta(after.GroupReads, r.baseline.GroupReads, g),
+			Writes: groupDelta(after.GroupWrites, r.baseline.GroupWrites, g),
 		}
 		if g < len(after.GroupShadowSamples) {
-			gs.ShadowSamples = after.GroupShadowSamples[g]
-			gs.StaleReads = after.GroupShadowStale[g]
-			if g < len(r.baseline.GroupShadowSamples) {
-				gs.ShadowSamples -= r.baseline.GroupShadowSamples[g]
-				gs.StaleReads -= r.baseline.GroupShadowStale[g]
-			}
+			gs.ShadowSamples = groupDelta(after.GroupShadowSamples, r.baseline.GroupShadowSamples, g)
+			gs.StaleReads = groupDelta(after.GroupShadowStale, r.baseline.GroupShadowStale, g)
 		}
 		rep.Groups = append(rep.Groups, gs)
 	}
