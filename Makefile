@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race bench bench-smoke lint ci
+.PHONY: build test test-race repair-test bench bench-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -15,20 +15,29 @@ test:
 test-race:
 	$(GO) test -race -timeout 30m ./...
 
+# Focused anti-entropy verification: the repair package (Merkle trees,
+# session protocol, scheduler) plus the cluster-level repair integration
+# tests, all under the race detector.
+repair-test:
+	$(GO) test -race -timeout 15m ./internal/repair/
+	$(GO) test -race -timeout 15m -run 'Repair|Hint|Churn' ./internal/cluster/ ./internal/bench/
+
 # Full figure regeneration through the testing.B harness (minutes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m .
 
 # Cheap CI smoke: micro-benchmarks across internal packages plus one
 # end-to-end scenario sweep, a single iteration each, the hotcold
-# per-group-vs-global comparison, and the regroup migrating-hotspot
-# comparison (learned online regrouping vs build-time-pinned groups), each
+# per-group-vs-global comparison, the regroup migrating-hotspot comparison
+# (learned online regrouping vs build-time-pinned groups), and the churn
+# failure/recovery comparison (anti-entropy repair vs hints-only), each
 # with JSON results (uploaded as CI artifacts).
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioStressProfiles|BenchmarkWorkloadAEventual' -benchtime 1x .
 	$(GO) run ./cmd/harmony-bench -experiment hotcold -scenario grid5000 -ops 8000 -quiet -json out/hotcold.json
 	$(GO) run ./cmd/harmony-bench -experiment regroup -ops 8000 -quiet -json out/regroup.json
+	$(GO) run ./cmd/harmony-bench -experiment churn -quiet -json out/churn.json
 
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }

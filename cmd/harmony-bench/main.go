@@ -38,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|all")
+		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|churn|all")
 		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal, drifting), 'both' paper testbeds, or 'all'")
 		ops        = flag.Int64("ops", 30000, "operations per measurement point")
 		seed       = flag.Int64("seed", 1, "root random seed")
@@ -70,6 +70,7 @@ func main() {
 	var hotcolds []bench.HotColdResult
 	var regroups []bench.RegroupResult
 	var lags []bench.LagResult
+	var churns []bench.ChurnResult
 
 	runGridFigures := func() {
 		ids := map[string][2]string{
@@ -98,7 +99,7 @@ func main() {
 	case wants(*experiment, "fig5"), wants(*experiment, "fig6"),
 		wants(*experiment, "headline"), wants(*experiment, "ablations"),
 		wants(*experiment, "hotcold"), wants(*experiment, "regroup"),
-		wants(*experiment, "lag"):
+		wants(*experiment, "lag"), wants(*experiment, "churn"):
 	default:
 		fatalf("unknown experiment %q", *experiment)
 	}
@@ -166,9 +167,20 @@ func main() {
 		fmt.Println(res.Format())
 		lags = append(lags, res)
 	}
+	if wants(*experiment, "churn") {
+		// The failure/churn comparison runs on its purpose-built small
+		// cluster (6 nodes, RF=5): anti-entropy's payoff is independent of
+		// the WAN profiles, and one schedule keeps it affordable in CI.
+		res, err := bench.Churn(bench.DefaultChurnSpec(), opts)
+		if err != nil {
+			fatalf("churn: %v", err)
+		}
+		fmt.Println(res.Format())
+		churns = append(churns, res)
+	}
 
 	if *jsonPath != "" {
-		writeJSON(*jsonPath, figures, hotcolds, regroups, lags)
+		writeJSON(*jsonPath, figures, hotcolds, regroups, lags, churns)
 	}
 
 	for _, f := range figures {
@@ -218,13 +230,14 @@ func runAblations(opts bench.Options, figures *[]bench.Figure) {
 // writeJSON persists every result of the invocation as one machine-readable
 // document (the CI artifact format).
 func writeJSON(path string, figures []bench.Figure, hotcolds []bench.HotColdResult,
-	regroups []bench.RegroupResult, lags []bench.LagResult) {
+	regroups []bench.RegroupResult, lags []bench.LagResult, churns []bench.ChurnResult) {
 	doc := struct {
 		Figures []bench.Figure        `json:"figures,omitempty"`
 		HotCold []bench.HotColdResult `json:"hotcold,omitempty"`
 		Regroup []bench.RegroupResult `json:"regroup,omitempty"`
 		Lag     []bench.LagResult     `json:"lag,omitempty"`
-	}{Figures: figures, HotCold: hotcolds, Regroup: regroups, Lag: lags}
+		Churn   []bench.ChurnResult   `json:"churn,omitempty"`
+	}{Figures: figures, HotCold: hotcolds, Regroup: regroups, Lag: lags, Churn: churns}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatalf("marshal json: %v", err)

@@ -1,0 +1,73 @@
+package bench
+
+import (
+	"testing"
+)
+
+// TestChurnRepairBoundsPostRecoveryStaleness is the acceptance regression
+// for the anti-entropy subsystem: on an identical failure schedule (node
+// down, hints capped and lost, node back), the repair-enabled cluster
+// returns every key group within its staleness tolerance in bounded time
+// and beats hints-only on post-recovery staleness, while hints-only keeps
+// serving divergent data that only sampled read repair slowly drains.
+func TestChurnRepairBoundsPostRecoveryStaleness(t *testing.T) {
+	if testing.Short() {
+		t.Skip("churn schedule needs its full virtual timeline")
+	}
+	// The full default spec — the exact configuration the CI churn
+	// experiment publishes — so the pinned numbers and the artifact agree.
+	res, err := Churn(DefaultChurnSpec(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + res.Format())
+
+	// Repair: every group returns within tolerance in a bounded window.
+	const boundMs = 3000
+	for _, g := range res.Repair.Groups {
+		if g.RecoveredWithinMs < 0 || g.RecoveredWithinMs > boundMs {
+			t.Errorf("repair: group %s recovered in %.0fms, want within [0, %d]", g.Name, g.RecoveredWithinMs, boundMs)
+		}
+		if g.PostFraction > g.Tolerance {
+			t.Errorf("repair: group %s post-recovery stale fraction %.3f exceeds tolerance %.2f",
+				g.Name, g.PostFraction, g.Tolerance)
+		}
+	}
+
+	// The schedule must actually lose mutations — otherwise hints healed
+	// everything and the comparison proves nothing.
+	if res.Repair.HintsDropped < 500 || res.HintsOnly.HintsDropped < 500 {
+		t.Fatalf("failure schedule dropped too few hints (repair=%d hints-only=%d): no divergence injected",
+			res.Repair.HintsDropped, res.HintsOnly.HintsDropped)
+	}
+	// Anti-entropy did the healing; hints-only had nothing to heal with.
+	if res.Repair.RowsHealed < 200 {
+		t.Errorf("repair healed only %d rows; sessions did not catch the dropped-hint divergence", res.Repair.RowsHealed)
+	}
+	if res.HintsOnly.RowsHealed != 0 {
+		t.Errorf("hints-only run reports %d repair-healed rows; fixture is not hints-only", res.HintsOnly.RowsHealed)
+	}
+
+	// The headline: repair beats hints-only on post-recovery staleness for
+	// the divergence-exposed cold group, with real staleness to beat.
+	rc, hc := res.Repair.Groups[1], res.HintsOnly.Groups[1]
+	if hc.PostStale < 20 {
+		t.Errorf("hints-only cold group saw only %d stale reads; scenario lost its divergence signal", hc.PostStale)
+	}
+	if floor := 5 * maxU64(1, rc.PostStale); hc.PostStale < floor {
+		t.Errorf("repair did not clearly beat hints-only on cold staleness: repair=%d hints-only=%d (want >= %d)",
+			rc.PostStale, hc.PostStale, floor)
+	}
+	// Bounded versus unbounded: by the tail of the watch repair has fully
+	// converged while hints-only is still serving stale data.
+	if rc.TailFraction > 0.001 {
+		t.Errorf("repair cold tail stale fraction %.4f, want ~0 (converged)", rc.TailFraction)
+	}
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -49,6 +49,16 @@ type KeyLevelSource interface {
 	ReadLevelFor(key []byte) wire.ConsistencyLevel
 }
 
+// WriteLevelSource supplies per-key WRITE consistency levels — the other
+// half of per-key-group adaptation. The paper ships every write at ONE; an
+// adaptive controller may instead move a tightly-tolerated group's writes to
+// QUORUM so its reads can relax from near-ALL to QUORUM (R+W>N overlap).
+// The same atomicity contract as KeyLevelSource applies: the key's group
+// and that group's level must resolve together.
+type WriteLevelSource interface {
+	WriteLevelFor(key []byte) wire.ConsistencyLevel
+}
+
 // Fixed is a LevelSource always returning a constant level.
 type Fixed wire.ConsistencyLevel
 
@@ -69,6 +79,10 @@ type Options struct {
 	// WriteLevel is the consistency level for writes; zero means One (the
 	// paper's setting: "a write of consistency level one", §II-B).
 	WriteLevel wire.ConsistencyLevel
+	// WriteLevels, when set, takes precedence over WriteLevel and chooses
+	// the write level per key (the multi-model controller with adaptive
+	// write levels enabled).
+	WriteLevels WriteLevelSource
 	// Timeout bounds each operation; zero means 2s.
 	Timeout time.Duration
 	// ShadowEvery requests the dual-read staleness probe (§V-F) on every
@@ -196,8 +210,14 @@ func (d *Driver) write(key, value []byte, del bool, cb func(WriteResult)) {
 			cb(WriteResult{Err: ErrTimeout})
 		}
 	})
+	level := d.opts.WriteLevel
+	if d.opts.WriteLevels != nil {
+		if l := d.opts.WriteLevels.WriteLevelFor(key); l != 0 {
+			level = l
+		}
+	}
 	d.send.Send(d.opts.ID, d.coordinator(), wire.WriteRequest{
-		ID: id, Key: key, Value: value, Delete: del, Level: d.opts.WriteLevel,
+		ID: id, Key: key, Value: value, Delete: del, Level: level,
 	})
 }
 

@@ -327,3 +327,45 @@ func TestKeyLevelSourceConsistentAcrossEpochSwap(t *testing.T) {
 		t.Fatalf("levels = %v, want [ONE QUORUM ONE] across the epoch swap", got)
 	}
 }
+
+// keyedWriteLevels ships writes of keys with an "h" prefix at QUORUM.
+type keyedWriteLevels struct{}
+
+func (keyedWriteLevels) WriteLevelFor(key []byte) wire.ConsistencyLevel {
+	if len(key) > 0 && key[0] == 'h' {
+		return wire.Quorum
+	}
+	return wire.One
+}
+
+func TestWriteLevelsChoosePerKeyWriteLevel(t *testing.T) {
+	s := sim.New(1)
+	bus := transport.NewLoopback()
+	co := &fakeCoordinator{bus: bus, id: "coord", respond: func(m wire.Message) wire.Message {
+		req := m.(wire.WriteRequest)
+		return wire.WriteResponse{ID: req.ID, OK: true, Timestamp: 1}
+	}}
+	bus.Register("coord", co)
+	drv, err := New(Options{
+		ID:           "cl",
+		Coordinators: []ring.NodeID{"coord"},
+		WriteLevels:  keyedWriteLevels{},
+		Timeout:      100 * time.Millisecond,
+	}, s, bus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus.Register("cl", drv)
+	drv.Write([]byte("hot1"), []byte("v"), func(WriteResult) {})
+	drv.Write([]byte("cold1"), []byte("v"), func(WriteResult) {})
+	s.RunUntilIdle(100)
+	if len(co.requests) != 2 {
+		t.Fatalf("coordinator saw %d requests, want 2", len(co.requests))
+	}
+	if lvl := co.requests[0].(wire.WriteRequest).Level; lvl != wire.Quorum {
+		t.Fatalf("hot write shipped at %v, want QUORUM", lvl)
+	}
+	if lvl := co.requests[1].(wire.WriteRequest).Level; lvl != wire.One {
+		t.Fatalf("cold write shipped at %v, want ONE", lvl)
+	}
+}

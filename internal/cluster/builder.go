@@ -3,9 +3,11 @@ package cluster
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"harmony/internal/dist"
+	"harmony/internal/repair"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/simnet"
@@ -35,6 +37,13 @@ type Spec struct {
 	ReadRepairChance float64
 	// HintedHandoff toggles hint queues for down replicas.
 	HintedHandoff bool
+	// HintQueueLimit caps each node's total queued hints; overflow drops
+	// the mutation (Metrics.HintsDropped). Zero means unlimited.
+	HintQueueLimit int
+	// Repair enables background anti-entropy on every node: Merkle-tree
+	// sessions between replica peers, run periodically and on recovery
+	// triggers (Cluster.SetUp). See internal/repair.
+	Repair repair.Options
 	// ReadTimeout/WriteTimeout propagate to every node.
 	ReadTimeout, WriteTimeout time.Duration
 	// Engine configures node-local storage.
@@ -179,6 +188,98 @@ type Cluster struct {
 	Bus      *transport.Bus
 	Nodes    []*Node
 	byID     map[ring.NodeID]*Node
+
+	// Injected liveness (SetDown/SetUp). Every node's failure detector
+	// consults it, so coordinators hint writes for down nodes and skip them
+	// on reads — the same view a converged gossip detector would give.
+	downMu sync.Mutex
+	down   map[ring.NodeID]bool
+}
+
+// Alive reports whether a node is currently injected as up. It is the
+// Config.Alive the builder wires into every node.
+func (c *Cluster) Alive(id ring.NodeID) bool {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	return !c.down[id]
+}
+
+// SetDown injects a node failure: the network isolates the node (in-flight
+// and future messages to and from it drop) and every peer's failure
+// detector convicts it immediately. The node's engine keeps its data — this
+// models a crashed or partitioned process, and on SetUp the replica returns
+// holding whatever it had, arbitrarily stale.
+func (c *Cluster) SetDown(id ring.NodeID) {
+	c.downMu.Lock()
+	c.down[id] = true
+	c.downMu.Unlock()
+	c.Net.Isolate(id, c.NodeIDs())
+}
+
+// SetUp heals an injected failure and fires the recovery trigger: every
+// peer's anti-entropy manager schedules a priority repair session with the
+// recovered node (the simulated stand-in for the gossip down→up callback,
+// gossip.Config.OnRecover, which serves the same role in live deployments).
+func (c *Cluster) SetUp(id ring.NodeID) {
+	c.downMu.Lock()
+	delete(c.down, id)
+	c.downMu.Unlock()
+	c.Net.Rejoin(id, c.NodeIDs())
+	for _, n := range c.Nodes {
+		if n.ID() != id && n.RepairManager() != nil {
+			n.RepairManager().PeerRecovered(id)
+		}
+	}
+}
+
+// FaultKind enumerates the scheduled failure injections.
+type FaultKind int
+
+// Fault kinds.
+const (
+	// FaultDown takes the node down (SetDown).
+	FaultDown FaultKind = iota
+	// FaultUp brings the node back (SetUp), triggering recovery repair.
+	FaultUp
+	// FaultDropHints discards the node's queued hints (empty Node means
+	// every node) — the coordinator-crash injection that makes hinted
+	// handoff alone insufficient.
+	FaultDropHints
+)
+
+// Fault is one scheduled failure-injection event.
+type Fault struct {
+	At   time.Duration // offset from ScheduleFaults
+	Node ring.NodeID
+	Kind FaultKind
+}
+
+// ScheduleFaults arms a failure schedule on the runtime driving the
+// cluster. The returned stop cancels events that have not fired yet.
+func (c *Cluster) ScheduleFaults(rt sim.Runtime, faults []Fault) (stop func()) {
+	cancels := make([]func(), 0, len(faults))
+	for _, f := range faults {
+		f := f
+		cancels = append(cancels, rt.After(f.At, func() {
+			switch f.Kind {
+			case FaultDown:
+				c.SetDown(f.Node)
+			case FaultUp:
+				c.SetUp(f.Node)
+			case FaultDropHints:
+				for _, n := range c.Nodes {
+					if f.Node == "" || n.ID() == f.Node {
+						n.DropHints()
+					}
+				}
+			}
+		}))
+	}
+	return func() {
+		for _, cancel := range cancels {
+			cancel()
+		}
+	}
 }
 
 // BuildSim assembles the cluster on a discrete-event simulator. All nodes
@@ -240,6 +341,7 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 		Net:      net,
 		Bus:      bus,
 		byID:     make(map[ring.NodeID]*Node),
+		down:     make(map[ring.NodeID]bool),
 	}
 	svc := spec.Service
 	if svc.isZero() {
@@ -255,11 +357,14 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 			WriteTimeout:     spec.WriteTimeout,
 			ReadRepairChance: spec.ReadRepairChance,
 			HintedHandoff:    spec.HintedHandoff,
+			HintQueueLimit:   spec.HintQueueLimit,
+			Repair:           spec.Repair,
 			Engine:           spec.Engine,
 			Groups:           spec.Groups,
 			GroupFn:          spec.GroupFn,
 			KeySampleLimit:   spec.KeySampleLimit,
 			KeyStatsDecay:    spec.KeyStatsDecay,
+			Alive:            c.Alive,
 			Rand:             s.NewStream(),
 		}, rt, bus)
 		var h transport.Handler = n
@@ -305,8 +410,12 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		total.RepairsSent += s.RepairsSent
 		total.HintsQueued += s.HintsQueued
 		total.HintsReplayed += s.HintsReplayed
+		total.HintsDropped += s.HintsDropped
 		total.ReadTimeouts += s.ReadTimeouts
 		total.WriteTimeouts += s.WriteTimeouts
+		total.Unavailable += s.Unavailable
+		total.RepairRows += s.RepairRows
+		total.RepairAgeMs += s.RepairAgeMs
 		total.ShadowSamples += s.ShadowSamples
 		total.ShadowStale += s.ShadowStale
 		for i := range s.LevelUse {
@@ -320,6 +429,8 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		total.GroupBytesWritten = addCounters(total.GroupBytesWritten, s.GroupBytesWritten)
 		total.GroupShadowSamples = addCounters(total.GroupShadowSamples, s.GroupShadowSamples)
 		total.GroupShadowStale = addCounters(total.GroupShadowStale, s.GroupShadowStale)
+		total.GroupRepairRows = addCounters(total.GroupRepairRows, s.GroupRepairRows)
+		total.GroupRepairAgeMs = addCounters(total.GroupRepairAgeMs, s.GroupRepairAgeMs)
 	}
 	return total
 }

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"harmony/internal/repair"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/storage"
@@ -49,6 +50,16 @@ type Config struct {
 	// HintReplayInterval is how often queued hints are retried; zero means
 	// 10s.
 	HintReplayInterval time.Duration
+	// HintQueueLimit caps the total hints queued across all down peers;
+	// once full, further mutations for down replicas are DROPPED (counted
+	// in Metrics.HintsDropped) — the durability gap Cassandra's bounded
+	// hint windows have, and exactly the divergence anti-entropy repair
+	// exists to catch. Zero means unlimited.
+	HintQueueLimit int
+	// Repair enables the anti-entropy subsystem: background Merkle-tree
+	// sessions with replica peers that bound how long a recovered node can
+	// serve stale data (see internal/repair).
+	Repair repair.Options
 	// Engine configures the local storage engine.
 	Engine storage.Options
 	// Groups is the number of key groups the node tallies separately for
@@ -91,8 +102,18 @@ type Metrics struct {
 	RepairsSent   uint64
 	HintsQueued   uint64
 	HintsReplayed uint64
+	// HintsDropped counts mutations lost to hint-queue overflow or an
+	// explicit DropHints (simulated coordinator crash) — divergence only
+	// anti-entropy repair can heal.
+	HintsDropped  uint64
 	ReadTimeouts  uint64
 	WriteTimeouts uint64
+	Unavailable   uint64 // operations failed fast for lack of live replicas
+	// RepairRows / RepairAgeMs are the anti-entropy divergence gauge: rows
+	// a repair session changed on THIS node (it held stale or missing data)
+	// and their summed age at heal time. See wire.StatsResponse.
+	RepairRows  uint64
+	RepairAgeMs uint64
 	// ShadowSamples counts reads that carried the dual-read staleness probe
 	// (§V-F); ShadowStale counts how many of those returned a value older
 	// than the freshest replica held at read time.
@@ -116,6 +137,11 @@ type Metrics struct {
 	// probe counters by key group.
 	GroupShadowSamples []uint64
 	GroupShadowStale   []uint64
+	// GroupRepairRows / GroupRepairAgeMs split the divergence gauge by key
+	// group, so the controller can tighten exactly the groups a recovering
+	// replica serves stale.
+	GroupRepairRows  []uint64
+	GroupRepairAgeMs []uint64
 	// GroupEpoch is the grouping epoch the group counters belong to (zero
 	// until the first GroupUpdate applies).
 	GroupEpoch uint64
@@ -130,6 +156,8 @@ func (m Metrics) clone() Metrics {
 	out.GroupBytesWritten = append([]uint64(nil), m.GroupBytesWritten...)
 	out.GroupShadowSamples = append([]uint64(nil), m.GroupShadowSamples...)
 	out.GroupShadowStale = append([]uint64(nil), m.GroupShadowStale...)
+	out.GroupRepairRows = append([]uint64(nil), m.GroupRepairRows...)
+	out.GroupRepairAgeMs = append([]uint64(nil), m.GroupRepairAgeMs...)
 	return out
 }
 
@@ -182,8 +210,10 @@ type Node struct {
 	pendingWrites     map[uint64]*writeOp
 	pendingRepairAcks map[uint64]*readOp // blocking read-repair mutation id -> read
 	hints             map[ring.NodeID][]wire.Mutation
+	hintCount         int
 	hintStop          func()
 	lastTS            int64
+	antiEntropy       *repair.Manager // nil unless cfg.Repair.Enabled
 
 	// Live grouping state, initialized from Config and atomically replaced
 	// by applyGroupUpdate. Only touched on the node's runtime.
@@ -221,7 +251,6 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 		cfg:               cfg,
 		rt:                rt,
 		send:              send,
-		engine:            storage.NewEngine(cfg.Engine),
 		pendingReads:      make(map[uint64]*readOp),
 		pendingWrites:     make(map[uint64]*writeOp),
 		pendingRepairAcks: make(map[uint64]*readOp),
@@ -234,12 +263,55 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 			GroupBytesWritten:  make([]uint64, cfg.Groups),
 			GroupShadowSamples: make([]uint64, cfg.Groups),
 			GroupShadowStale:   make([]uint64, cfg.Groups),
+			GroupRepairRows:    make([]uint64, cfg.Groups),
+			GroupRepairAgeMs:   make([]uint64, cfg.Groups),
 		},
+	}
+	engOpts := cfg.Engine
+	if cfg.Repair.Enabled {
+		// Every accepted mutation — foreground writes, read repair, hint
+		// replays, repair streams — invalidates the Merkle range it lands
+		// in, keeping anti-entropy trees incremental.
+		userHook := engOpts.OnApply
+		engOpts.OnApply = func(key []byte, v wire.Value) {
+			if n.antiEntropy != nil {
+				n.antiEntropy.Invalidate(key)
+			}
+			if userHook != nil {
+				userHook(key, v)
+			}
+		}
+	}
+	n.engine = storage.NewEngine(engOpts)
+	if cfg.Repair.Enabled {
+		n.antiEntropy = repair.NewManager(repair.Config{
+			Self:     cfg.ID,
+			Ring:     cfg.Ring,
+			Strategy: cfg.Strategy,
+			Engine:   n.engine,
+			Options:  cfg.Repair,
+			OnHealed: n.onRepairHealed,
+		}, rt, send)
 	}
 	if cfg.KeySampleLimit > 0 {
 		n.sampler = newKeySampler(cfg.KeyStatsDecay, 16*cfg.KeySampleLimit)
 	}
 	return n
+}
+
+// onRepairHealed tallies the divergence gauge: a repair session changed a
+// row on this node, meaning reads here could have served it stale. Runs on
+// the node's runtime (repair delivery path).
+func (n *Node) onRepairHealed(key []byte, _ wire.Value, age time.Duration) {
+	g := n.groupOf(key)
+	n.withMetrics(func(m *Metrics) {
+		m.RepairRows++
+		m.RepairAgeMs += uint64(age.Milliseconds())
+		if g < len(m.GroupRepairRows) {
+			m.GroupRepairRows[g]++
+			m.GroupRepairAgeMs[g] += uint64(age.Milliseconds())
+		}
+	})
 }
 
 // groupOf assigns a key to its telemetry group, clamping group-function
@@ -274,6 +346,9 @@ func (n *Node) Start() {
 	if n.cfg.HintedHandoff && n.hintStop == nil {
 		n.hintStop = tick(n.rt, n.cfg.HintReplayInterval, n.replayHints)
 	}
+	if n.antiEntropy != nil {
+		n.antiEntropy.Start()
+	}
 }
 
 // Stop cancels background maintenance.
@@ -282,7 +357,14 @@ func (n *Node) Stop() {
 		n.hintStop()
 		n.hintStop = nil
 	}
+	if n.antiEntropy != nil {
+		n.antiEntropy.Stop()
+	}
 }
+
+// RepairManager exposes the node's anti-entropy manager (nil when repair is
+// disabled) for recovery triggers and tests.
+func (n *Node) RepairManager() *repair.Manager { return n.antiEntropy }
 
 // tick implements a runtime-generic ticker (sim.Sim has a native one, but a
 // node only holds the Runtime interface). sim.Every's stop function is safe
@@ -342,6 +424,10 @@ func (n *Node) Deliver(from ring.NodeID, m wire.Message) {
 		n.serveStats(from, msg)
 	case wire.GroupUpdate:
 		n.applyGroupUpdate(msg)
+	case wire.TreeRequest, wire.TreeResponse, wire.RangeSync:
+		if n.antiEntropy != nil {
+			n.antiEntropy.Deliver(from, msg)
+		}
 	case wire.Ping:
 		n.send.Send(n.cfg.ID, from, wire.Pong{ID: msg.ID, Sent: msg.Sent})
 	}
@@ -364,15 +450,40 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		return
 	}
 	level := req.Level
+	// The blocked-for count resolves against the FULL replica set (quorum
+	// means quorum of RF, not of the survivors), but only replicas the
+	// failure detector believes up are contacted — Cassandra coordinators
+	// likewise never wait on convicted endpoints. Too few live replicas
+	// fails fast as unavailable instead of burning the read timeout.
 	need := level.BlockFor(len(reps))
+	live := reps
+	dead := 0
+	for _, r := range reps {
+		if !n.cfg.Alive(r) {
+			dead++
+		}
+	}
+	if dead > 0 {
+		live = make([]ring.NodeID, 0, len(reps)-dead)
+		for _, r := range reps {
+			if n.cfg.Alive(r) {
+				live = append(live, r)
+			}
+		}
+	}
+	if len(live) < need {
+		n.withMetrics(func(m *Metrics) { m.Unavailable++ })
+		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "not enough live replicas"})
+		return
+	}
 	// Shadow probes need every replica's version for the staleness
 	// comparison; otherwise a read fans out to all replicas only when it
 	// wins the read-repair coin flip (Cassandra's read_repair_chance).
 	fanAll := req.Shadow ||
 		(n.cfg.ReadRepairChance > 0 && n.cfg.Rand.Float64() < n.cfg.ReadRepairChance)
-	targets := reps
-	if !fanAll && need < len(reps) {
-		targets = reps[:need]
+	targets := live
+	if !fanAll && need < len(live) {
+		targets = live[:need]
 	}
 	op := &readOp{
 		id:       n.opID(),
@@ -605,19 +716,29 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
 	mut := wire.Mutation{ID: op.id, Key: req.Key, Value: v}
 	for _, r := range reps {
-		if n.cfg.HintedHandoff && !n.cfg.Alive(r) {
-			n.queueHint(r, mut)
+		if !n.cfg.Alive(r) {
+			// Convicted replicas are never contacted (they cannot ack, so
+			// sending only burns the write timeout): the mutation is hinted
+			// when handoff is on, or simply missed — divergence only read
+			// repair or anti-entropy heals — when it is off.
+			if n.cfg.HintedHandoff {
+				n.queueHint(r, mut)
+			}
 			continue
 		}
 		op.total++
 		n.send.Send(n.cfg.ID, r, mut)
 	}
-	if op.total == 0 {
-		// Every replica was down and hinted: the write cannot meet any
-		// consistency level now.
+	if op.total < op.need {
+		// Enough replicas are down (their mutations hinted) that the
+		// requested level cannot be met: fail fast as unavailable rather
+		// than burn the write timeout. The hints stay queued — the
+		// surviving replicas and later replays still converge the data
+		// even though this write reported failure.
 		delete(n.pendingWrites, op.id)
 		op.cancel()
-		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "all replicas down"})
+		n.withMetrics(func(m *Metrics) { m.Unavailable++ })
+		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "not enough live replicas"})
 	}
 }
 
@@ -674,9 +795,17 @@ func (n *Node) applyRepair(r wire.Repair) {
 // --- Hinted handoff ------------------------------------------------------
 
 func (n *Node) queueHint(target ring.NodeID, mut wire.Mutation) {
+	if n.cfg.HintQueueLimit > 0 && n.hintCount >= n.cfg.HintQueueLimit {
+		// Queue full: the mutation for the down replica is lost, exactly
+		// like Cassandra's bounded hint windows. Only anti-entropy repair
+		// (or a lucky read repair) heals this divergence later.
+		n.withMetrics(func(m *Metrics) { m.HintsDropped++ })
+		return
+	}
 	mut.Hint = true
 	mut.ID = n.opID() // hints get their own ack namespace
 	n.hints[target] = append(n.hints[target], mut)
+	n.hintCount++
 	n.withMetrics(func(m *Metrics) { m.HintsQueued++ })
 }
 
@@ -704,6 +833,7 @@ func (n *Node) clearHintAck(from ring.NodeID, id uint64) bool {
 			if len(n.hints[from]) == 0 {
 				delete(n.hints, from)
 			}
+			n.hintCount--
 			return true
 		}
 	}
@@ -719,6 +849,19 @@ func (n *Node) PendingHints() int {
 	return total
 }
 
+// DropHints discards every queued hint — the failure-injection stand-in for
+// a coordinator crash losing its (memory- or disk-bounded) hint queues.
+// Returns how many mutations were lost. Must run on the node's runtime.
+func (n *Node) DropHints() int {
+	dropped := n.hintCount
+	n.hints = make(map[ring.NodeID][]wire.Mutation)
+	n.hintCount = 0
+	if dropped > 0 {
+		n.withMetrics(func(m *Metrics) { m.HintsDropped += uint64(dropped) })
+	}
+	return dropped
+}
+
 // --- Monitoring ----------------------------------------------------------
 
 func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
@@ -732,6 +875,8 @@ func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 		BytesWrit:   s.BytesWritten,
 		RepairsSent: s.RepairsSent,
 		HintsQueued: s.HintsQueued,
+		RepairRows:  s.RepairRows,
+		RepairAgeMs: s.RepairAgeMs,
 		Epoch:       s.GroupEpoch,
 	}
 	// A single implicit group carries no extra signal; keep the frame lean.
@@ -742,6 +887,10 @@ func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 				Reads:        s.GroupReads[g],
 				Writes:       s.GroupWrites[g],
 				BytesWritten: s.GroupBytesWritten[g],
+			}
+			if g < len(s.GroupRepairRows) {
+				resp.Groups[g].RepairRows = s.GroupRepairRows[g]
+				resp.Groups[g].RepairAgeMs = s.GroupRepairAgeMs[g]
 			}
 		}
 	}
@@ -788,6 +937,8 @@ func (n *Node) applyGroupUpdate(u wire.GroupUpdate) {
 		m.GroupBytesWritten = make([]uint64, groups)
 		m.GroupShadowSamples = make([]uint64, groups)
 		m.GroupShadowStale = make([]uint64, groups)
+		m.GroupRepairRows = make([]uint64, groups)
+		m.GroupRepairAgeMs = make([]uint64, groups)
 	})
 }
 

@@ -109,7 +109,7 @@ type feature struct {
 	writeShare     float64 // writes / (reads+writes)
 }
 
-func (ks *KeyStats) features() (keys []string, feats []feature) {
+func (ks *KeyStats) features() (keys []string, feats []feature, weights []float64) {
 	ks.mu.Lock()
 	defer ks.mu.Unlock()
 	keys = make([]string, 0, len(ks.keys))
@@ -122,6 +122,7 @@ func (ks *KeyStats) features() (keys []string, feats []feature) {
 	// seeding in particular) deterministic for a given seed.
 	sort.Strings(keys)
 	feats = make([]feature, 0, len(keys))
+	weights = make([]float64, 0, len(keys))
 	for _, k := range keys {
 		kc := ks.keys[k]
 		total := kc.reads + kc.writes
@@ -129,15 +130,24 @@ func (ks *KeyStats) features() (keys []string, feats []feature) {
 			writeIntensity: math.Log1p(kc.writes),
 			writeShare:     kc.writes / total,
 		})
+		// Cluster by sampled traffic weight, not key count: a handful of
+		// hot keys carries most of the load, and under plain per-key
+		// k-means a heavy tail of cold keys outvotes them at larger K —
+		// centroids chase the numerous tail and the hot population gets
+		// folded into whichever cluster is nearest. Weighting the seeding,
+		// the centroid updates, and the cost by traffic makes the clusters
+		// partition the LOAD, which is what consistency categories protect.
+		weights = append(weights, total)
 	}
-	return keys, feats
+	return keys, feats, weights
 }
 
 // Category is one consistency class produced by clustering.
 type Category struct {
 	// Tolerance is the category's tolerable stale-read rate.
 	Tolerance float64
-	// Centroid documents the cluster center (write intensity, write share).
+	// Centroid documents the cluster center (write intensity normalized to
+	// [0, 1] against the recluster's hottest writer, write share).
 	Centroid [2]float64
 	// Keys is the number of member keys at clustering time.
 	Keys int
@@ -192,14 +202,31 @@ func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
 	if minTol > maxTol {
 		minTol, maxTol = maxTol, minTol
 	}
-	keys, feats := ks.features()
+	keys, feats, weights := ks.features()
 	if len(keys) == 0 {
 		return fmt.Errorf("core: no keys observed")
 	}
 	if len(keys) < c.k {
 		return fmt.Errorf("core: %d keys tracked, need >= %d", len(keys), c.k)
 	}
-	centroids := c.kmeans(feats)
+	// Normalize write intensity into [0, 1] so the two feature axes carry
+	// comparable leverage in the distance metric. Raw log1p(writes) spans
+	// ~[0, 10] against writeShare's [0, 1]; unnormalized, extra centroids
+	// at K>2 chase the intensity spread WITHIN a hot population instead of
+	// separating populations with different read/write character (the warm
+	// tier a three-population workload needs).
+	maxIntensity := 0.0
+	for _, f := range feats {
+		if f.writeIntensity > maxIntensity {
+			maxIntensity = f.writeIntensity
+		}
+	}
+	if maxIntensity > 0 {
+		for i := range feats {
+			feats[i].writeIntensity /= maxIntensity
+		}
+	}
+	centroids := c.kmeans(feats, weights)
 
 	// Rank centroids by contention score (write share dominates, intensity
 	// breaks ties); most contended gets the tightest tolerance. rankOf
@@ -249,16 +276,16 @@ func (c *Categorizer) Recluster(ks *KeyStats, minTol, maxTol float64) error {
 // between local minima — exactly the stability the epoch-versioned
 // regrouping loop needs (a different local optimum would reshuffle group
 // membership and force a spurious epoch).
-func (c *Categorizer) kmeans(feats []feature) []feature {
+func (c *Categorizer) kmeans(feats []feature, weights []float64) []feature {
 	const restarts = 4
 	var best []feature
 	bestCost := math.Inf(1)
 	for r := 0; r < restarts; r++ {
 		rng := rand.New(rand.NewSource(c.seed + int64(r)*1_000_003))
-		centroids := c.kmeansOnce(feats, rng)
+		centroids := c.kmeansOnce(feats, weights, rng)
 		cost := 0.0
-		for _, f := range feats {
-			cost += dist2(f, centroids[nearest(centroids, f)])
+		for i, f := range feats {
+			cost += weights[i] * dist2(f, centroids[nearest(centroids, f)])
 		}
 		if cost < bestCost {
 			best, bestCost = centroids, cost
@@ -267,27 +294,46 @@ func (c *Categorizer) kmeans(feats []feature) []feature {
 	return best
 }
 
-// kmeansOnce is a standard Lloyd iteration with k-means++-style seeding.
-func (c *Categorizer) kmeansOnce(feats []feature, rng *rand.Rand) []feature {
+// kmeansOnce is a Lloyd iteration with k-means++-style seeding, with every
+// point weighted by its sampled traffic (see KeyStats.features).
+func (c *Categorizer) kmeansOnce(feats []feature, weights []float64, rng *rand.Rand) []feature {
 	centroids := make([]feature, 0, c.k)
-	centroids = append(centroids, feats[rng.Intn(len(feats))])
+	// Seed the first centroid proportional to weight, like the rest.
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	target := rng.Float64() * totalW
+	first := 0
+	for i, w := range weights {
+		target -= w
+		if target <= 0 {
+			first = i
+			break
+		}
+	}
+	centroids = append(centroids, feats[first])
 	for len(centroids) < c.k {
-		// Pick the next seed proportional to squared distance.
+		// Pick the next seed proportional to weight x squared distance.
 		dists := make([]float64, len(feats))
 		total := 0.0
 		for i, f := range feats {
-			d := dist2(f, centroids[nearest(centroids, f)])
+			d := weights[i] * dist2(f, centroids[nearest(centroids, f)])
 			dists[i] = d
 			total += d
 		}
-		target := rng.Float64() * total
 		pick := 0
-		for i, d := range dists {
-			target -= d
-			if target <= 0 {
-				pick = i
-				break
+		if total > 0 {
+			target := rng.Float64() * total
+			for i, d := range dists {
+				target -= d
+				if target <= 0 {
+					pick = i
+					break
+				}
 			}
+		} else {
+			pick = rng.Intn(len(feats)) // all points coincide with a centroid
 		}
 		centroids = append(centroids, feats[pick])
 	}
@@ -302,19 +348,20 @@ func (c *Categorizer) kmeansOnce(feats []feature, rng *rand.Rand) []feature {
 			}
 		}
 		var sums [][2]float64 = make([][2]float64, c.k)
-		counts := make([]int, c.k)
+		wsum := make([]float64, c.k)
 		for i, f := range feats {
-			sums[assign[i]][0] += f.writeIntensity
-			sums[assign[i]][1] += f.writeShare
-			counts[assign[i]]++
+			w := weights[i]
+			sums[assign[i]][0] += w * f.writeIntensity
+			sums[assign[i]][1] += w * f.writeShare
+			wsum[assign[i]] += w
 		}
 		for j := range centroids {
-			if counts[j] == 0 {
+			if wsum[j] == 0 {
 				continue // keep the old centroid for empty clusters
 			}
 			centroids[j] = feature{
-				writeIntensity: sums[j][0] / float64(counts[j]),
-				writeShare:     sums[j][1] / float64(counts[j]),
+				writeIntensity: sums[j][0] / wsum[j],
+				writeShare:     sums[j][1] / wsum[j],
 			}
 		}
 		if !changed {
@@ -334,9 +381,17 @@ func nearest(centroids []feature, f feature) int {
 	return best
 }
 
+// shareLeverage weighs the write-share axis in the clustering metric the
+// same 10x it carries in the contention ranking: populations are told apart
+// by their read/write MIX, while (normalized) write intensity only breaks
+// ties within a mix. Without the leverage, a zipfian population's internal
+// intensity spread out-distances the share gap between populations, and
+// extra centroids at K>2 split the hot set instead of isolating a warm tier.
+const shareLeverage = 10
+
 func dist2(a, b feature) float64 {
 	dx := a.writeIntensity - b.writeIntensity
-	dy := a.writeShare - b.writeShare
+	dy := shareLeverage * (a.writeShare - b.writeShare)
 	return dx*dx + dy*dy
 }
 

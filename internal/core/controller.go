@@ -1,6 +1,7 @@
 package core
 
 import (
+	"math"
 	"sync"
 	"time"
 
@@ -35,7 +36,13 @@ type Decision struct {
 	Estimate float64 // θ_stale: estimated stale-read rate at CL=ONE
 	Xn       int     // replicas a read must block for
 	Level    wire.ConsistencyLevel
-	Model    Model
+	// WriteLevel is the level writes of this stream should ship at: ONE in
+	// the paper's scheme, QUORUM when adaptive write levels trade cheaper
+	// reads for dearer writes (see ControllerConfig.AdaptiveWriteLevels).
+	// Zero on decisions from configurations predating the feature is read
+	// as ONE.
+	WriteLevel wire.ConsistencyLevel
+	Model      Model
 }
 
 // ControllerConfig configures the adaptive-consistency module.
@@ -57,6 +64,31 @@ type ControllerConfig struct {
 	// this constant — the ablation of DESIGN.md §6 showing why monitoring
 	// Ln matters (Fig. 4(b)).
 	FixedTp time.Duration
+	// AdaptiveWriteLevels lets the controller pick the WRITE consistency
+	// level per decision stream instead of shipping every write at ONE:
+	// when the estimator demands reads block for more than a quorum, the
+	// stream's writes move to QUORUM and its reads cap at QUORUM — the
+	// R+W>N overlap then guarantees reads observe every completed write, a
+	// strictly stronger guarantee than the probabilistic Xn>quorum one, at
+	// lower read fan-in. Read-heavy workloads (the only regime where the
+	// estimator pushes Xn that high) come out ahead because the expensive
+	// level moves to the rare operation. The overlap only covers writes
+	// issued after a flip: for roughly one propagation time, rows written
+	// at ONE just before it are read at the capped quorum instead of the
+	// model's Xn, a transient the tolerance may briefly exceed. Off by
+	// default: write-ONE is the paper's configuration.
+	AdaptiveWriteLevels bool
+	// DivergenceSensitivity couples the controller to the anti-entropy
+	// divergence gauge (Observation.Divergence): unrepaired replica
+	// divergence — a recovering node serving data that predates its outage
+	// — is staleness the propagation-time model cannot see, so the gauge ν
+	// is folded into the estimate as an extra stale probability
+	// 1−exp(−sensitivity·ν) and groups whose divergence alone breaches
+	// their tolerance are forced to at least quorum reads until repair
+	// converges (quorum suffices: with one recovering replica, any
+	// multi-replica read includes a healthy one and last-writer-wins picks
+	// its fresher version). Zero means 1.0; negative disables the coupling.
+	DivergenceSensitivity float64
 	// OnDecision, when set, observes every decision (for tracing/benches).
 	OnDecision func(Decision)
 
@@ -250,6 +282,36 @@ func (c *Controller) ReadLevelFor(key []byte) wire.ConsistencyLevel {
 	return c.groups[g].level
 }
 
+// WriteLevel reports the level the global stream's writes should ship at
+// (ONE unless adaptive write levels moved them to QUORUM).
+func (c *Controller) WriteLevel() wire.ConsistencyLevel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.last.WriteLevel == 0 {
+		return wire.One
+	}
+	return c.last.WriteLevel
+}
+
+// WriteLevelFor implements client.WriteLevelSource: the key's group decides
+// the write level, resolved under the same lock as the group table so key
+// and level always belong to one epoch (the KeyLevelSource contract).
+func (c *Controller) WriteLevelFor(key []byte) wire.ConsistencyLevel {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := 0
+	if c.groupFn != nil {
+		g = c.groupFn(key)
+	}
+	if g < 0 || g >= len(c.groups) {
+		g = 0
+	}
+	if l := c.groups[g].last.WriteLevel; l != 0 {
+		return l
+	}
+	return wire.One
+}
+
 // GroupLast returns the most recent decision for a group.
 func (c *Controller) GroupLast(g int) Decision {
 	c.mu.Lock()
@@ -288,18 +350,51 @@ func (c *Controller) History() []Decision {
 	return out
 }
 
+// divergenceStaleness converts the divergence gauge ν into an extra stale
+// probability via the configured sensitivity (saturating: any sustained
+// repair activity reads as near-certain divergence exposure).
+func (c *Controller) divergenceStaleness(divergence float64) float64 {
+	w := c.cfg.DivergenceSensitivity
+	if w < 0 || divergence <= 0 {
+		return 0
+	}
+	if w == 0 {
+		w = 1
+	}
+	return 1 - math.Exp(-w*divergence)
+}
+
 // decide runs the paper's decision scheme for one model against one
-// tolerance.
-func (c *Controller) decide(at time.Time, model Model, tolerated float64) Decision {
-	d := Decision{At: at, Model: model}
-	d.Estimate = model.StaleReadProbability()
-	if !model.Valid() || tolerated >= d.Estimate {
+// tolerance, treating unrepaired divergence (extra stale probability pd, 0
+// when repair is converged or disabled) as staleness on top of the model's
+// propagation estimate.
+func (c *Controller) decide(at time.Time, model Model, tolerated, pd float64) Decision {
+	d := Decision{At: at, Model: model, WriteLevel: wire.One}
+	d.Estimate = pd + (1-pd)*model.StaleReadProbability()
+	if (!model.Valid() && pd <= 0) || tolerated >= d.Estimate {
 		// No signal, or the application tolerates the estimated staleness:
 		// eventual consistency.
 		d.Xn = 1
 		d.Level = wire.One
 	} else {
-		d.Xn = model.ReplicasNeeded(tolerated)
+		d.Xn = 1
+		if model.Valid() {
+			d.Xn = model.ReplicasNeeded(tolerated)
+		}
+		if pd > tolerated {
+			// Divergence alone breaches the tolerance: hold at least quorum
+			// until anti-entropy converges (see DivergenceSensitivity).
+			if q := c.cfg.N/2 + 1; d.Xn < q {
+				d.Xn = q
+			}
+		}
+		if q := c.cfg.N/2 + 1; c.cfg.AdaptiveWriteLevels && d.Xn > q {
+			// Quorum writes + quorum reads overlap on every replica set:
+			// cheaper reads than the model's Xn with a stronger guarantee
+			// (see AdaptiveWriteLevels).
+			d.Xn = q
+			d.WriteLevel = wire.Quorum
+		}
 		d.Level = wire.LevelForCount(d.Xn, c.cfg.N)
 	}
 	return d
@@ -337,7 +432,7 @@ func (c *Controller) Observe(obs Observation) {
 		LambdaR: obs.ReadRate,
 		LambdaW: obs.WriteInterval,
 		Tp:      tp,
-	}, c.cfg.Policy.ToleratedStaleRate)
+	}, c.cfg.Policy.ToleratedStaleRate, c.divergenceStaleness(obs.Divergence))
 
 	c.mu.Lock()
 	// Per-group decisions: measured group rates when the monitor reports
@@ -351,16 +446,18 @@ func (c *Controller) Observe(obs Observation) {
 	groupDs := make([]Decision, len(c.groups))
 	for g := range c.groups {
 		model := Model{N: c.cfg.N, LambdaR: obs.ReadRate, LambdaW: obs.WriteInterval, Tp: tp}
+		div := obs.Divergence
 		if aligned {
 			model.LambdaR = obs.Groups[g].ReadRate
 			model.LambdaW = obs.Groups[g].WriteInterval
+			div = obs.Groups[g].Divergence
 			// Groups with distinct measured payload sizes get distinct Tp
 			// estimates (unless a configured AvgWriteBytes pins avgw).
 			if gw := obs.Groups[g].AvgWriteBytes; gw > 0 && c.cfg.AvgWriteBytes <= 0 {
 				model.Tp = c.propagationWith(obs, gw)
 			}
 		}
-		groupDs[g] = c.decide(obs.At, model, c.groupToleranceLocked(g))
+		groupDs[g] = c.decide(obs.At, model, c.groupToleranceLocked(g), c.divergenceStaleness(div))
 	}
 
 	c.level = global.Level

@@ -411,3 +411,74 @@ func TestAdvisorZeroCosts(t *testing.T) {
 		t.Fatalf("zero-cost recommendation = %v err=%v, want the paper's average", got, err)
 	}
 }
+
+// TestWeightedKMeansSeparatesHotPopulationsUnderHeavyTail is the
+// sampler-weighted clustering property: with a heavy tail of cold keys
+// whose scattered features would otherwise soak up centroids, the two
+// small-but-heavy hot populations must still land in distinct categories
+// (they carry the traffic the categories exist to protect), and the
+// write-contended one must get the tightest tolerance.
+func TestWeightedKMeansSeparatesHotPopulationsUnderHeavyTail(t *testing.T) {
+	ks := NewKeyStats(1)
+	// 400 tail keys, ~unit weight, read-mostly features scattered across
+	// the low end (write share <= ~0.2, far from the hot populations').
+	for i := 0; i < 400; i++ {
+		reads := 0.5 + float64(i%7)*0.25
+		writes := float64(i%5) * 0.04
+		ks.Add([]byte(fmt.Sprintf("tail%04d", i)), reads, writes)
+	}
+	// Population A: few keys, write-contended, heavy.
+	for i := 0; i < 8; i++ {
+		ks.Add([]byte(fmt.Sprintf("hotA%02d", i)), 2000, 2000)
+	}
+	// Population B: few keys, read-mostly but still heavy.
+	for i := 0; i < 8; i++ {
+		ks.Add([]byte(fmt.Sprintf("hotB%02d", i)), 4500, 500)
+	}
+	cat, err := NewCategorizer(3, 0.5, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Recluster(ks, 0.01, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	assign := cat.Assignment()
+	groupOf := func(prefix string, n int) map[int]int {
+		out := map[int]int{}
+		for i := 0; i < n; i++ {
+			out[assign[fmt.Sprintf("%s%02d", prefix, i)]]++
+		}
+		return out
+	}
+	aGroups, bGroups := groupOf("hotA", 8), groupOf("hotB", 8)
+	if len(aGroups) != 1 || len(bGroups) != 1 {
+		t.Fatalf("hot populations fragmented: A=%v B=%v", aGroups, bGroups)
+	}
+	var aG, bG int
+	for g := range aGroups {
+		aG = g
+	}
+	for g := range bGroups {
+		bG = g
+	}
+	if aG == bG {
+		t.Fatalf("heavy populations A and B merged into category %d: tail outvoted the traffic", aG)
+	}
+	// A is the most write-contended population, so canonical contention
+	// order must give it category 0, the tightest tolerance.
+	if aG != 0 {
+		t.Fatalf("write-contended heavy population got category %d, want 0 (tightest)", aG)
+	}
+	cats := cat.Categories()
+	if cats[aG].Tolerance >= cats[bG].Tolerance {
+		t.Fatalf("contended category tolerance %.3f not tighter than read-mostly %.3f",
+			cats[aG].Tolerance, cats[bG].Tolerance)
+	}
+	// No tail key may ride in the contended category: that would force
+	// quorum reads onto cold data.
+	for key, g := range assign {
+		if g == aG && len(key) > 4 && key[:4] == "tail" {
+			t.Fatalf("tail key %s assigned to the contended category", key)
+		}
+	}
+}

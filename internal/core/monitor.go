@@ -35,6 +35,13 @@ type Observation struct {
 	// the avgw input of the paper's Tp(Ln, avgw). Zero when no writes
 	// were observed.
 	AvgWriteBytes float64
+	// Divergence is the anti-entropy divergence gauge over the window:
+	// age-seconds of stale data repair sessions healed, per second, at the
+	// same scope as ReadRate (per-node average by default). Zero on a
+	// converged cluster; positive while repair is still discovering rows a
+	// recovering replica missed — i.e. while reads can hit data the
+	// propagation-time staleness model knows nothing about.
+	Divergence float64
 	// Window is the effective measurement window after subtracting the
 	// collection time, mirroring the paper's monitoring module which
 	// "measures the monitoring time and takes it into account".
@@ -67,6 +74,10 @@ type GroupRates struct {
 	// window — groups with different payload sizes get distinct Tp
 	// estimates. Zero when the group saw no writes.
 	AvgWriteBytes float64
+	// Divergence is the group's share of the anti-entropy divergence gauge
+	// (see Observation.Divergence), so the controller tightens exactly the
+	// groups whose data a recovering replica serves stale.
+	Divergence float64
 }
 
 // MonitorConfig configures the monitoring module.
@@ -111,22 +122,23 @@ type Monitor struct {
 	rt   sim.Runtime
 	send transport.Sender
 
-	stop       func()
-	seq        uint64
-	round      *roundState
-	lastReads  uint64
-	lastWrites uint64
-	lastBytesW uint64
-	lastAt     time.Time
-	havePrev   bool
-	rounds     uint64
-	// Group-counter baseline, valid only within one grouping epoch: nodes
-	// zero their per-group counters when they apply a GroupUpdate, so the
-	// baseline resets (and one round of group rates is discarded) whenever
-	// the reported epoch moves or the polled nodes disagree mid-rollout.
-	lastGroups     []wire.GroupCounters
-	lastGroupEpoch uint64
-	groupBase      bool
+	stop     func()
+	seq      uint64
+	round    *roundState
+	lastAt   time.Time
+	havePrev bool
+	rounds   uint64
+	// prev holds each node's last reported counters and prevAt the round it
+	// reported them. Deltas are computed PER NODE and then summed, and a
+	// node only contributes when its baseline is from the immediately
+	// preceding round: a node missing a round (outage, lost frame) neither
+	// drags the summed baseline negative nor, on return, counts its whole
+	// absence backlog as one window's traffic — its first report back only
+	// re-establishes its baseline. Per-group deltas additionally require
+	// the node's baseline epoch to match its current one: group counters
+	// re-baseline on a GroupUpdate, and cross-epoch samples must never mix.
+	prev   map[ring.NodeID]wire.StatsResponse
+	prevAt map[ring.NodeID]uint64
 }
 
 type roundState struct {
@@ -149,7 +161,13 @@ func NewMonitor(cfg MonitorConfig, rt sim.Runtime, send transport.Sender) *Monit
 	if cfg.RoundTimeout <= 0 {
 		cfg.RoundTimeout = cfg.Interval / 2
 	}
-	return &Monitor{cfg: cfg, rt: rt, send: send}
+	return &Monitor{
+		cfg:    cfg,
+		rt:     rt,
+		send:   send,
+		prev:   make(map[ring.NodeID]wire.StatsResponse),
+		prevAt: make(map[ring.NodeID]uint64),
+	}
 }
 
 // Start begins periodic collection.
@@ -241,13 +259,22 @@ func (m *Monitor) closeRound() {
 		}
 	}
 
-	var reads, writes, bytesW uint64
-	for _, s := range r.stats {
-		reads += s.Reads
-		writes += s.Writes
-		bytesW += s.BytesWrit
+	// Per-node deltas (see Monitor.prev): a node only contributes once it
+	// has a baseline, and its per-group counters only while its baseline
+	// and current report belong to the same grouping epoch.
+	var dReads, dWrites, dBytesW, dRepAge uint64
+	current := func(node ring.NodeID) bool { return m.prevAt[node] == m.rounds }
+	for node, s := range r.stats {
+		p, ok := m.prev[node]
+		if !ok || !current(node) {
+			continue // first report, or a gap: re-establishes the baseline
+		}
+		dReads += counterDelta(s.Reads, p.Reads)
+		dWrites += counterDelta(s.Writes, p.Writes)
+		dBytesW += counterDelta(s.BytesWrit, p.BytesWrit)
+		dRepAge += counterDelta(s.RepairAgeMs, p.RepairAgeMs)
 	}
-	// Per-group counters only aggregate when every reporting node tallies
+	// Per-group deltas only aggregate when every reporting node tallies
 	// under the same grouping epoch; during a GroupUpdate rollout some
 	// nodes still count the old groups, and mixing the two would attribute
 	// one epoch's traffic to another epoch's groups.
@@ -261,23 +288,39 @@ func (m *Monitor) closeRound() {
 			epochAgreed = false
 		}
 	}
-	var groups []wire.GroupCounters
+	// Group rates stay all-or-nothing across an epoch change (the
+	// Observation.Groups contract): every reporting node must hold a
+	// same-epoch baseline, or the whole round's group rates are discarded
+	// — partial sums during a rollout would systematically underreport a
+	// group's traffic. A node merely absent this round (outage) does not
+	// veto the others.
+	var groupDeltas []wire.GroupCounters
+	allBaselined, anyGroups := epochAgreed, false
 	if epochAgreed {
-		for _, s := range r.stats {
-			for len(groups) < len(s.Groups) {
-				groups = append(groups, wire.GroupCounters{})
+		for node, s := range r.stats {
+			p, ok := m.prev[node]
+			if !ok || !current(node) || p.Epoch != s.Epoch {
+				allBaselined = false // baseline missing, gapped, or cross-epoch
+				continue
+			}
+			anyGroups = anyGroups || len(s.Groups) > 0
+			for len(groupDeltas) < len(s.Groups) {
+				groupDeltas = append(groupDeltas, wire.GroupCounters{})
 			}
 			for g, gc := range s.Groups {
-				groups[g].Reads += gc.Reads
-				groups[g].Writes += gc.Writes
-				groups[g].BytesWritten += gc.BytesWritten
+				var pg wire.GroupCounters
+				if g < len(p.Groups) {
+					pg = p.Groups[g]
+				}
+				groupDeltas[g].Reads += counterDelta(gc.Reads, pg.Reads)
+				groupDeltas[g].Writes += counterDelta(gc.Writes, pg.Writes)
+				groupDeltas[g].BytesWritten += counterDelta(gc.BytesWritten, pg.BytesWritten)
+				groupDeltas[g].RepairRows += counterDelta(gc.RepairRows, pg.RepairRows)
+				groupDeltas[g].RepairAgeMs += counterDelta(gc.RepairAgeMs, pg.RepairAgeMs)
 			}
 		}
 	}
-	// A valid baseline needs the previous round to have agreed on this same
-	// epoch; otherwise this round only re-establishes it and the group
-	// rates are discarded (cross-epoch samples are never mixed).
-	groupsComparable := epochAgreed && m.groupBase && groupEpoch == m.lastGroupEpoch
+	groupsComparable := epochAgreed && allBaselined && anyGroups
 	var maxRTT, sumRTT time.Duration
 	all := make([]time.Duration, 0, len(r.rtts))
 	for _, rtt := range r.rtts {
@@ -297,13 +340,13 @@ func (m *Monitor) closeRound() {
 	}
 
 	defer func() {
-		m.lastReads, m.lastWrites, m.lastBytesW = reads, writes, bytesW
-		m.lastGroups = groups
-		m.lastGroupEpoch = groupEpoch
-		m.groupBase = epochAgreed
+		m.rounds++
+		for node, s := range r.stats {
+			m.prev[node] = s
+			m.prevAt[node] = m.rounds
+		}
 		m.lastAt = now
 		m.havePrev = true
-		m.rounds++
 	}()
 
 	if !m.havePrev {
@@ -318,8 +361,6 @@ func (m *Monitor) closeRound() {
 	if window <= 0 || m.cfg.OnObservation == nil {
 		return
 	}
-	dReads := counterDelta(reads, m.lastReads)
-	dWrites := counterDelta(writes, m.lastWrites)
 	scale := 1.0
 	if !m.cfg.AggregateRates && len(m.cfg.Nodes) > 0 {
 		scale = float64(len(m.cfg.Nodes))
@@ -329,27 +370,25 @@ func (m *Monitor) closeRound() {
 		ReadRate:    float64(dReads) / window.Seconds() / scale,
 		Latency:     ln,
 		MeanLatency: meanRTT / 2,
+		Divergence:  float64(dRepAge) / 1000 / window.Seconds() / scale,
 		Window:      window,
 		Nodes:       len(r.stats),
 	}
 	if dWrites > 0 {
 		obs.WriteInterval = window.Seconds() * scale / float64(dWrites)
-		obs.AvgWriteBytes = float64(counterDelta(bytesW, m.lastBytesW)) / float64(dWrites)
+		obs.AvgWriteBytes = float64(dBytesW) / float64(dWrites)
 	}
-	if groupsComparable && len(groups) > 0 {
+	if groupsComparable && len(groupDeltas) > 0 {
 		obs.Epoch = groupEpoch
-		obs.Groups = make([]GroupRates, len(groups))
-		for g, gc := range groups {
-			var prev wire.GroupCounters
-			if g < len(m.lastGroups) {
-				prev = m.lastGroups[g]
-			}
+		obs.Groups = make([]GroupRates, len(groupDeltas))
+		for g, gd := range groupDeltas {
 			gr := GroupRates{
-				ReadRate: float64(counterDelta(gc.Reads, prev.Reads)) / window.Seconds() / scale,
+				ReadRate:   float64(gd.Reads) / window.Seconds() / scale,
+				Divergence: float64(gd.RepairAgeMs) / 1000 / window.Seconds() / scale,
 			}
-			if dw := counterDelta(gc.Writes, prev.Writes); dw > 0 {
-				gr.WriteInterval = window.Seconds() * scale / float64(dw)
-				gr.AvgWriteBytes = float64(counterDelta(gc.BytesWritten, prev.BytesWritten)) / float64(dw)
+			if gd.Writes > 0 {
+				gr.WriteInterval = window.Seconds() * scale / float64(gd.Writes)
+				gr.AvgWriteBytes = float64(gd.BytesWritten) / float64(gd.Writes)
 			}
 			obs.Groups[g] = gr
 		}

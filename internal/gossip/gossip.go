@@ -23,6 +23,7 @@ type state struct {
 	version    uint64
 	lastSeen   time.Time
 	arrivals   *arrivalWindow
+	convicted  bool // phi crossed the threshold; cleared on recovery
 }
 
 // arrivalWindow tracks heartbeat inter-arrival statistics for phi-accrual.
@@ -107,6 +108,12 @@ type Config struct {
 	PhiThreshold float64
 	// Seed for peer selection.
 	Seed int64
+	// OnRecover, when set, fires once per down→up transition: a peer this
+	// gossiper had convicted starts heartbeating again. It is the trigger
+	// anti-entropy repair uses to schedule a priority session with the
+	// recovered node (wire it to the node's repair.Manager.PeerRecovered).
+	// The callback runs on the gossiper's runtime, outside its lock.
+	OnRecover func(ring.NodeID)
 }
 
 // Gossiper exchanges heartbeat digests and answers liveness queries. Alive
@@ -179,6 +186,7 @@ func (g *Gossiper) round() {
 	g.self.version++
 	g.self.lastSeen = g.rt.Now()
 	g.self.arrivalsObserve(g.rt.Now())
+	recovered := g.sweepConvictionsLocked()
 	digests := g.digestsLocked()
 	g.rounds++
 	// Pick fanout random peers.
@@ -193,9 +201,36 @@ func (g *Gossiper) round() {
 		peers = peers[:g.cfg.Fanout]
 	}
 	g.mu.Unlock()
+	if g.cfg.OnRecover != nil {
+		for _, id := range recovered {
+			g.cfg.OnRecover(id)
+		}
+	}
 	for _, p := range peers {
 		g.send.Send(g.cfg.ID, p, wire.GossipSyn{From: string(g.cfg.ID), Digests: digests})
 	}
+}
+
+// sweepConvictionsLocked re-evaluates every peer's phi, recording
+// conviction transitions and returning the peers that just recovered
+// (down→up) this round.
+func (g *Gossiper) sweepConvictionsLocked() []ring.NodeID {
+	now := g.rt.Now()
+	var recovered []ring.NodeID
+	for id, st := range g.states {
+		if id == g.cfg.ID || st.arrivals == nil {
+			continue
+		}
+		alive := st.arrivals.phi(now) < g.cfg.PhiThreshold
+		switch {
+		case !alive && !st.convicted:
+			st.convicted = true
+		case alive && st.convicted:
+			st.convicted = false
+			recovered = append(recovered, id)
+		}
+	}
+	return recovered
 }
 
 func (s *state) observe(t time.Time) {

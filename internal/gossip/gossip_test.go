@@ -185,3 +185,55 @@ func TestArrivalWindowStats(t *testing.T) {
 		t.Fatalf("phi right after heartbeat = %v", p)
 	}
 }
+
+// TestOnRecoverFiresOncePerTransition verifies the anti-entropy trigger: a
+// convicted peer that starts heartbeating again fires OnRecover exactly
+// once, and a healthy peer never fires it.
+func TestOnRecoverFiresOncePerTransition(t *testing.T) {
+	s := sim.New(15)
+	var infos []ring.NodeInfo
+	var ids []ring.NodeID
+	for i := 0; i < 6; i++ {
+		id := ring.NodeID(fmt.Sprintf("g%02d", i))
+		ids = append(ids, id)
+		infos = append(infos, ring.NodeInfo{ID: id, DC: "dc1", Rack: "r1"})
+	}
+	topo, err := ring.NewTopology(infos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := simnet.New(topo, simnet.UniformProfile(500*time.Microsecond), s.NewStream())
+	bus := transport.NewBus(net)
+	recovered := map[ring.NodeID]int{}
+	var gs []*Gossiper
+	for i, id := range ids {
+		cfg := Config{ID: id, Peers: ids, Interval: time.Second, Seed: int64(i)}
+		if i == 1 {
+			cfg.OnRecover = func(peer ring.NodeID) { recovered[peer]++ }
+		}
+		g := New(cfg, s, bus)
+		bus.Register(id, s, g)
+		g.Start()
+		gs = append(gs, g)
+	}
+	s.RunFor(20 * time.Second)
+	if len(recovered) != 0 {
+		t.Fatalf("OnRecover fired with no failures: %v", recovered)
+	}
+	victim := ids[0]
+	net.Isolate(victim, ids)
+	s.RunFor(60 * time.Second)
+	if gs[1].Alive(victim) {
+		t.Fatal("victim not convicted while isolated")
+	}
+	net.Rejoin(victim, ids)
+	s.RunFor(30 * time.Second)
+	if got := recovered[victim]; got != 1 {
+		t.Fatalf("OnRecover fired %d times for the recovered victim, want 1", got)
+	}
+	for id, n := range recovered {
+		if id != victim {
+			t.Fatalf("OnRecover fired %d times for healthy peer %v", n, id)
+		}
+	}
+}

@@ -1,0 +1,271 @@
+// Package repair implements anti-entropy between replicas: incremental
+// Merkle trees over token-range partitions of the local storage engine,
+// pairwise tree-exchange sessions that stream only divergent rows, and a
+// scheduler that runs sessions periodically and on node recovery. It is the
+// mechanism that bounds how long a recovered replica can serve arbitrarily
+// stale data once hinted handoff has dropped or capped its backlog — the
+// regime where the adaptive-consistency estimator's propagation model is
+// blind, which is why the subsystem also exports a divergence gauge the
+// controller folds into its staleness estimate.
+package repair
+
+import (
+	"sort"
+	"sync"
+
+	"harmony/internal/ring"
+	"harmony/internal/storage"
+	"harmony/internal/wire"
+)
+
+// entryDigest hashes one key/version into a 64-bit fingerprint. The digest
+// covers the timestamp and tombstone flag as well as the payload, so two
+// replicas holding different versions of a key always disagree.
+func entryDigest(key []byte, v wire.Value) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	for _, b := range key {
+		mix(b)
+	}
+	mix(0xfe) // separator: ("ab","c") must differ from ("a","bc")
+	ts := uint64(v.Timestamp)
+	for i := 0; i < 8; i++ {
+		mix(byte(ts >> (8 * i)))
+	}
+	if v.Tombstone {
+		mix(1)
+	} else {
+		mix(0)
+	}
+	for _, b := range v.Data {
+		mix(b)
+	}
+	// fmix64 finalizer, as in ring.hash64: leaf sums need avalanche.
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// span returns the arc length of r in modular token arithmetic; a wrapping
+// arc (Start >= End) comes out right because uint64 subtraction wraps. A
+// zero span means the full ring (single-token degenerate range).
+func span(r wire.TokenRange) uint64 { return r.End - r.Start }
+
+// leafIndex places a token into one of leaves buckets of range r. The token
+// must be inside r.
+func leafIndex(r wire.TokenRange, leaves int, tok uint64) int {
+	s := span(r)
+	if s == 0 {
+		s = ^uint64(0) // full ring
+	}
+	bucket := s/uint64(leaves) + 1
+	off := tok - r.Start - 1 // offset in [0, span), modular
+	idx := int(off / bucket)
+	if idx >= leaves {
+		idx = leaves - 1
+	}
+	return idx
+}
+
+// buildRoot chains the leaf hashes into a root so an identical range costs a
+// single comparison.
+func buildRoot(leaves []uint64) uint64 {
+	const prime = 1099511628211
+	h := uint64(14695981039346656037)
+	for _, l := range leaves {
+		for i := 0; i < 8; i++ {
+			h ^= l >> (8 * i) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}
+
+// TreeCache maintains Merkle trees for the token ranges a node replicates.
+// Trees build lazily from the engine (one ScanVersions pass rebuilds every
+// dirty range at once) and invalidate per range on every applied mutation,
+// so a quiescent range's tree is computed once and reused across sessions.
+// It is safe for concurrent use.
+type TreeCache struct {
+	engine *storage.Engine
+	leaves int
+
+	mu     sync.Mutex
+	ranges []wire.TokenRange // sorted by End; a wrapping arc sorts by End too
+	trees  map[wire.TokenRange][]uint64
+	// stale marks ranges whose cached tree no longer reflects the engine;
+	// gen counts invalidations per range so a rebuild can tell whether an
+	// Invalidate raced its (unlocked) engine scan. A raced rebuild still
+	// installs — a one-scan-stale tree only costs a spurious or missed
+	// leaf sync, which the next session corrects — but the range STAYS
+	// stale, so a continuously-written arc keeps getting fresh snapshots
+	// instead of either pinning an ancient tree or never installing one.
+	stale  map[wire.TokenRange]bool
+	gen    map[wire.TokenRange]uint64
+	builds uint64 // ranges rebuilt (stats)
+	scans  uint64 // engine passes taken (stats)
+}
+
+// NewTreeCache tracks the given ranges (the node's replica ranges) with the
+// configured per-range leaf count.
+func NewTreeCache(engine *storage.Engine, ranges []wire.TokenRange, leaves int) *TreeCache {
+	if leaves <= 0 {
+		leaves = 8
+	}
+	c := &TreeCache{
+		engine: engine,
+		leaves: leaves,
+		ranges: sortRanges(ranges),
+		trees:  make(map[wire.TokenRange][]uint64, len(ranges)),
+		stale:  make(map[wire.TokenRange]bool, len(ranges)),
+		gen:    make(map[wire.TokenRange]uint64, len(ranges)),
+	}
+	return c
+}
+
+// sortRanges orders arcs by End for binary search; arcs never overlap.
+func sortRanges(in []wire.TokenRange) []wire.TokenRange {
+	out := make([]wire.TokenRange, len(in))
+	copy(out, in)
+	sort.Slice(out, func(i, j int) bool { return out[i].End < out[j].End })
+	return out
+}
+
+// rangeOf finds the tracked arc containing tok (ok=false when the node does
+// not replicate it).
+func (c *TreeCache) rangeOf(tok uint64) (wire.TokenRange, bool) {
+	rs := c.ranges
+	lo, hi := 0, len(rs)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if rs[mid].End < tok {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// First range with End >= tok is the only non-wrapping candidate; a
+	// wrapping arc (Start >= End) can catch tokens anywhere, so check the
+	// edges too.
+	if lo < len(rs) && rs[lo].Contains(tok) {
+		return rs[lo], true
+	}
+	for _, r := range rs {
+		if r.Start >= r.End && r.Contains(tok) {
+			return r, true
+		}
+	}
+	return wire.TokenRange{}, false
+}
+
+// Invalidate marks the range containing key stale, if tracked.
+func (c *TreeCache) Invalidate(key []byte) {
+	tok := uint64(ring.HashKey(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.rangeOf(tok); ok {
+		c.stale[r] = true
+		c.gen[r]++
+	}
+}
+
+// Trees returns the Merkle trees for the requested ranges, rebuilding every
+// requested-and-stale range in a single engine pass. Ranges the cache does
+// not track are silently skipped (a peer asking for an arc this node no
+// longer replicates).
+func (c *TreeCache) Trees(ranges []wire.TokenRange) []wire.RangeTree {
+	c.mu.Lock()
+	tracked := make(map[wire.TokenRange]bool, len(c.ranges))
+	for _, r := range c.ranges {
+		tracked[r] = true
+	}
+	var rebuild []wire.TokenRange
+	for _, r := range ranges {
+		if tracked[r] && (c.trees[r] == nil || c.stale[r]) {
+			rebuild = append(rebuild, r)
+		}
+	}
+	if len(rebuild) > 0 {
+		fresh := make(map[wire.TokenRange][]uint64, len(rebuild))
+		startGen := make(map[wire.TokenRange]uint64, len(rebuild))
+		for _, r := range rebuild {
+			fresh[r] = make([]uint64, c.leaves)
+			startGen[r] = c.gen[r]
+		}
+		c.mu.Unlock()
+		// The engine pass runs outside the cache lock; the generation check
+		// below keeps any range an Invalidate raced mid-scan marked stale,
+		// so a snapshot missing a concurrent apply is never trusted as
+		// clean (see the stale field's comment).
+		c.engine.ScanVersions(nil, nil, func(key []byte, v wire.Value) bool {
+			tok := uint64(ring.HashKey(key))
+			for r, ls := range fresh {
+				if r.Contains(tok) {
+					ls[leafIndex(r, c.leaves, tok)] += entryDigest(key, v)
+					break
+				}
+			}
+			return true
+		})
+		c.mu.Lock()
+		for r, ls := range fresh {
+			c.trees[r] = ls
+			c.builds++
+			if c.gen[r] == startGen[r] {
+				delete(c.stale, r) // clean: no Invalidate raced the scan
+			}
+		}
+		c.scans++
+	}
+	out := make([]wire.RangeTree, 0, len(ranges))
+	for _, r := range ranges {
+		ls, ok := c.trees[r]
+		if !ok {
+			continue
+		}
+		leaves := make([]uint64, len(ls))
+		copy(leaves, ls)
+		out = append(out, wire.RangeTree{Range: r, Root: buildRoot(leaves), Leaves: leaves})
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Builds reports how many range trees have been (re)built, and how many
+// engine passes those rebuilds batched into (tests).
+func (c *TreeCache) Builds() (ranges, scans uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.builds, c.scans
+}
+
+// diffLeaves returns the leaf indices where the two trees disagree; a root
+// match short-circuits to nil. Mismatched leaf counts (a peer running a
+// different configuration) conservatively mark every leaf divergent.
+func diffLeaves(mine, theirs wire.RangeTree) []int {
+	if mine.Root == theirs.Root && len(mine.Leaves) == len(theirs.Leaves) {
+		return nil
+	}
+	n := len(mine.Leaves)
+	if len(theirs.Leaves) != n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	var out []int
+	for i := range mine.Leaves {
+		if mine.Leaves[i] != theirs.Leaves[i] {
+			out = append(out, i)
+		}
+	}
+	return out
+}

@@ -166,6 +166,21 @@ func Build(topo *Topology, vnodes int) (*Ring, error) {
 // Topology returns the ring's topology.
 func (r *Ring) Topology() *Topology { return r.topo }
 
+// Tokens returns the ring's distinct vnode tokens in ascending order. The
+// arcs between consecutive tokens are the natural repair partitions: every
+// key hashing into one arc has the same successor vnode, hence the same
+// replica set.
+func (r *Ring) Tokens() []Token {
+	out := make([]Token, 0, len(r.tokens))
+	for _, e := range r.tokens {
+		if len(out) > 0 && out[len(out)-1] == e.tok {
+			continue // duplicate token (hash collision between vnode seeds)
+		}
+		out = append(out, e.tok)
+	}
+	return out
+}
+
 // successorIndex returns the index of the first vnode at or after tok,
 // wrapping at the end of the ring.
 func (r *Ring) successorIndex(tok Token) int {

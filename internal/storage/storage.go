@@ -28,6 +28,7 @@ type Engine struct {
 	maxTables int // compact when flushed tables exceed this count
 	tables    []*table
 	log       CommitLog
+	onApply   func(key []byte, v wire.Value)
 
 	// statistics; reads is atomic because it is bumped under the read
 	// lock, where concurrent Gets would otherwise race on the counter.
@@ -53,6 +54,12 @@ type Options struct {
 	// CommitLog, when non-nil, receives every mutation before it is applied
 	// (durability hook). Nil disables logging.
 	CommitLog CommitLog
+	// OnApply, when non-nil, observes every mutation that actually changed
+	// the engine (last-writer-wins accepted it), after the engine's lock is
+	// released. The anti-entropy subsystem hangs its Merkle-tree cache
+	// invalidation here. The callback runs on the applying goroutine and
+	// must not call back into the engine's write path.
+	OnApply func(key []byte, v wire.Value)
 }
 
 // CommitLog receives mutations before they are applied.
@@ -73,6 +80,7 @@ func NewEngine(opts Options) *Engine {
 		flushAt:   opts.FlushThresholdBytes,
 		maxTables: opts.MaxFlushedTables,
 		log:       opts.CommitLog,
+		onApply:   opts.OnApply,
 	}
 }
 
@@ -89,9 +97,9 @@ func (e *Engine) Apply(key []byte, v wire.Value) (bool, error) {
 	}
 	k := string(key)
 	e.mu.Lock()
-	defer e.mu.Unlock()
 	e.writes++
 	if cur, ok := e.lookupLocked(k); ok && !v.Fresh(cur) {
+		e.mu.Unlock()
 		return false, nil
 	}
 	old, existed := e.memtable[k]
@@ -102,6 +110,10 @@ func (e *Engine) Apply(key []byte, v wire.Value) (bool, error) {
 	}
 	if e.memBytes >= e.flushAt {
 		e.flushLocked()
+	}
+	e.mu.Unlock()
+	if e.onApply != nil {
+		e.onApply(key, v)
 	}
 	return true, nil
 }
@@ -195,6 +207,17 @@ func (e *Engine) compactLocked() {
 // global re-sort. Bounds position each source once via binary search, and
 // the merge stops at the first key past end.
 func (e *Engine) Scan(start, end []byte, fn func(key []byte, v wire.Value) bool) {
+	e.scan(start, end, false, fn)
+}
+
+// ScanVersions is Scan including tombstoned entries: anti-entropy repair
+// must exchange deletes the same way it exchanges writes, or a tombstone on
+// one replica against live data on another would diverge forever.
+func (e *Engine) ScanVersions(start, end []byte, fn func(key []byte, v wire.Value) bool) {
+	e.scan(start, end, true, fn)
+}
+
+func (e *Engine) scan(start, end []byte, tombstones bool, fn func(key []byte, v wire.Value) bool) {
 	e.mu.RLock()
 	// Sources: each flushed table's sorted keys, plus the memtable keys
 	// sorted once (the only unsorted source).
@@ -244,7 +267,7 @@ func (e *Engine) Scan(start, end []byte, fn func(key []byte, v wire.Value) bool)
 				idx[i]++
 			}
 		}
-		if v, ok := e.lookupLocked(bestK); ok && !v.Tombstone {
+		if v, ok := e.lookupLocked(bestK); ok && (tombstones || !v.Tombstone) {
 			out = append(out, kv{bestK, v})
 		}
 	}

@@ -56,6 +56,17 @@ func (w *buffer) f64(v float64) {
 	w.b = binary.BigEndian.AppendUint64(w.b, math.Float64bits(v))
 }
 
+// u64 writes a fixed 8-byte big-endian word; ring tokens and Merkle hashes
+// are uniformly distributed, so varint encoding would only add bytes.
+func (w *buffer) u64(v uint64) {
+	w.b = binary.BigEndian.AppendUint64(w.b, v)
+}
+
+func (w *buffer) tokenRange(r TokenRange) {
+	w.u64(r.Start)
+	w.u64(r.End)
+}
+
 func (r *buffer) rUvarint() (uint64, error) {
 	v, n := binary.Uvarint(r.b[r.off:])
 	if n <= 0 {
@@ -117,6 +128,27 @@ func (r *buffer) rF64() (float64, error) {
 	v := math.Float64frombits(binary.BigEndian.Uint64(r.b[r.off:]))
 	r.off += 8
 	return v, nil
+}
+
+func (r *buffer) rU64() (uint64, error) {
+	if len(r.b)-r.off < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
+	return v, nil
+}
+
+func (r *buffer) rTokenRange() (TokenRange, error) {
+	var tr TokenRange
+	var err error
+	if tr.Start, err = r.rU64(); err != nil {
+		return tr, err
+	}
+	if tr.End, err = r.rU64(); err != nil {
+		return tr, err
+	}
+	return tr, nil
 }
 
 func (w *buffer) value(v Value) {
@@ -194,11 +226,15 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.BytesWrit)
 		w.uvarint(v.RepairsSent)
 		w.uvarint(v.HintsQueued)
+		w.uvarint(v.RepairRows)
+		w.uvarint(v.RepairAgeMs)
 		w.uvarint(uint64(len(v.Groups)))
 		for _, g := range v.Groups {
 			w.uvarint(g.Reads)
 			w.uvarint(g.Writes)
 			w.uvarint(g.BytesWritten)
+			w.uvarint(g.RepairRows)
+			w.uvarint(g.RepairAgeMs)
 		}
 		w.uvarint(v.Epoch)
 		w.uvarint(uint64(len(v.KeySamples)))
@@ -245,6 +281,38 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 			w.bytes(e.Key)
 			w.uvarint(uint64(e.Group))
 		}
+	case TreeRequest:
+		w.uvarint(v.ID)
+		w.uvarint(uint64(len(v.Ranges)))
+		for _, rg := range v.Ranges {
+			w.tokenRange(rg)
+		}
+	case TreeResponse:
+		w.uvarint(v.ID)
+		w.uvarint(uint64(len(v.Trees)))
+		for _, t := range v.Trees {
+			w.tokenRange(t.Range)
+			w.u64(t.Root)
+			w.uvarint(uint64(len(t.Leaves)))
+			for _, l := range t.Leaves {
+				w.u64(l)
+			}
+		}
+	case RangeSync:
+		w.uvarint(v.ID)
+		w.uvarint(uint64(v.LeafCount))
+		w.uvarint(uint64(len(v.Leaves)))
+		for _, l := range v.Leaves {
+			w.tokenRange(l.Range)
+			w.uvarint(uint64(l.Leaf))
+		}
+		w.uvarint(uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			w.bytes(e.Key)
+			w.value(e.Value)
+		}
+		w.bool(v.Reply)
+		w.bool(v.Done)
 	default:
 		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, m)
 	}
@@ -420,7 +488,7 @@ func decodeBody(body []byte) (Message, error) {
 		if m.ID, err = r.rUvarint(); err != nil {
 			return nil, err
 		}
-		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued}
+		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued, &m.RepairRows, &m.RepairAgeMs}
 		for _, f := range fields {
 			if *f, err = r.rUvarint(); err != nil {
 				return nil, err
@@ -437,14 +505,11 @@ func decodeBody(body []byte) (Message, error) {
 			m.Groups = make([]GroupCounters, 0, ng)
 			for i := uint64(0); i < ng; i++ {
 				var g GroupCounters
-				if g.Reads, err = r.rUvarint(); err != nil {
-					return nil, err
-				}
-				if g.Writes, err = r.rUvarint(); err != nil {
-					return nil, err
-				}
-				if g.BytesWritten, err = r.rUvarint(); err != nil {
-					return nil, err
+				gf := []*uint64{&g.Reads, &g.Writes, &g.BytesWritten, &g.RepairRows, &g.RepairAgeMs}
+				for _, f := range gf {
+					if *f, err = r.rUvarint(); err != nil {
+						return nil, err
+					}
 				}
 				m.Groups = append(m.Groups, g)
 			}
@@ -574,6 +639,131 @@ func decodeBody(body []byte) (Message, error) {
 				e.Group = uint32(g)
 				m.Entries = append(m.Entries, e)
 			}
+		}
+		return m, nil
+	case KindTreeRequest:
+		var m TreeRequest
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		nr, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nr > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if nr > 0 {
+			m.Ranges = make([]TokenRange, 0, nr)
+			for i := uint64(0); i < nr; i++ {
+				tr, err := r.rTokenRange()
+				if err != nil {
+					return nil, err
+				}
+				m.Ranges = append(m.Ranges, tr)
+			}
+		}
+		return m, nil
+	case KindTreeResponse:
+		var m TreeResponse
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		nt, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nt > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if nt > 0 {
+			m.Trees = make([]RangeTree, 0, nt)
+			for i := uint64(0); i < nt; i++ {
+				var t RangeTree
+				if t.Range, err = r.rTokenRange(); err != nil {
+					return nil, err
+				}
+				if t.Root, err = r.rU64(); err != nil {
+					return nil, err
+				}
+				nl, err := r.rUvarint()
+				if err != nil {
+					return nil, err
+				}
+				if nl > uint64(len(r.b)) { // cheap sanity bound
+					return nil, ErrTruncated
+				}
+				if nl > 0 {
+					t.Leaves = make([]uint64, 0, nl)
+					for j := uint64(0); j < nl; j++ {
+						l, err := r.rU64()
+						if err != nil {
+							return nil, err
+						}
+						t.Leaves = append(t.Leaves, l)
+					}
+				}
+				m.Trees = append(m.Trees, t)
+			}
+		}
+		return m, nil
+	case KindRangeSync:
+		var m RangeSync
+		if m.ID, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		lc, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		m.LeafCount = uint32(lc)
+		nl, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if nl > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if nl > 0 {
+			m.Leaves = make([]LeafRef, 0, nl)
+			for i := uint64(0); i < nl; i++ {
+				var l LeafRef
+				if l.Range, err = r.rTokenRange(); err != nil {
+					return nil, err
+				}
+				leaf, err := r.rUvarint()
+				if err != nil {
+					return nil, err
+				}
+				l.Leaf = uint32(leaf)
+				m.Leaves = append(m.Leaves, l)
+			}
+		}
+		ne, err := r.rUvarint()
+		if err != nil {
+			return nil, err
+		}
+		if ne > uint64(len(r.b)) { // cheap sanity bound
+			return nil, ErrTruncated
+		}
+		if ne > 0 {
+			m.Entries = make([]SyncEntry, 0, ne)
+			for i := uint64(0); i < ne; i++ {
+				var e SyncEntry
+				if e.Key, err = r.rBytes(); err != nil {
+					return nil, err
+				}
+				if e.Value, err = r.rValue(); err != nil {
+					return nil, err
+				}
+				m.Entries = append(m.Entries, e)
+			}
+		}
+		if m.Reply, err = r.rBool(); err != nil {
+			return nil, err
+		}
+		if m.Done, err = r.rBool(); err != nil {
+			return nil, err
 		}
 		return m, nil
 	}

@@ -40,6 +40,9 @@ const (
 	KindGossipAck
 	KindError
 	KindGroupUpdate
+	KindTreeRequest
+	KindTreeResponse
+	KindRangeSync
 	kindSentinel // keep last
 )
 
@@ -48,6 +51,7 @@ var kindNames = [...]string{
 	"replica-read", "replica-read-resp", "mutation", "mutation-ack",
 	"repair", "stats-req", "stats-resp", "ping", "pong",
 	"gossip-syn", "gossip-ack", "error", "group-update",
+	"tree-req", "tree-resp", "range-sync",
 }
 
 // String returns the kind's wire name.
@@ -249,6 +253,14 @@ type StatsResponse struct {
 	BytesWrit   uint64
 	RepairsSent uint64
 	HintsQueued uint64
+	// RepairRows / RepairAgeMs are the anti-entropy divergence gauge: how
+	// many locally-stale rows repair sessions have healed on this node, and
+	// the summed age (now − row timestamp, milliseconds) of those rows at
+	// heal time. A recovering replica shows a burst of repaired old rows;
+	// once anti-entropy converges the counters stop moving, so the monitor's
+	// windowed delta is a live "divergence being discovered" signal.
+	RepairRows  uint64
+	RepairAgeMs uint64
 	// Groups carries per-key-group operation counters, indexed by group id
 	// (the node's GroupFn assigns keys to groups). Empty when the node
 	// tallies a single implicit group; the aggregate counters above always
@@ -275,6 +287,11 @@ type GroupCounters struct {
 	// the monitor can derive a per-group mean write size (groups with
 	// different payload sizes get distinct Tp estimates).
 	BytesWritten uint64
+	// RepairRows / RepairAgeMs split the anti-entropy divergence gauge by
+	// key group (see StatsResponse), so the controller can tighten exactly
+	// the groups whose data a recovering replica is serving stale.
+	RepairRows  uint64
+	RepairAgeMs uint64
 }
 
 // KeySample is one key's exponentially decayed read/write weight as sampled
@@ -312,6 +329,79 @@ type GroupUpdate struct {
 type GroupAssign struct {
 	Key   []byte
 	Group uint32
+}
+
+// TokenRange is a half-open arc (Start, End] of the 64-bit token ring. A
+// wrapping range (Start >= End) covers (Start, 2^64) ∪ [0, End]. Ranges are
+// derived deterministically from the ring's vnode tokens, so every node
+// computes identical range boundaries without coordination.
+type TokenRange struct {
+	Start, End uint64
+}
+
+// Contains reports whether token t falls inside the range.
+func (r TokenRange) Contains(t uint64) bool {
+	if r.Start < r.End {
+		return t > r.Start && t <= r.End
+	}
+	return t > r.Start || t <= r.End // wrapping arc
+}
+
+// TreeRequest asks a replica to build (or fetch cached) Merkle trees over
+// the given token ranges of its local engine — the validation phase of an
+// anti-entropy repair session.
+type TreeRequest struct {
+	ID     uint64
+	Ranges []TokenRange
+}
+
+// RangeTree is one range's Merkle tree: the root hash plus every leaf hash,
+// in leaf order. Exchanging whole trees (Cassandra's validation protocol)
+// costs one round trip; the initiator diffs the leaves locally. Tree size is
+// proportional to the configured leaf count, never to the data.
+type RangeTree struct {
+	Range  TokenRange
+	Root   uint64
+	Leaves []uint64
+}
+
+// TreeResponse carries the responder's trees back to the session initiator.
+type TreeResponse struct {
+	ID    uint64
+	Trees []RangeTree
+}
+
+// LeafRef names one divergent Merkle leaf within a session.
+type LeafRef struct {
+	Range TokenRange
+	Leaf  uint32
+}
+
+// SyncEntry is one key/value streamed during range synchronization.
+// Tombstones ride along so deletes anti-entropy the same way writes do.
+type SyncEntry struct {
+	Key   []byte
+	Value Value
+}
+
+// RangeSync streams the rows of divergent Merkle leaves between the two
+// endpoints of a repair session. The initiator sends its rows with
+// Reply=true; the responder applies them (last-writer-wins through the
+// normal storage path) and answers with its own rows for the same leaves at
+// Reply=false, so after one exchange both replicas hold the union of newest
+// versions. Done marks the final chunk of a direction.
+type RangeSync struct {
+	ID uint64
+	// LeafCount is the per-range Merkle leaf count the Leaves indices were
+	// computed against — the INITIATOR's resolution. The responder selects
+	// its reply rows at this resolution, so replicas configured with
+	// different LeavesPerRange still converge (the diff conservatively
+	// marks every leaf divergent when counts mismatch).
+	LeafCount uint32
+	Leaves    []LeafRef
+	Entries   []SyncEntry
+	Reply     bool
+	Done      bool
 }
 
 // Ping measures pairwise latency; the monitoring module's ping substitute.
@@ -398,3 +488,6 @@ func (GossipSyn) Kind() Kind       { return KindGossipSyn }
 func (GossipAck) Kind() Kind       { return KindGossipAck }
 func (Error) Kind() Kind           { return KindError }
 func (GroupUpdate) Kind() Kind     { return KindGroupUpdate }
+func (TreeRequest) Kind() Kind     { return KindTreeRequest }
+func (TreeResponse) Kind() Kind    { return KindTreeResponse }
+func (RangeSync) Kind() Kind       { return KindRangeSync }

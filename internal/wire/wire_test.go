@@ -40,6 +40,20 @@ func allSampleMessages() []Message {
 		GroupUpdate{Epoch: 3, Tolerances: []float64{0.02, 0.4}, Default: 1,
 			Entries: []GroupAssign{{Key: []byte("user0000000001"), Group: 0}, {Key: []byte("user0000000002"), Group: 1}}},
 		GroupUpdate{Epoch: 1, Tolerances: []float64{0.5}},
+		StatsResponse{ID: 17, RepairRows: 1 << 33, RepairAgeMs: 123456,
+			Groups: []GroupCounters{{Reads: 4, RepairRows: 9, RepairAgeMs: 8000}}},
+		TreeRequest{ID: 18, Ranges: []TokenRange{{Start: 1, End: 2}, {Start: 1 << 63, End: 5}}},
+		TreeRequest{ID: 19},
+		TreeResponse{ID: 20, Trees: []RangeTree{
+			{Range: TokenRange{Start: 9, End: 1 << 62}, Root: 0xdeadbeef, Leaves: []uint64{1, 0, 1 << 50}},
+			{Range: TokenRange{Start: 3, End: 4}, Root: 0},
+		}},
+		TreeResponse{ID: 21},
+		RangeSync{ID: 22, LeafCount: 64,
+			Leaves:  []LeafRef{{Range: TokenRange{Start: 7, End: 8}, Leaf: 31}},
+			Entries: []SyncEntry{{Key: []byte("sk"), Value: Value{Data: []byte("sv"), Timestamp: 44}}, {Key: []byte("dead"), Value: Value{Timestamp: 45, Tombstone: true}}},
+			Reply:   true},
+		RangeSync{ID: 23, Done: true},
 	}
 }
 

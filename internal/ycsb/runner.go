@@ -33,6 +33,10 @@ type RunConfig struct {
 	// WriteLevel for updates/inserts; zero means ONE (the paper's write
 	// setting).
 	WriteLevel wire.ConsistencyLevel
+	// WriteLevels, when set, takes precedence over WriteLevel and picks the
+	// write level per key — the multi-model controller with adaptive write
+	// levels (core.Controller.WriteLevelFor).
+	WriteLevels client.WriteLevelSource
 	// ShadowEvery enables the coordinator-side dual-read staleness probe
 	// (§V-F) on every k-th read; 0 disables, 1 probes every read.
 	ShadowEvery int
@@ -221,6 +225,7 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 			Levels:       cfg.Levels,
 			KeyLevels:    cfg.KeyLevels,
 			WriteLevel:   cfg.WriteLevel,
+			WriteLevels:  cfg.WriteLevels,
 			Timeout:      cfg.OpTimeout,
 			ShadowEvery:  cfg.ShadowEvery,
 		}, s, c.Bus)
