@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race repair-test bench bench-smoke lint ci
+.PHONY: build test test-race repair-test bench bench-micro bench-smoke lint ci
 
 build:
 	$(GO) build ./...
@@ -26,14 +26,25 @@ repair-test:
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m .
 
+# Tracked micro-benchmark baseline over the hot paths (engine Apply/Get/
+# Scan, wire Encode/Decode/Size, Merkle write-path maintenance, end-to-end
+# cluster ops/sec). Results land in out/micro.json (a CI artifact); when a
+# previous baseline exists it is preserved as out/micro.prev.json and a
+# benchstat-style delta is printed.
+bench-micro:
+	@mkdir -p out
+	@if [ -f out/micro.json ]; then cp out/micro.json out/micro.prev.json; fi
+	$(GO) run ./cmd/bench-micro -json out/micro.json -prev out/micro.prev.json
+
 # Cheap CI smoke: micro-benchmarks across internal packages plus one
-# end-to-end scenario sweep, a single iteration each, the hotcold
+# end-to-end scenario sweep, a single iteration each, the tracked
+# bench-micro baseline (with delta vs the previous run), the hotcold
 # per-group-vs-global comparison, the regroup migrating-hotspot comparison
 # (learned online regrouping vs build-time-pinned groups), and the churn
 # failure/recovery comparison (anti-entropy repair vs hints-only), each
 # with JSON results (uploaded as CI artifacts).
-bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x ./internal/...
+bench-smoke: bench-micro
+	$(GO) test -run '^$$' -bench . -benchtime 1x $$($(GO) list ./internal/... | grep -v bench/micro)
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioStressProfiles|BenchmarkWorkloadAEventual' -benchtime 1x .
 	$(GO) run ./cmd/harmony-bench -experiment hotcold -scenario grid5000 -ops 8000 -quiet -json out/hotcold.json
 	$(GO) run ./cmd/harmony-bench -experiment regroup -ops 8000 -quiet -json out/regroup.json

@@ -1,0 +1,255 @@
+// Package micro is the tracked micro-benchmark suite over the hot paths:
+// storage engine Apply/Get/Scan, wire codec Encode/Decode/Size, Merkle
+// write-path maintenance, and end-to-end simulated-cluster throughput.
+//
+// The same benchmark bodies run two ways: as ordinary `go test -bench`
+// benchmarks (micro_test.go) and through cmd/bench-micro, which executes
+// them with testing.Benchmark and emits out/micro.json — the per-PR
+// baseline CI uploads and diffs, so a hot-path regression shows up as a
+// delta in the next run's log instead of silently compounding.
+package micro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/bench"
+	"harmony/internal/repair"
+	"harmony/internal/storage"
+	"harmony/internal/wire"
+	"harmony/internal/ycsb"
+)
+
+// goroutines is the concurrency the engine benchmarks drive: the tracked
+// baseline pins engine throughput at 8 concurrent workers across PRs.
+const goroutines = 8
+
+func keys(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("user%08d", i))
+	}
+	return out
+}
+
+// fan runs fn(worker, i) b.N times split across the worker pool.
+func fan(b *testing.B, fn func(w, i int)) {
+	var wg sync.WaitGroup
+	per := b.N/goroutines + 1
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				fn(w, w*per+i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// EngineApply measures sharded-engine writes: 8 goroutines overwriting a
+// 4096-key working set (steady state, allocation-free path). Each worker
+// owns the keys congruent to its index (4096 % 8 == 0), so per-key
+// timestamps are monotonic and every Apply is an ACCEPTED write — a
+// shared key cycle would let the highest-timestamp worker win every key
+// once and turn the other workers' operations into cheap LWW rejects.
+func EngineApply(b *testing.B) {
+	e := storage.NewEngine(storage.Options{})
+	ks := keys(4096)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	fan(b, func(w, i int) {
+		e.Apply(ks[(i*goroutines+w)%len(ks)], wire.Value{Data: payload, Timestamp: int64(i + 1)})
+	})
+}
+
+// EngineGet measures sharded-engine reads: 8 goroutines over a resident
+// 4096-key working set.
+func EngineGet(b *testing.B) {
+	e := storage.NewEngine(storage.Options{})
+	ks := keys(4096)
+	for i, k := range ks {
+		e.Apply(k, wire.Value{Data: []byte("payload-0123456789abcdef"), Timestamp: int64(i + 1)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fan(b, func(w, i int) {
+		e.Get(ks[i%len(ks)])
+	})
+}
+
+// EngineScan measures a full ordered scan over 4096 keys spread across
+// memtable and flushed tables (the k-way shard merge).
+func EngineScan(b *testing.B) {
+	e := storage.NewEngine(storage.Options{})
+	ks := keys(4096)
+	for i, k := range ks {
+		e.Apply(k, wire.Value{Data: []byte("payload-0123456789abcdef"), Timestamp: int64(i + 1)})
+		if i == len(ks)/2 {
+			e.Flush()
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := 0
+		e.Scan(nil, nil, func([]byte, wire.Value) bool {
+			rows++
+			return true
+		})
+		if rows != len(ks) {
+			b.Fatalf("scan saw %d rows, want %d", rows, len(ks))
+		}
+	}
+}
+
+func benchMutation() wire.Message {
+	data := make([]byte, 1024)
+	for i := range data {
+		data[i] = byte('a' + i%26)
+	}
+	return wire.Mutation{ID: 42, Key: []byte("user00001234/column/value-x"), Value: wire.Value{Data: data, Timestamp: 1234567}}
+}
+
+// WireEncode measures zero-copy frame encoding of a 1 KiB mutation into a
+// reused buffer.
+func WireEncode(b *testing.B) {
+	m := benchMutation()
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		buf, err = wire.Encode(buf[:0], m)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireDecode measures the copying decode of the same frame.
+func WireDecode(b *testing.B) {
+	buf, err := wire.Encode(nil, benchMutation())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireDecodeShared measures the borrow-mode decode (fields alias the input).
+func WireDecodeShared(b *testing.B) {
+	buf, err := wire.Encode(nil, benchMutation())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := wire.DecodeShared(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// WireSize measures the pure-computation frame sizing the simulated fabric
+// calls on every send.
+func WireSize(b *testing.B) {
+	m := benchMutation()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if wire.Size(m) == 0 {
+			b.Fatal("zero size")
+		}
+	}
+}
+
+// merkleFixture is an engine + cache pair with the production wiring
+// (accepted mutations fold into the tree in place) over one full-ring arc,
+// pre-seeded and with the tree built.
+func merkleFixture(b *testing.B, seedRows int) (*storage.Engine, *repair.TreeCache, []wire.TokenRange) {
+	b.Helper()
+	full := []wire.TokenRange{{Start: 0, End: 0}}
+	var c *repair.TreeCache
+	e := storage.NewEngine(storage.Options{
+		OnReplace: func(key []byte, old wire.Value, hadOld bool, v wire.Value) {
+			c.Update(key, old, hadOld, v)
+		},
+	})
+	c = repair.NewTreeCache(e, full, 8)
+	for i := 0; i < seedRows; i++ {
+		e.Apply([]byte(fmt.Sprintf("user%08d", i)), wire.Value{Data: []byte("0123456789abcdef"), Timestamp: int64(i + 1)})
+	}
+	c.Trees(full)
+	return e, c, full
+}
+
+// MerkleWritePath measures the per-mutation cost of keeping Merkle trees
+// current on the write path — apply + in-place leaf update + a session-start
+// Trees call, against a 4096-row arc. Before incremental maintenance each
+// iteration paid a full-arc rebuild scan here.
+func MerkleWritePath(b *testing.B) {
+	e, c, full := merkleFixture(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i%4096))
+		e.Apply(k, wire.Value{Data: []byte("0123456789abcdef"), Timestamp: int64(4096 + i + 1)})
+		c.Trees(full) // session start: must not rebuild
+	}
+	b.StopTimer()
+	if _, scans := c.Builds(); scans != 1 {
+		b.Fatalf("write path rebuilt trees: %d scans", scans)
+	}
+}
+
+// MerkleInvalidateRebuild measures the conservative fallback for contrast:
+// every mutation invalidates its arc and the next Trees call pays the
+// full-arc engine scan.
+func MerkleInvalidateRebuild(b *testing.B) {
+	e, c, full := merkleFixture(b, 4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := []byte(fmt.Sprintf("user%08d", i%4096))
+		e.Apply(k, wire.Value{Data: []byte("0123456789abcdef"), Timestamp: int64(4096 + i + 1)})
+		c.Invalidate(k)
+		c.Trees(full) // pays the O(arc) rebuild
+	}
+}
+
+// ClusterOps measures end-to-end simulated-cluster throughput: YCSB
+// Workload A at eventual consistency over the 20-node Grid'5000 scenario —
+// wall-clock ns per simulated operation, the substrate cost every
+// experiment pays. The per-op cost rides in the wall_ns/op metric (the raw
+// ns/op column measures one whole run including the fixed warmup, because
+// the operation count — not the iteration count — is what scales with b.N).
+func ClusterOps(b *testing.B) {
+	// Large fixed floor: one run amortizes cluster construction and keyspace
+	// preload to a few percent of the measured window.
+	ops := int64(b.N) + 20000
+	start := time.Now()
+	res, err := bench.RunPolicy(bench.RunSpec{
+		Scenario: bench.Grid5000(),
+		Policy:   bench.PolicySpec{Kind: bench.PolicyEventual},
+		Workload: ycsb.WorkloadA(),
+		Threads:  40,
+		Ops:      ops,
+		Seed:     1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(time.Since(start).Nanoseconds())/float64(ops), "wall_ns/op")
+	b.ReportMetric(res.Report.ThroughputOps, "virtual_ops/s")
+}

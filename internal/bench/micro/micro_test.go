@@ -1,0 +1,17 @@
+package micro
+
+import "testing"
+
+// Standard harness entry points so `go test -bench` (and bench-smoke) runs
+// the same bodies cmd/bench-micro snapshots into out/micro.json.
+
+func BenchmarkEngineApply(b *testing.B)             { EngineApply(b) }
+func BenchmarkEngineGet(b *testing.B)               { EngineGet(b) }
+func BenchmarkEngineScan(b *testing.B)              { EngineScan(b) }
+func BenchmarkWireEncode(b *testing.B)              { WireEncode(b) }
+func BenchmarkWireDecode(b *testing.B)              { WireDecode(b) }
+func BenchmarkWireDecodeShared(b *testing.B)        { WireDecodeShared(b) }
+func BenchmarkWireSize(b *testing.B)                { WireSize(b) }
+func BenchmarkMerkleWritePath(b *testing.B)         { MerkleWritePath(b) }
+func BenchmarkMerkleInvalidateRebuild(b *testing.B) { MerkleInvalidateRebuild(b) }
+func BenchmarkClusterOps(b *testing.B)              { ClusterOps(b) }

@@ -1,0 +1,109 @@
+package cluster
+
+import "sync/atomic"
+
+// nodeCounters are the node's live per-operation tallies as lock-free
+// atomics. The node used to guard a Metrics struct with a mutex, which put
+// one lock acquisition (and a closure allocation) on every counter bump of
+// every coordinated operation; counters are now striped per field and the
+// per-group slices hang off one atomically swapped pointer so a grouping
+// epoch change re-baselines them without a lock.
+//
+// Writers are the node's runtime; readers (Snapshot, the monitor poll path,
+// experiment drivers) may run on any goroutine. A snapshot loads each field
+// independently — counters are monotonic, so a concurrent snapshot can skew
+// by at most the operations in flight during the loads, which the
+// delta-based monitor math absorbs. Nothing tears: every field is a single
+// atomic word.
+type nodeCounters struct {
+	reads         atomic.Uint64
+	writes        atomic.Uint64
+	replicaOps    atomic.Uint64
+	bytesRead     atomic.Uint64
+	bytesWritten  atomic.Uint64
+	repairsSent   atomic.Uint64
+	hintsQueued   atomic.Uint64
+	hintsReplayed atomic.Uint64
+	hintsDropped  atomic.Uint64
+	readTimeouts  atomic.Uint64
+	writeTimeouts atomic.Uint64
+	unavailable   atomic.Uint64
+	repairRows    atomic.Uint64
+	repairAgeMs   atomic.Uint64
+	shadowSamples atomic.Uint64
+	shadowStale   atomic.Uint64
+	levelUse      [6]atomic.Uint64
+	groups        atomic.Pointer[groupTallies]
+}
+
+// groupTallies are the per-key-group counters of one grouping epoch. A
+// GroupUpdate installs a fresh zeroed instance (the old epoch's groups no
+// longer exist), so late increments against the old epoch land in a retired
+// object instead of corrupting the new epoch's groups — the same exactly-
+// once re-baseline the mutex-guarded slices provided, without the lock.
+type groupTallies struct {
+	epoch         uint64
+	reads         []atomic.Uint64
+	writes        []atomic.Uint64
+	bytesWritten  []atomic.Uint64
+	shadowSamples []atomic.Uint64
+	shadowStale   []atomic.Uint64
+	repairRows    []atomic.Uint64
+	repairAgeMs   []atomic.Uint64
+}
+
+func newGroupTallies(epoch uint64, groups int) *groupTallies {
+	return &groupTallies{
+		epoch:         epoch,
+		reads:         make([]atomic.Uint64, groups),
+		writes:        make([]atomic.Uint64, groups),
+		bytesWritten:  make([]atomic.Uint64, groups),
+		shadowSamples: make([]atomic.Uint64, groups),
+		shadowStale:   make([]atomic.Uint64, groups),
+		repairRows:    make([]atomic.Uint64, groups),
+		repairAgeMs:   make([]atomic.Uint64, groups),
+	}
+}
+
+func loadCounters(s []atomic.Uint64) []uint64 {
+	out := make([]uint64, len(s))
+	for i := range s {
+		out[i] = s[i].Load()
+	}
+	return out
+}
+
+// snapshot assembles a plain Metrics from the live atomics.
+func (c *nodeCounters) snapshot() Metrics {
+	m := Metrics{
+		Reads:         c.reads.Load(),
+		Writes:        c.writes.Load(),
+		ReplicaOps:    c.replicaOps.Load(),
+		BytesRead:     c.bytesRead.Load(),
+		BytesWritten:  c.bytesWritten.Load(),
+		RepairsSent:   c.repairsSent.Load(),
+		HintsQueued:   c.hintsQueued.Load(),
+		HintsReplayed: c.hintsReplayed.Load(),
+		HintsDropped:  c.hintsDropped.Load(),
+		ReadTimeouts:  c.readTimeouts.Load(),
+		WriteTimeouts: c.writeTimeouts.Load(),
+		Unavailable:   c.unavailable.Load(),
+		RepairRows:    c.repairRows.Load(),
+		RepairAgeMs:   c.repairAgeMs.Load(),
+		ShadowSamples: c.shadowSamples.Load(),
+		ShadowStale:   c.shadowStale.Load(),
+	}
+	for i := range c.levelUse {
+		m.LevelUse[i] = c.levelUse[i].Load()
+	}
+	t := c.groups.Load()
+	m.GroupEpoch = t.epoch
+	m.GroupReads = loadCounters(t.reads)
+	m.GroupWrites = loadCounters(t.writes)
+	m.GroupBytesWritten = loadCounters(t.bytesWritten)
+	m.GroupShadowSamples = loadCounters(t.shadowSamples)
+	m.GroupShadowStale = loadCounters(t.shadowStale)
+	m.GroupRepairRows = loadCounters(t.repairRows)
+	m.GroupRepairAgeMs = loadCounters(t.repairAgeMs)
+	return m
+}

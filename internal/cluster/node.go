@@ -14,7 +14,6 @@ package cluster
 
 import (
 	"math/rand"
-	"sync"
 	"time"
 
 	"harmony/internal/repair"
@@ -147,20 +146,6 @@ type Metrics struct {
 	GroupEpoch uint64
 }
 
-// clone deep-copies the metrics so snapshots do not alias the live
-// per-group slices.
-func (m Metrics) clone() Metrics {
-	out := m
-	out.GroupReads = append([]uint64(nil), m.GroupReads...)
-	out.GroupWrites = append([]uint64(nil), m.GroupWrites...)
-	out.GroupBytesWritten = append([]uint64(nil), m.GroupBytesWritten...)
-	out.GroupShadowSamples = append([]uint64(nil), m.GroupShadowSamples...)
-	out.GroupShadowStale = append([]uint64(nil), m.GroupShadowStale...)
-	out.GroupRepairRows = append([]uint64(nil), m.GroupRepairRows...)
-	out.GroupRepairAgeMs = append([]uint64(nil), m.GroupRepairAgeMs...)
-	return out
-}
-
 type readOp struct {
 	id        uint64
 	key       []byte
@@ -222,8 +207,7 @@ type Node struct {
 	groupFn func(key []byte) int
 	sampler *keySampler
 
-	metricsMu sync.Mutex
-	metrics   Metrics
+	counters nodeCounters
 }
 
 // New creates a node bound to a runtime and a message fabric. Call Start to
@@ -257,28 +241,23 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 		hints:             make(map[ring.NodeID][]wire.Mutation),
 		groups:            cfg.Groups,
 		groupFn:           cfg.GroupFn,
-		metrics: Metrics{
-			GroupReads:         make([]uint64, cfg.Groups),
-			GroupWrites:        make([]uint64, cfg.Groups),
-			GroupBytesWritten:  make([]uint64, cfg.Groups),
-			GroupShadowSamples: make([]uint64, cfg.Groups),
-			GroupShadowStale:   make([]uint64, cfg.Groups),
-			GroupRepairRows:    make([]uint64, cfg.Groups),
-			GroupRepairAgeMs:   make([]uint64, cfg.Groups),
-		},
 	}
+	n.counters.groups.Store(newGroupTallies(0, cfg.Groups))
 	engOpts := cfg.Engine
 	if cfg.Repair.Enabled {
 		// Every accepted mutation — foreground writes, read repair, hint
-		// replays, repair streams — invalidates the Merkle range it lands
-		// in, keeping anti-entropy trees incremental.
-		userHook := engOpts.OnApply
-		engOpts.OnApply = func(key []byte, v wire.Value) {
+		// replays, repair streams — folds its digest delta into the Merkle
+		// leaf it lands in (the displaced version's digest out, the new
+		// version's in), so anti-entropy trees stay current without
+		// whole-arc rebuild scans. The hook runs on the node's runtime,
+		// which serializes it against repair session handling.
+		userHook := engOpts.OnReplace
+		engOpts.OnReplace = func(key []byte, old wire.Value, hadOld bool, v wire.Value) {
 			if n.antiEntropy != nil {
-				n.antiEntropy.Invalidate(key)
+				n.antiEntropy.Applied(key, old, hadOld, v)
 			}
 			if userHook != nil {
-				userHook(key, v)
+				userHook(key, old, hadOld, v)
 			}
 		}
 	}
@@ -304,14 +283,13 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 // the node's runtime (repair delivery path).
 func (n *Node) onRepairHealed(key []byte, _ wire.Value, age time.Duration) {
 	g := n.groupOf(key)
-	n.withMetrics(func(m *Metrics) {
-		m.RepairRows++
-		m.RepairAgeMs += uint64(age.Milliseconds())
-		if g < len(m.GroupRepairRows) {
-			m.GroupRepairRows[g]++
-			m.GroupRepairAgeMs[g] += uint64(age.Milliseconds())
-		}
-	})
+	ms := uint64(age.Milliseconds())
+	n.counters.repairRows.Add(1)
+	n.counters.repairAgeMs.Add(ms)
+	if t := n.counters.groups.Load(); g < len(t.repairRows) {
+		t.repairRows[g].Add(1)
+		t.repairAgeMs[g].Add(ms)
+	}
 }
 
 // groupOf assigns a key to its telemetry group, clamping group-function
@@ -329,9 +307,7 @@ func (n *Node) groupOf(key []byte) int {
 
 // Epoch reports the node's current grouping epoch (tests).
 func (n *Node) Epoch() uint64 {
-	n.metricsMu.Lock()
-	defer n.metricsMu.Unlock()
-	return n.metrics.GroupEpoch
+	return n.counters.groups.Load().epoch
 }
 
 // ID returns the node's identity.
@@ -373,17 +349,11 @@ func tick(rt sim.Runtime, every time.Duration, fn func()) (stop func()) {
 	return sim.Every(rt, func() time.Duration { return every }, fn)
 }
 
-// Snapshot returns a copy of the node's metrics.
+// Snapshot returns a copy of the node's metrics. Counters load atomically
+// and independently (see nodeCounters); the per-group slices are owned by
+// the returned value.
 func (n *Node) Snapshot() Metrics {
-	n.metricsMu.Lock()
-	defer n.metricsMu.Unlock()
-	return n.metrics.clone()
-}
-
-func (n *Node) withMetrics(fn func(*Metrics)) {
-	n.metricsMu.Lock()
-	fn(&n.metrics)
-	n.metricsMu.Unlock()
+	return n.counters.snapshot()
 }
 
 // nextTimestamp returns a strictly increasing write timestamp even when
@@ -472,7 +442,7 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		}
 	}
 	if len(live) < need {
-		n.withMetrics(func(m *Metrics) { m.Unavailable++ })
+		n.counters.unavailable.Add(1)
 		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "not enough live replicas"})
 		return
 	}
@@ -501,17 +471,16 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 	if n.sampler != nil {
 		n.sampler.observe(req.Key, 1, 0)
 	}
-	n.withMetrics(func(m *Metrics) {
-		m.Reads++
-		m.GroupReads[op.group]++
-		if level >= 1 && int(level) < len(m.LevelUse) {
-			m.LevelUse[level]++
-		}
-		if req.Shadow {
-			m.ShadowSamples++
-			m.GroupShadowSamples[op.group]++
-		}
-	})
+	n.counters.reads.Add(1)
+	tallies := n.counters.groups.Load()
+	tallies.reads[op.group].Add(1)
+	if level >= 1 && int(level) < len(n.counters.levelUse) {
+		n.counters.levelUse[level].Add(1)
+	}
+	if req.Shadow {
+		n.counters.shadowSamples.Add(1)
+		tallies.shadowSamples[op.group].Add(1)
+	}
 	op.cancel = n.rt.After(n.cfg.ReadTimeout, func() { n.readTimeout(op.id) })
 	for _, r := range targets {
 		n.send.Send(n.cfg.ID, r, wire.ReplicaRead{ID: op.id, Key: req.Key})
@@ -520,12 +489,10 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 
 func (n *Node) serveReplicaRead(from ring.NodeID, req wire.ReplicaRead) {
 	v, ok := n.engine.Get(req.Key)
-	n.withMetrics(func(m *Metrics) {
-		m.ReplicaOps++
-		if ok {
-			m.BytesRead += uint64(len(v.Data))
-		}
-	})
+	n.counters.replicaOps.Add(1)
+	if ok {
+		n.counters.bytesRead.Add(uint64(len(v.Data)))
+	}
 	n.send.Send(n.cfg.ID, from, wire.ReplicaReadResp{ID: req.ID, Found: ok, Value: v})
 }
 
@@ -574,7 +541,7 @@ func (n *Node) respondRead(op *readOp) {
 				op.repairIDs = append(op.repairIDs, id)
 				n.pendingRepairAcks[id] = op
 				n.send.Send(n.cfg.ID, op.from[i], wire.Mutation{ID: id, Key: op.key, Value: best})
-				n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+				n.counters.repairsSent.Add(1)
 			}
 		}
 		if op.repairAcksLeft > 0 {
@@ -606,17 +573,15 @@ func (n *Node) finishRead(op *readOp) {
 		// newer than what we returned and (b) was written before we
 		// responded — i.e. the client could have observed it.
 		if best.Timestamp > op.respTS && best.Timestamp <= op.respAt {
-			n.withMetrics(func(m *Metrics) {
-				m.ShadowStale++
-				// A GroupUpdate may have re-baselined the group counters
-				// while this read was in flight; its group id belongs to
-				// the issue-time epoch, so drop the per-group sample
-				// rather than attribute it to the new epoch's groups (the
-				// matching GroupShadowSamples increment was zeroed away).
-				if op.epoch == m.GroupEpoch && op.group < len(m.GroupShadowStale) {
-					m.GroupShadowStale[op.group]++
-				}
-			})
+			n.counters.shadowStale.Add(1)
+			// A GroupUpdate may have re-baselined the group counters while
+			// this read was in flight; its group id belongs to the
+			// issue-time epoch, so drop the per-group sample rather than
+			// attribute it to the new epoch's groups (the matching
+			// GroupShadowSamples increment lives in the retired tallies).
+			if t := n.counters.groups.Load(); op.epoch == t.epoch && op.group < len(t.shadowStale) {
+				t.shadowStale[op.group].Add(1)
+			}
 		}
 	}
 	// Background repair; CL=ALL repairs synchronously in respondRead.
@@ -625,7 +590,7 @@ func (n *Node) finishRead(op *readOp) {
 			if !r.Found || best.Fresh(r.Value) {
 				target := op.from[i]
 				n.send.Send(n.cfg.ID, target, wire.Repair{Key: op.key, Value: best})
-				n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+				n.counters.repairsSent.Add(1)
 			}
 		}
 	}
@@ -667,7 +632,7 @@ func (n *Node) readTimeout(id uint64) {
 		return
 	}
 	if !op.responded {
-		n.withMetrics(func(m *Metrics) { m.ReadTimeouts++ })
+		n.counters.readTimeouts.Add(1)
 		n.send.Send(n.cfg.ID, op.client, wire.Error{ID: op.clientID, Code: wire.ErrTimeout, Msg: "read timeout"})
 		op.responded = true
 	}
@@ -677,7 +642,7 @@ func (n *Node) readTimeout(id uint64) {
 			for i, r := range op.got {
 				if !r.Found || best.Fresh(r.Value) {
 					n.send.Send(n.cfg.ID, op.from[i], wire.Repair{Key: op.key, Value: best})
-					n.withMetrics(func(m *Metrics) { m.RepairsSent++ })
+					n.counters.repairsSent.Add(1)
 				}
 			}
 		}
@@ -707,12 +672,11 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 	if n.sampler != nil {
 		n.sampler.observe(req.Key, 0, 1)
 	}
-	n.withMetrics(func(m *Metrics) {
-		m.Writes++
-		m.GroupWrites[group]++
-		m.GroupBytesWritten[group] += uint64(len(req.Value))
-		m.BytesWritten += uint64(len(req.Value))
-	})
+	n.counters.writes.Add(1)
+	n.counters.bytesWritten.Add(uint64(len(req.Value)))
+	tallies := n.counters.groups.Load()
+	tallies.writes[group].Add(1)
+	tallies.bytesWritten[group].Add(uint64(len(req.Value)))
 	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
 	mut := wire.Mutation{ID: op.id, Key: req.Key, Value: v}
 	for _, r := range reps {
@@ -737,14 +701,14 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 		// even though this write reported failure.
 		delete(n.pendingWrites, op.id)
 		op.cancel()
-		n.withMetrics(func(m *Metrics) { m.Unavailable++ })
+		n.counters.unavailable.Add(1)
 		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "not enough live replicas"})
 	}
 }
 
 func (n *Node) applyMutation(from ring.NodeID, mut wire.Mutation) {
 	_, err := n.engine.Apply(mut.Key, mut.Value)
-	n.withMetrics(func(m *Metrics) { m.ReplicaOps++ })
+	n.counters.replicaOps.Add(1)
 	if err != nil {
 		return // malformed mutation: no ack, coordinator times out
 	}
@@ -782,14 +746,14 @@ func (n *Node) writeTimeout(id uint64) {
 	}
 	delete(n.pendingWrites, id)
 	if !op.responded {
-		n.withMetrics(func(m *Metrics) { m.WriteTimeouts++ })
+		n.counters.writeTimeouts.Add(1)
 		n.send.Send(n.cfg.ID, op.client, wire.Error{ID: op.clientID, Code: wire.ErrTimeout, Msg: "write timeout"})
 	}
 }
 
 func (n *Node) applyRepair(r wire.Repair) {
 	_, _ = n.engine.Apply(r.Key, r.Value)
-	n.withMetrics(func(m *Metrics) { m.ReplicaOps++ })
+	n.counters.replicaOps.Add(1)
 }
 
 // --- Hinted handoff ------------------------------------------------------
@@ -799,14 +763,14 @@ func (n *Node) queueHint(target ring.NodeID, mut wire.Mutation) {
 		// Queue full: the mutation for the down replica is lost, exactly
 		// like Cassandra's bounded hint windows. Only anti-entropy repair
 		// (or a lucky read repair) heals this divergence later.
-		n.withMetrics(func(m *Metrics) { m.HintsDropped++ })
+		n.counters.hintsDropped.Add(1)
 		return
 	}
 	mut.Hint = true
 	mut.ID = n.opID() // hints get their own ack namespace
 	n.hints[target] = append(n.hints[target], mut)
 	n.hintCount++
-	n.withMetrics(func(m *Metrics) { m.HintsQueued++ })
+	n.counters.hintsQueued.Add(1)
 }
 
 func (n *Node) replayHints() {
@@ -816,7 +780,7 @@ func (n *Node) replayHints() {
 		}
 		for _, mut := range muts {
 			n.send.Send(n.cfg.ID, target, mut)
-			n.withMetrics(func(m *Metrics) { m.HintsReplayed++ })
+			n.counters.hintsReplayed.Add(1)
 		}
 	}
 }
@@ -857,7 +821,7 @@ func (n *Node) DropHints() int {
 	n.hints = make(map[ring.NodeID][]wire.Mutation)
 	n.hintCount = 0
 	if dropped > 0 {
-		n.withMetrics(func(m *Metrics) { m.HintsDropped += uint64(dropped) })
+		n.counters.hintsDropped.Add(uint64(dropped))
 	}
 	return dropped
 }
@@ -930,16 +894,10 @@ func (n *Node) applyGroupUpdate(u wire.GroupUpdate) {
 		}
 		return def
 	}
-	n.withMetrics(func(m *Metrics) {
-		m.GroupEpoch = u.Epoch
-		m.GroupReads = make([]uint64, groups)
-		m.GroupWrites = make([]uint64, groups)
-		m.GroupBytesWritten = make([]uint64, groups)
-		m.GroupShadowSamples = make([]uint64, groups)
-		m.GroupShadowStale = make([]uint64, groups)
-		m.GroupRepairRows = make([]uint64, groups)
-		m.GroupRepairAgeMs = make([]uint64, groups)
-	})
+	// One pointer swap re-baselines every per-group counter: readers that
+	// loaded the old tallies keep incrementing the retired epoch's slices,
+	// which snapshots no longer observe.
+	n.counters.groups.Store(newGroupTallies(u.Epoch, groups))
 }
 
 var _ transport.Handler = (*Node)(nil)

@@ -153,11 +153,24 @@ func (m *Manager) bump(fn func(*Stats)) {
 	m.mu.Unlock()
 }
 
-// Invalidate marks the Merkle range containing key stale. The node calls it
-// from the engine's OnApply hook, so every accepted mutation — client
-// writes, read repair, hint replays, and repair streams themselves —
-// refreshes the tree before the next session.
+// Invalidate marks the Merkle range containing key stale, forcing a full
+// rebuild at the next session. Safe from any goroutine; Applied is the
+// cheap path the node normally uses.
 func (m *Manager) Invalidate(key []byte) { m.cache.Invalidate(key) }
+
+// Applied folds one accepted mutation into the cached Merkle tree in place
+// (storage.Options.OnReplace ships the displaced version). The node calls
+// it for every accepted mutation — client writes, read repair, hint
+// replays, and repair streams themselves — so trees stay current without
+// per-session O(arc) engine scans. Must run on the node's runtime, which
+// serializes it against the session message handlers (see TreeCache.Update
+// for why).
+func (m *Manager) Applied(key []byte, old wire.Value, hadOld bool, v wire.Value) {
+	m.cache.Update(key, old, hadOld, v)
+}
+
+// TreeCache exposes the manager's Merkle cache (tests).
+func (m *Manager) TreeCache() *TreeCache { return m.cache }
 
 // Start begins periodic session scheduling.
 func (m *Manager) Start() {

@@ -107,10 +107,16 @@ type TreeCache struct {
 	// leaf sync, which the next session corrects — but the range STAYS
 	// stale, so a continuously-written arc keeps getting fresh snapshots
 	// instead of either pinning an ancient tree or never installing one.
-	stale  map[wire.TokenRange]bool
-	gen    map[wire.TokenRange]uint64
-	builds uint64 // ranges rebuilt (stats)
-	scans  uint64 // engine passes taken (stats)
+	stale map[wire.TokenRange]bool
+	gen   map[wire.TokenRange]uint64
+	// building marks ranges whose rebuild scan is in flight; an Update
+	// arriving mid-rebuild cannot know whether the scan saw its row, so it
+	// falls back to invalidation instead of patching a tree about to be
+	// replaced.
+	building map[wire.TokenRange]bool
+	builds   uint64 // ranges rebuilt (stats)
+	scans    uint64 // engine passes taken (stats)
+	updates  uint64 // in-place leaf updates applied (stats)
 }
 
 // NewTreeCache tracks the given ranges (the node's replica ranges) with the
@@ -120,12 +126,13 @@ func NewTreeCache(engine *storage.Engine, ranges []wire.TokenRange, leaves int) 
 		leaves = 8
 	}
 	c := &TreeCache{
-		engine: engine,
-		leaves: leaves,
-		ranges: sortRanges(ranges),
-		trees:  make(map[wire.TokenRange][]uint64, len(ranges)),
-		stale:  make(map[wire.TokenRange]bool, len(ranges)),
-		gen:    make(map[wire.TokenRange]uint64, len(ranges)),
+		engine:   engine,
+		leaves:   leaves,
+		ranges:   sortRanges(ranges),
+		trees:    make(map[wire.TokenRange][]uint64, len(ranges)),
+		stale:    make(map[wire.TokenRange]bool, len(ranges)),
+		gen:      make(map[wire.TokenRange]uint64, len(ranges)),
+		building: make(map[wire.TokenRange]bool, len(ranges)),
 	}
 	return c
 }
@@ -165,15 +172,57 @@ func (c *TreeCache) rangeOf(tok uint64) (wire.TokenRange, bool) {
 	return wire.TokenRange{}, false
 }
 
-// Invalidate marks the range containing key stale, if tracked.
+// Invalidate marks the range containing key stale, if tracked. It is the
+// conservative path: the next session rebuilds the whole arc with an engine
+// scan. Safe to call from any goroutine.
 func (c *TreeCache) Invalidate(key []byte) {
 	tok := uint64(ring.HashKey(key))
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r, ok := c.rangeOf(tok); ok {
-		c.stale[r] = true
-		c.gen[r]++
+		c.invalidateLocked(r)
 	}
+}
+
+func (c *TreeCache) invalidateLocked(r wire.TokenRange) {
+	c.stale[r] = true
+	c.gen[r]++
+}
+
+// Update folds one accepted engine mutation into the cached tree in place:
+// the displaced version's digest is subtracted from — and the new version's
+// digest added to — the affected leaf's commutative sum, so a write-heavy
+// arc no longer pays an O(arc) engine scan per session. old/hadOld are the
+// engine's displaced newest version (storage.Options.OnReplace). The update
+// falls back to whole-arc invalidation whenever there is no clean tree to
+// patch: the range is untracked, unbuilt, already stale, mid-rebuild (the
+// scan may or may not have seen this row), or structurally mismatched.
+//
+// Unlike Invalidate, Update must be externally serialized against Trees
+// calls on the same cache: if a rebuild could complete in the window
+// between the engine mutation and this call, the freshly installed tree
+// might already include the row and the in-place delta would double-count
+// it. The node runtime provides exactly this serialization (every engine
+// apply and every repair message handler runs on the node's runtime).
+func (c *TreeCache) Update(key []byte, old wire.Value, hadOld bool, v wire.Value) {
+	tok := uint64(ring.HashKey(key))
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	r, ok := c.rangeOf(tok)
+	if !ok {
+		return
+	}
+	ls := c.trees[r]
+	if ls == nil || c.stale[r] || c.building[r] || len(ls) != c.leaves {
+		c.invalidateLocked(r)
+		return
+	}
+	li := leafIndex(r, c.leaves, tok)
+	if hadOld {
+		ls[li] -= entryDigest(key, old)
+	}
+	ls[li] += entryDigest(key, v)
+	c.updates++
 }
 
 // Trees returns the Merkle trees for the requested ranges, rebuilding every
@@ -198,6 +247,7 @@ func (c *TreeCache) Trees(ranges []wire.TokenRange) []wire.RangeTree {
 		for _, r := range rebuild {
 			fresh[r] = make([]uint64, c.leaves)
 			startGen[r] = c.gen[r]
+			c.building[r] = true
 		}
 		c.mu.Unlock()
 		// The engine pass runs outside the cache lock; the generation check
@@ -218,6 +268,7 @@ func (c *TreeCache) Trees(ranges []wire.TokenRange) []wire.RangeTree {
 		for r, ls := range fresh {
 			c.trees[r] = ls
 			c.builds++
+			delete(c.building, r)
 			if c.gen[r] == startGen[r] {
 				delete(c.stale, r) // clean: no Invalidate raced the scan
 			}
@@ -244,6 +295,14 @@ func (c *TreeCache) Builds() (ranges, scans uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.builds, c.scans
+}
+
+// Updates reports how many mutations were folded into cached trees in
+// place, without an engine scan (tests).
+func (c *TreeCache) Updates() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.updates
 }
 
 // diffLeaves returns the leaf indices where the two trees disagree; a root

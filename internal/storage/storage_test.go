@@ -73,7 +73,9 @@ func TestTombstone(t *testing.T) {
 }
 
 func TestFlushAndReadAcrossTables(t *testing.T) {
-	e := NewEngine(Options{})
+	// Shards:1 keeps the exact flush/table counts host-independent (with
+	// auto-striping the keys spread over GOMAXPROCS-dependent shards).
+	e := NewEngine(Options{Shards: 1})
 	e.Apply([]byte("a"), val("a1", 1))
 	e.Flush()
 	e.Apply([]byte("b"), val("b1", 2))
@@ -108,7 +110,7 @@ func TestOldVersionInFlushedTableLoses(t *testing.T) {
 }
 
 func TestAutoFlushAndCompaction(t *testing.T) {
-	e := NewEngine(Options{FlushThresholdBytes: 64, MaxFlushedTables: 2})
+	e := NewEngine(Options{Shards: 1, FlushThresholdBytes: 64, MaxFlushedTables: 2})
 	for i := 0; i < 100; i++ {
 		e.Apply([]byte(fmt.Sprintf("key-%03d", i)), val("0123456789abcdef", int64(i+1)))
 	}
@@ -132,7 +134,7 @@ func TestAutoFlushAndCompaction(t *testing.T) {
 }
 
 func TestCompactKeepsNewest(t *testing.T) {
-	e := NewEngine(Options{})
+	e := NewEngine(Options{Shards: 1})
 	e.Apply([]byte("k"), val("v1", 1))
 	e.Flush()
 	e.Apply([]byte("k"), val("v2", 2))
@@ -363,30 +365,6 @@ func TestStatsLiveKeys(t *testing.T) {
 	}
 }
 
-func BenchmarkEngineApply(b *testing.B) {
-	e := NewEngine(Options{})
-	keys := make([][]byte, 1024)
-	for i := range keys {
-		keys[i] = []byte(fmt.Sprintf("user%08d", i))
-	}
-	v := val("0123456789abcdef0123456789abcdef", 1)
-	b.ReportAllocs()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		v.Timestamp = int64(i + 1)
-		e.Apply(keys[i%len(keys)], v)
-	}
-}
-
-func BenchmarkEngineGet(b *testing.B) {
-	e := NewEngine(Options{})
-	keys := make([][]byte, 1024)
-	for i := range keys {
-		keys[i] = []byte(fmt.Sprintf("user%08d", i))
-		e.Apply(keys[i], val("payload", int64(i+1)))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		e.Get(keys[i%len(keys)])
-	}
-}
+// The engine benchmarks (Apply/Get at 8 goroutines, Scan) live in
+// internal/bench/micro — one set of bodies serves `go test -bench`, the
+// tracked out/micro.json baseline, and cmd/bench-micro.

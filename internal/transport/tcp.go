@@ -38,10 +38,25 @@ type TCPNode struct {
 	closed bool
 }
 
+// tcpConn serializes writers on one connection; every frame — hello
+// included — is encoded into a pooled scratch buffer outside mu and written
+// with a single conn.Write under it.
 type tcpConn struct {
 	mu sync.Mutex
 	c  net.Conn
-	w  *wire.Writer
+}
+
+// writeFrame encodes m into pooled scratch and writes it as one call.
+func (tc *tcpConn) writeFrame(m wire.Message) error {
+	buf, err := wire.GetFrame(m)
+	if err != nil {
+		return err
+	}
+	defer wire.PutFrame(buf)
+	tc.mu.Lock()
+	_, err = tc.c.Write(*buf)
+	tc.mu.Unlock()
+	return err
 }
 
 // TCPConfig configures a TCP endpoint.
@@ -152,7 +167,7 @@ func (n *TCPNode) serveConn(c net.Conn) {
 	// connection when no explicit address is known.
 	n.mu.Lock()
 	if _, exists := n.conns[from]; !exists {
-		n.conns[from] = &tcpConn{c: c, w: wire.NewWriter(c)}
+		n.conns[from] = &tcpConn{c: c}
 	}
 	n.mu.Unlock()
 	for {
@@ -177,16 +192,17 @@ func (n *TCPNode) dropConn(id ring.NodeID, c net.Conn) {
 
 // Send implements Sender. Errors are handled like packet loss: logged and
 // dropped, leaving recovery to protocol timeouts.
+//
+// The frame is encoded into a pooled scratch buffer before the connection
+// lock is taken, so concurrent senders to the same peer serialize only on
+// the kernel write, not on serialization work.
 func (n *TCPNode) Send(from, to ring.NodeID, m wire.Message) {
 	conn, err := n.connTo(to)
 	if err != nil {
 		n.logf("transport %s: send to %s: %v", n.id, to, err)
 		return
 	}
-	conn.mu.Lock()
-	err = conn.w.Write(m)
-	conn.mu.Unlock()
-	if err != nil {
+	if err := conn.writeFrame(m); err != nil {
 		n.logf("transport %s: write to %s: %v", n.id, to, err)
 		n.dropConn(to, conn.c)
 	}
@@ -207,9 +223,9 @@ func (n *TCPNode) connTo(to ring.NodeID) (*tcpConn, error) {
 	if err != nil {
 		return nil, err
 	}
-	c := &tcpConn{c: raw, w: wire.NewWriter(raw)}
+	c := &tcpConn{c: raw}
 	// Hello frame announces our identity for the reverse path.
-	if err := c.w.Write(wire.GossipSyn{From: string(n.id)}); err != nil {
+	if err := c.writeFrame(wire.GossipSyn{From: string(n.id)}); err != nil {
 		_ = raw.Close()
 		return nil, err
 	}

@@ -6,6 +6,9 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"math/bits"
+	"slices"
+	"sync"
 )
 
 // Codec errors.
@@ -20,9 +23,116 @@ var (
 const MaxFrame = 16 << 20
 
 // buffer is a simple append-only writer / cursor reader used by the codec.
+// When share is set, rBytes returns subslices of the input instead of
+// copies (see DecodeShared).
 type buffer struct {
-	b   []byte
-	off int
+	b     []byte
+	off   int
+	share bool
+}
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	return (bits.Len64(v|1) + 6) / 7
+}
+
+// varintLen returns the encoded length of v as a zig-zag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+func bytesLen(p []byte) int { return uvarintLen(uint64(len(p))) + len(p) }
+func strLen(s string) int   { return uvarintLen(uint64(len(s))) + len(s) }
+func valueLen(v Value) int  { return bytesLen(v.Data) + varintLen(v.Timestamp) + 1 }
+
+func entriesLen(es []GossipEntry) int {
+	n := uvarintLen(uint64(len(es)))
+	for _, e := range es {
+		n += strLen(e.Node) + uvarintLen(e.Generation) + uvarintLen(e.Version)
+	}
+	return n
+}
+
+// bodySize returns the exact encoded length of m's frame body (kind byte +
+// payload) without encoding anything. It must mirror the Encode switch
+// field-for-field; TestBodySizeMatchesEncoding pins the two together.
+func bodySize(m Message) (int, error) {
+	switch v := m.(type) {
+	case ReadRequest:
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + 2, nil
+	case ReadResponse:
+		return 1 + uvarintLen(v.ID) + 1 + valueLen(v.Value) + 2, nil
+	case WriteRequest:
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + bytesLen(v.Value) + 2, nil
+	case WriteResponse:
+		return 1 + uvarintLen(v.ID) + 1 + varintLen(v.Timestamp), nil
+	case ReplicaRead:
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key), nil
+	case ReplicaReadResp:
+		return 1 + uvarintLen(v.ID) + 1 + valueLen(v.Value), nil
+	case Mutation:
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + valueLen(v.Value) + 1, nil
+	case MutationAck:
+		return 1 + uvarintLen(v.ID), nil
+	case Repair:
+		return 1 + bytesLen(v.Key) + valueLen(v.Value), nil
+	case StatsRequest:
+		return 1 + uvarintLen(v.ID), nil
+	case StatsResponse:
+		n := 1 + uvarintLen(v.ID) + uvarintLen(v.Reads) + uvarintLen(v.Writes) +
+			uvarintLen(v.ReplicaOps) + uvarintLen(v.BytesRead) + uvarintLen(v.BytesWrit) +
+			uvarintLen(v.RepairsSent) + uvarintLen(v.HintsQueued) +
+			uvarintLen(v.RepairRows) + uvarintLen(v.RepairAgeMs) +
+			uvarintLen(uint64(len(v.Groups)))
+		for _, g := range v.Groups {
+			n += uvarintLen(g.Reads) + uvarintLen(g.Writes) + uvarintLen(g.BytesWritten) +
+				uvarintLen(g.RepairRows) + uvarintLen(g.RepairAgeMs)
+		}
+		n += uvarintLen(v.Epoch) + uvarintLen(uint64(len(v.KeySamples)))
+		for _, ks := range v.KeySamples {
+			n += bytesLen(ks.Key) + 16
+		}
+		return n, nil
+	case Ping:
+		return 1 + uvarintLen(v.ID) + varintLen(v.Sent), nil
+	case Pong:
+		return 1 + uvarintLen(v.ID) + varintLen(v.Sent), nil
+	case GossipSyn:
+		return 1 + strLen(v.From) + entriesLen(v.Digests), nil
+	case GossipAck:
+		return 1 + strLen(v.From) + entriesLen(v.Entries), nil
+	case Error:
+		return 1 + uvarintLen(v.ID) + 1 + strLen(v.Msg), nil
+	case GroupUpdate:
+		n := 1 + uvarintLen(v.Epoch) + uvarintLen(uint64(len(v.Tolerances))) +
+			8*len(v.Tolerances) + uvarintLen(uint64(v.Default)) +
+			uvarintLen(uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			n += bytesLen(e.Key) + uvarintLen(uint64(e.Group))
+		}
+		return n, nil
+	case TreeRequest:
+		return 1 + uvarintLen(v.ID) + uvarintLen(uint64(len(v.Ranges))) + 16*len(v.Ranges), nil
+	case TreeResponse:
+		n := 1 + uvarintLen(v.ID) + uvarintLen(uint64(len(v.Trees)))
+		for _, t := range v.Trees {
+			n += 16 + 8 + uvarintLen(uint64(len(t.Leaves))) + 8*len(t.Leaves)
+		}
+		return n, nil
+	case RangeSync:
+		n := 1 + uvarintLen(v.ID) + uvarintLen(uint64(v.LeafCount)) +
+			uvarintLen(uint64(len(v.Leaves)))
+		for _, l := range v.Leaves {
+			n += 16 + uvarintLen(uint64(l.Leaf))
+		}
+		n += uvarintLen(uint64(len(v.Entries)))
+		for _, e := range v.Entries {
+			n += bytesLen(e.Key) + valueLen(e.Value)
+		}
+		return n + 2, nil
+	default:
+		return 0, fmt.Errorf("%w: %T", ErrUnknownKind, m)
+	}
 }
 
 func (w *buffer) uvarint(v uint64) {
@@ -95,6 +205,11 @@ func (r *buffer) rBytes() ([]byte, error) {
 	}
 	if n == 0 {
 		return nil, nil
+	}
+	if r.share {
+		out := r.b[r.off : r.off+int(n) : r.off+int(n)]
+		r.off += int(n)
+		return out, nil
 	}
 	out := make([]byte, n)
 	copy(out, r.b[r.off:r.off+int(n)])
@@ -173,8 +288,23 @@ func (r *buffer) rValue() (Value, error) {
 }
 
 // Encode serializes m into a self-delimiting frame appended to dst.
+//
+// The frame is written directly into dst — the body size is computed up
+// front (bodySize), the length prefix appended, and every field encoded in
+// place — so encoding performs no intermediate copy and allocates only when
+// dst lacks capacity. Hot paths that reuse a buffer (wire.Writer, the pooled
+// frame path) therefore encode allocation-free.
 func Encode(dst []byte, m Message) ([]byte, error) {
-	var w buffer
+	size, err := bodySize(m)
+	if err != nil {
+		return dst, err
+	}
+	if size > MaxFrame {
+		return dst, ErrFrameTooLarge
+	}
+	dst = slices.Grow(dst, uvarintLen(uint64(size))+size)
+	dst = binary.AppendUvarint(dst, uint64(size))
+	w := buffer{b: dst}
 	w.byte(byte(m.Kind()))
 	switch v := m.(type) {
 	case ReadRequest:
@@ -316,11 +446,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 	default:
 		return dst, fmt.Errorf("%w: %T", ErrUnknownKind, m)
 	}
-	if len(w.b) > MaxFrame {
-		return dst, ErrFrameTooLarge
-	}
-	dst = binary.AppendUvarint(dst, uint64(len(w.b)))
-	return append(dst, w.b...), nil
+	return w.b, nil
 }
 
 func decodeEntries(r *buffer) ([]GossipEntry, error) {
@@ -348,9 +474,10 @@ func decodeEntries(r *buffer) ([]GossipEntry, error) {
 	return out, nil
 }
 
-// decodeBody decodes one frame body (kind byte + payload).
-func decodeBody(body []byte) (Message, error) {
-	r := &buffer{b: body}
+// decodeBody decodes one frame body (kind byte + payload). share propagates
+// to rBytes: byte-slice fields alias body instead of being copied.
+func decodeBody(body []byte, share bool) (Message, error) {
+	r := &buffer{b: body, share: share}
 	kb, err := r.rByte()
 	if err != nil {
 		return nil, err
@@ -772,8 +899,30 @@ func decodeBody(body []byte) (Message, error) {
 
 // Decode parses one frame from b, returning the message and the number of
 // bytes consumed. It returns ErrTruncated when b does not hold a complete
-// frame yet (callers accumulating from a stream should read more).
+// frame yet (callers accumulating from a stream should read more). The
+// returned message owns its memory: every byte-slice field is copied out of
+// b, so the caller may reuse b immediately.
 func Decode(b []byte) (Message, int, error) {
+	return decode(b, false)
+}
+
+// DecodeShared parses one frame like Decode but borrows from the input: the
+// returned message's byte-slice fields (keys, value payloads, key samples,
+// sync entries) alias b directly, eliminating the per-field copies.
+//
+// Aliasing contract: the caller must not modify or reuse b while the message
+// — or anything derived from it — is live. Paths that retain decoded bytes
+// beyond the handling of one message (a coordinator stashing a read key in a
+// pending-op table, the storage engine keeping a mutation's value) must copy
+// those fields explicitly. The in-memory fabrics pass message structs
+// without encoding, so this only matters to byte-stream transports; the
+// stock wire.Reader keeps using Decode because its receive buffer is reused
+// across frames.
+func DecodeShared(b []byte) (Message, int, error) {
+	return decode(b, true)
+}
+
+func decode(b []byte, share bool) (Message, int, error) {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 {
 		return nil, 0, ErrTruncated
@@ -784,7 +933,7 @@ func Decode(b []byte) (Message, int, error) {
 	if uint64(len(b)-sz) < n {
 		return nil, 0, ErrTruncated
 	}
-	m, err := decodeBody(b[sz : sz+int(n)])
+	m, err := decodeBody(b[sz:sz+int(n)], share)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -855,11 +1004,42 @@ func (fr *Reader) Read() (Message, error) {
 }
 
 // Size returns the encoded size of m in bytes; the simulator uses it to
-// model serialization/bandwidth delay.
+// model serialization/bandwidth delay. It is a pure computation over the
+// message's fields — nothing is encoded and nothing allocates — so the
+// in-memory fabrics can call it on every send.
 func Size(m Message) int {
-	b, err := Encode(nil, m)
+	n, err := bodySize(m)
 	if err != nil {
 		return 0
 	}
-	return len(b)
+	return uvarintLen(uint64(n)) + n
+}
+
+// framePool recycles encode scratch buffers for transports whose senders
+// run concurrently (the TCP backend encodes outside its per-connection
+// lock). Buffers that ballooned past a frame-ish size are dropped rather
+// than pinned in the pool.
+var framePool = sync.Pool{New: func() any { b := make([]byte, 0, 4096); return &b }}
+
+const maxPooledFrame = 1 << 20
+
+// GetFrame encodes m into a pooled scratch buffer and returns it; release
+// with PutFrame once the bytes have been handed to the kernel (or copied).
+func GetFrame(m Message) (*[]byte, error) {
+	bp := framePool.Get().(*[]byte)
+	b, err := Encode((*bp)[:0], m)
+	if err != nil {
+		framePool.Put(bp)
+		return nil, err
+	}
+	*bp = b
+	return bp, nil
+}
+
+// PutFrame returns a GetFrame buffer to the pool.
+func PutFrame(bp *[]byte) {
+	if cap(*bp) > maxPooledFrame {
+		return
+	}
+	framePool.Put(bp)
 }
