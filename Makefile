@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race repair-test bench bench-micro bench-smoke lint ci
+.PHONY: build test test-race repair-test bench bench-micro bench-smoke lint api-check api-baseline ci
 
 build:
 	$(GO) build ./...
@@ -54,4 +54,17 @@ lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }
 	$(GO) vet ./...
 
-ci: lint build test-race bench-smoke
+# API stability gate: go vet plus a diff of the exported-symbol snapshot
+# (cmd/apicheck) against the committed baseline. An intended API change is
+# landed by regenerating the baseline (make api-baseline) in the same commit,
+# so every exported-surface change is an explicit, reviewable diff.
+api-check:
+	$(GO) vet ./...
+	@mkdir -p out
+	$(GO) run ./cmd/apicheck > out/api.txt
+	@diff -u api/exported.txt out/api.txt || { echo 'api-check: exported API differs from api/exported.txt; if intended, run make api-baseline'; exit 1; }
+
+api-baseline:
+	$(GO) run ./cmd/apicheck > api/exported.txt
+
+ci: lint build api-check test-race bench-smoke

@@ -1,0 +1,166 @@
+// Command apicheck emits a deterministic snapshot of the repository's
+// exported Go API: every exported constant, variable, type (with exported
+// fields and embedded declarations), function, and method, grouped by
+// package, with function bodies stripped. `make api-check` diffs the
+// snapshot against the committed baseline (api/exported.txt) so an API
+// change — intended or not — shows up as a reviewable diff and CI fails
+// until the baseline is regenerated with `make api-baseline`.
+//
+//	go run ./cmd/apicheck            # snapshot to stdout
+//	go run ./cmd/apicheck -root dir  # snapshot another tree
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io"
+	"io/fs"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("apicheck: ")
+	root := flag.String("root", ".", "module root to snapshot")
+	flag.Parse()
+
+	dirs, err := goDirs(*root)
+	if err != nil {
+		log.Fatal(err)
+	}
+	out := bufferedStdout()
+	defer out.Flush()
+	for _, dir := range dirs {
+		if err := snapshotDir(out, *root, dir); err != nil {
+			log.Fatalf("%s: %v", dir, err)
+		}
+	}
+}
+
+type flusher interface {
+	io.Writer
+	Flush() error
+}
+
+type stdoutBuffer struct{ bytes.Buffer }
+
+func (b *stdoutBuffer) Flush() error {
+	_, err := os.Stdout.Write(b.Bytes())
+	return err
+}
+
+func bufferedStdout() flusher { return &stdoutBuffer{} }
+
+// goDirs returns every directory under root holding non-test Go files,
+// sorted, skipping hidden directories and build output.
+func goDirs(root string) ([]string, error) {
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		name := d.Name()
+		if d.IsDir() {
+			if path != root && (strings.HasPrefix(name, ".") || name == "out" || name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+			seen[filepath.Dir(path)] = true
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	dirs := make([]string, 0, len(seen))
+	for d := range seen {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// snapshotDir prints one package's exported declarations. Command packages
+// (package main) have no importable API and are skipped.
+func snapshotDir(w io.Writer, root, dir string) error {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(pkgs))
+	for name := range pkgs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if name == "main" {
+			continue
+		}
+		pkg := pkgs[name]
+		if !ast.PackageExports(pkg) {
+			continue
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			rel = dir
+		}
+		fmt.Fprintf(w, "== %s (package %s)\n", filepath.ToSlash(rel), name)
+		files := make([]string, 0, len(pkg.Files))
+		for f := range pkg.Files {
+			files = append(files, f)
+		}
+		sort.Strings(files)
+		cfg := printer.Config{Mode: printer.UseSpaces | printer.TabIndent, Tabwidth: 8}
+		for _, fname := range files {
+			for _, decl := range pkg.Files[fname].Decls {
+				switch d := decl.(type) {
+				case *ast.FuncDecl:
+					d.Body = nil
+					d.Doc = nil
+				case *ast.GenDecl:
+					if d.Tok == token.IMPORT {
+						continue
+					}
+					d.Doc = nil
+					stripSpecDocs(d)
+				}
+				var buf bytes.Buffer
+				if err := cfg.Fprint(&buf, fset, decl); err != nil {
+					return err
+				}
+				if buf.Len() == 0 {
+					continue
+				}
+				w.Write(buf.Bytes())
+				io.WriteString(w, "\n")
+			}
+		}
+		io.WriteString(w, "\n")
+	}
+	return nil
+}
+
+func stripSpecDocs(d *ast.GenDecl) {
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			s.Doc, s.Comment = nil, nil
+		case *ast.ValueSpec:
+			s.Doc, s.Comment = nil, nil
+		}
+	}
+}

@@ -60,6 +60,8 @@ func parseLevel(s string) (wire.ConsistencyLevel, error) {
 		return wire.Quorum, nil
 	case "ALL":
 		return wire.All, nil
+	case "SESSION":
+		return wire.Session, nil
 	}
 	return 0, fmt.Errorf("unknown consistency level %q", s)
 }
@@ -67,7 +69,7 @@ func parseLevel(s string) (wire.ConsistencyLevel, error) {
 func main() {
 	var (
 		servers = flag.String("servers", "", "comma list of id=addr")
-		level   = flag.String("level", "ONE", "read consistency level: ONE|TWO|THREE|QUORUM|ALL")
+		level   = flag.String("level", "ONE", "read consistency level: ONE|SESSION|TWO|THREE|QUORUM|ALL")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 		verify  = flag.Bool("verify", false, "get only: dual-read staleness check")
 	)
@@ -108,15 +110,17 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 	drv, err := client.New(client.Options{
 		ID:           "harmony-client",
 		Coordinators: ids,
-		Levels:       client.Fixed(lvl),
-		WriteLevel:   wire.One,
+		Policy:       client.Fixed{Read: lvl, Write: wire.One},
 		Timeout:      timeout,
 	}, rt, tcp)
 	if err != nil {
 		log.Fatalf("harmony-client: %v", err)
 	}
-	// Route replies from the TCP endpoint into the driver.
+	// Route replies from the TCP endpoint into the driver. The session wrap
+	// makes -level SESSION meaningful across this process's operations: each
+	// read carries the token of everything the command already wrote or read.
 	rebind(tcp, rt, drv)
+	sess := client.NewSession(drv)
 
 	done := make(chan int, 1)
 	rt.Post(func() {
@@ -135,7 +139,7 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 				})
 				return
 			}
-			drv.Read([]byte(args[1]), func(res client.ReadResult) {
+			sess.Read([]byte(args[1]), func(res client.ReadResult) {
 				printRead(res)
 				done <- exitFor(res.Err)
 			})
@@ -145,7 +149,7 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 				done <- 2
 				return
 			}
-			drv.Write([]byte(args[1]), []byte(args[2]), func(res client.WriteResult) {
+			sess.Write([]byte(args[1]), []byte(args[2]), func(res client.WriteResult) {
 				if res.Err != nil {
 					fmt.Printf("error: %v\n", res.Err)
 				} else {
@@ -159,7 +163,7 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 				done <- 2
 				return
 			}
-			drv.Delete([]byte(args[1]), func(res client.WriteResult) {
+			sess.Delete([]byte(args[1]), func(res client.WriteResult) {
 				if res.Err != nil {
 					fmt.Printf("error: %v\n", res.Err)
 				} else {

@@ -38,7 +38,7 @@ func main() {
 	stats := core.NewKeyStats(0.8)
 
 	drv, err := client.New(client.Options{
-		ID: "app", Coordinators: c.NodeIDs(), WriteLevel: wire.One,
+		ID: "app", Coordinators: c.NodeIDs(), Policy: client.Fixed{Write: wire.One},
 	}, s, c.Bus)
 	if err != nil {
 		log.Fatal(err)
@@ -104,9 +104,9 @@ func main() {
 	fmt.Printf("when quiet: balance reads use %s, profile reads use %s\n",
 		pkl.ReadLevelFor([]byte("balance-001")), pkl.ReadLevelFor([]byte("profile-0001")))
 
-	// The driver consumes the per-key source directly:
+	// The driver consumes the per-key policy directly:
 	drv2, err := client.New(client.Options{
-		ID: "app2", Coordinators: c.NodeIDs(), KeyLevels: pkl,
+		ID: "app2", Coordinators: c.NodeIDs(), Policy: pkl,
 	}, s, c.Bus)
 	if err != nil {
 		log.Fatal(err)

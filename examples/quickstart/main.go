@@ -1,7 +1,10 @@
 // Quickstart: bring up a real (goroutine-backed) 6-node replicated store in
-// process, write and read a few keys at different consistency levels, then
-// let Harmony's monitor+controller pick the level automatically while a
-// synthetic workload runs.
+// process and use it through client.Session — the documented entry point:
+// session-guaranteed reads and writes over a driver whose consistency levels
+// Harmony's monitor+controller picks at run time. The session carries a
+// compact token of everything it wrote or read; a read at wire.Session is
+// answered with a version covering that token (read-your-writes, monotonic
+// reads), usually at single-replica cost.
 //
 //	go run ./examples/quickstart
 package main
@@ -54,21 +57,23 @@ func main() {
 	mon.Start()
 	defer mon.Stop()
 
-	// A client whose read level is chosen by Harmony at run time.
+	// A client whose consistency levels are chosen by Harmony at run time
+	// (the controller is the driver's ConsistencyPolicy), wrapped in a
+	// Session — the application-facing API.
 	drv, err := client.New(client.Options{
 		ID:           "app",
 		Coordinators: c.NodeIDs(),
-		Levels:       ctl, // adaptive consistency
-		WriteLevel:   wire.One,
+		Policy:       ctl, // adaptive consistency
 	}, rt, c.Bus)
 	if err != nil {
 		log.Fatal(err)
 	}
 	c.Bus.Register("app", rt, drv)
+	sess := client.NewSession(drv)
 
-	// Basic usage: write then read back.
+	// Basic usage: write then read back through the session.
 	do(rt, func(done func()) {
-		drv.Write([]byte("greeting"), []byte("hello, adaptive world"), func(r client.WriteResult) {
+		sess.Write([]byte("greeting"), []byte("hello, adaptive world"), func(r client.WriteResult) {
 			if r.Err != nil {
 				log.Fatalf("write: %v", r.Err)
 			}
@@ -77,11 +82,24 @@ func main() {
 		})
 	})
 	do(rt, func(done func()) {
-		drv.Read([]byte("greeting"), func(r client.ReadResult) {
+		sess.Read([]byte("greeting"), func(r client.ReadResult) {
 			if r.Err != nil {
 				log.Fatalf("read: %v", r.Err)
 			}
 			fmt.Printf("read %q (level %s chosen by Harmony)\n", r.Value, r.Achieved)
+			done()
+		})
+	})
+
+	// SESSION-tier read: the coordinator must answer with a version covering
+	// the session's token, so this read observes the write above even if the
+	// first replica asked hasn't — read-your-writes at near-ONE cost.
+	do(rt, func(done func()) {
+		sess.ReadAt([]byte("greeting"), wire.Session, func(r client.ReadResult) {
+			if r.Err != nil {
+				log.Fatalf("session read: %v", r.Err)
+			}
+			fmt.Printf("session read %q (token-checked)\n", r.Value)
 			done()
 		})
 	})
@@ -101,11 +119,15 @@ func main() {
 
 	// Explicit levels remain available for critical operations.
 	do(rt, func(done func()) {
-		drv.ReadAt([]byte("greeting"), wire.All, func(r client.ReadResult) {
+		sess.ReadAt([]byte("greeting"), wire.All, func(r client.ReadResult) {
 			fmt.Printf("strong read: %q (level %s)\n", r.Value, r.Achieved)
 			done()
 		})
 	})
+	if n := sess.Regressions(); n != 0 {
+		log.Fatalf("session observed %d regressions", n)
+	}
+	fmt.Println("session observed no regressions")
 }
 
 func burst(rt *sim.RealRuntime, drv *client.Driver, stop <-chan struct{}) {

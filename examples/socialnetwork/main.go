@@ -42,17 +42,17 @@ func main() {
 	}
 	var results []outcome
 
-	measure := func(name string, mk func(s *sim.Sim, c *cluster.Cluster) (client.LevelSource, *core.Monitor)) {
+	measure := func(name string, mk func(s *sim.Sim, c *cluster.Cluster) (client.ConsistencyPolicy, *core.Monitor)) {
 		s := sim.New(99)
 		c, err := cluster.BuildSim(s, spec)
 		if err != nil {
 			log.Fatal(err)
 		}
-		levels, mon := mk(s, c)
+		policy, mon := mk(s, c)
 		runner, err := ycsb.NewRunner(ycsb.RunConfig{
 			Workload:    timeline,
 			Threads:     80,
-			Levels:      levels,
+			Policy:      policy,
 			ShadowEvery: 4,
 			Seed:        3,
 		}, s, c)
@@ -78,12 +78,12 @@ func main() {
 		})
 	}
 
-	fixed := func(lvl wire.ConsistencyLevel) func(*sim.Sim, *cluster.Cluster) (client.LevelSource, *core.Monitor) {
-		return func(*sim.Sim, *cluster.Cluster) (client.LevelSource, *core.Monitor) {
-			return client.Fixed(lvl), nil
+	fixed := func(lvl wire.ConsistencyLevel) func(*sim.Sim, *cluster.Cluster) (client.ConsistencyPolicy, *core.Monitor) {
+		return func(*sim.Sim, *cluster.Cluster) (client.ConsistencyPolicy, *core.Monitor) {
+			return client.Fixed{Read: lvl}, nil
 		}
 	}
-	harmony := func(s *sim.Sim, c *cluster.Cluster) (client.LevelSource, *core.Monitor) {
+	harmony := func(s *sim.Sim, c *cluster.Cluster) (client.ConsistencyPolicy, *core.Monitor) {
 		ctl := core.NewController(core.ControllerConfig{
 			Policy:               core.Policy{Name: "timeline", ToleratedStaleRate: 0.60},
 			N:                    spec.RF,

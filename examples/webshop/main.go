@@ -2,8 +2,16 @@
 // selling items cannot serve stale inventory during a flash sale — a stale
 // read can oversell — so it runs Harmony with a 5% tolerable stale-read
 // rate. The example simulates a checkout rush on the EC2-like profile and
-// compares what static eventual consistency would have returned against
-// what Harmony served, using the dual-read staleness probe.
+// compares three checkout paths on identical load:
+//
+//   - static eventual consistency (what a stale cart looks like),
+//   - Harmony's adaptive level (the cluster-wide staleness bound),
+//   - the SESSION tier through client.Session: every customer's cart ops run
+//     in a session whose token guarantees read-your-writes and monotonic
+//     reads at near-ONE cost — the guarantee a checkout actually needs.
+//
+// It closes with a single customer's add-to-cart/view-cart sequence through
+// client.Session, the documented application-facing API.
 //
 //	go run ./examples/webshop
 package main
@@ -46,7 +54,7 @@ func main() {
 	}
 	loader.Load()
 
-	run := func(name string, levels client.LevelSource, mon *core.Monitor) (stale, probed uint64, p99 time.Duration) {
+	run := func(name string, policy client.ConsistencyPolicy, sessions bool, mon *core.Monitor) ycsb.Report {
 		runner, err := ycsb.NewRunner(ycsb.RunConfig{
 			Workload: ycsb.Workload{
 				// Flash sale: customers hammer a few hot items; every
@@ -55,10 +63,12 @@ func main() {
 				RecordCount: 2000, ValueBytes: 256,
 				RequestDistribution: ycsb.DistZipfian,
 			},
-			Threads:     60,
-			Levels:      levels,
-			ShadowEvery: 2,
-			Seed:        7,
+			Threads:      60,
+			Policy:       policy,
+			Sessions:     sessions,
+			ShadowEvery:  2,
+			Seed:         7,
+			ClientPrefix: name,
 		}, s, c)
 		if err != nil {
 			log.Fatal(err)
@@ -71,13 +81,17 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		return rep.StaleReads, rep.ShadowSamples, rep.ReadLatency.P99()
+		return rep
 	}
 
 	// Baseline: what the shop would get from static eventual consistency.
-	stale, probed, p99 := run("flash-sale-eventual", client.Fixed(wire.One), nil)
-	fmt.Printf("eventual consistency: %d/%d probed reads returned stale stock (p99 %v)\n",
-		stale, probed, p99.Round(100*time.Microsecond))
+	// The sessions are measurement-only here — at ONE the cluster enforces
+	// nothing, so their regression counter shows the violations weak reads
+	// let customers see.
+	ev := run("flash-sale-eventual", client.Fixed{}, true, nil)
+	fmt.Printf("eventual consistency: %d/%d probed reads returned stale stock (p99 %v), %d session violations\n",
+		ev.StaleReads, ev.ShadowSamples, ev.ReadLatency.P99().Round(100*time.Microsecond),
+		ev.SessionRegressions)
 
 	// Harmony with the web-shop policy: at most 5% stale reads.
 	ctl := core.NewController(core.ControllerConfig{
@@ -96,14 +110,25 @@ func main() {
 	c.Net.Colocate("webshop-monitor", c.NodeIDs()[0])
 	c.Bus.Register("webshop-monitor", s, mon)
 
-	hStale, hProbed, hp99 := run("flash-sale-harmony", ctl, mon)
+	ha := run("flash-sale-harmony", ctl, false, mon)
 	d := ctl.Last()
 	fmt.Printf("harmony (5%% tolerance): %d/%d probed reads stale (p99 %v)\n",
-		hStale, hProbed, hp99.Round(100*time.Microsecond))
+		ha.StaleReads, ha.ShadowSamples, ha.ReadLatency.P99().Round(100*time.Microsecond))
 	fmt.Printf("harmony settled on level %s (estimate %.3f, Xn=%d)\n", d.Level, d.Estimate, d.Xn)
 
-	evRate := float64(stale) / float64(probed)
-	haRate := float64(hStale) / float64(hProbed)
+	// The SESSION tier: each customer's ops run through a client.Session and
+	// reads ship at wire.Session, so the cluster enforces every session's
+	// token — read-your-writes at near-ONE cost. Zero regressions is the
+	// contract, not luck.
+	se := run("flash-sale-session", client.Fixed{Read: wire.Session}, true, nil)
+	fmt.Printf("session tier: %d session violations over %d ops (p99 %v)\n",
+		se.SessionRegressions, se.Operations, se.ReadLatency.P99().Round(100*time.Microsecond))
+	if se.SessionRegressions != 0 {
+		log.Fatalf("SESSION reads must never regress, saw %d", se.SessionRegressions)
+	}
+
+	evRate := float64(ev.StaleReads) / float64(ev.ShadowSamples)
+	haRate := float64(ha.StaleReads) / float64(ha.ShadowSamples)
 	if evRate > 0 {
 		fmt.Printf("stale-read rate cut by %.0f%% for the checkout path\n", (1-haRate/evRate)*100)
 	}
@@ -111,5 +136,36 @@ func main() {
 		fmt.Printf("note: measured rate %.1f%% exceeds the 5%% target for this short run\n", haRate*100)
 	} else {
 		fmt.Printf("measured stale rate %.2f%% is within the 5%% tolerance\n", haRate*100)
+	}
+
+	// One customer's checkout through the documented API: add to cart, then
+	// view the cart. The session read is token-checked, so the view reflects
+	// the add even though it may be served by a single replica.
+	drv, err := client.New(client.Options{
+		ID:           "checkout",
+		Coordinators: c.NodeIDs(),
+		Policy:       client.Fixed{Read: wire.Session},
+	}, s, c.Bus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c.Bus.Register("checkout", s, drv)
+	sess := client.NewSession(drv)
+	s.Post(func() {
+		sess.Write([]byte("cart:alice"), []byte("item-17 x1"), func(w client.WriteResult) {
+			if w.Err != nil {
+				log.Fatalf("add to cart: %v", w.Err)
+			}
+			sess.Read([]byte("cart:alice"), func(r client.ReadResult) {
+				if r.Err != nil {
+					log.Fatalf("view cart: %v", r.Err)
+				}
+				fmt.Printf("checkout sees its own write: %q\n", r.Value)
+			})
+		})
+	})
+	s.RunFor(2 * time.Second)
+	if n := sess.Regressions(); n != 0 {
+		log.Fatalf("checkout session observed %d regressions", n)
 	}
 }

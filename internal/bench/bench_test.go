@@ -342,6 +342,32 @@ func TestHotColdPerGroupBeatsGlobal(t *testing.T) {
 	if res.PerGroup.Errors > res.PerGroup.Operations/50 || res.Global.Errors > res.Global.Operations/50 {
 		t.Fatalf("excessive errors: per-group %d, global %d", res.PerGroup.Errors, res.Global.Errors)
 	}
+
+	// Session arm: the hot group must be served at the SESSION tier, keep
+	// its session contract (zero regressions over client.Session traffic),
+	// stay within tolerance, and come out cheaper than the global arm whose
+	// single knob drags every read to quorum-or-stronger.
+	sess := res.Session
+	if len(sess.Groups) != 2 {
+		t.Fatalf("session arm groups = %+v", sess.Groups)
+	}
+	shot := sess.Groups[0]
+	if shot.FinalLevel != "SESSION" || !shot.SessionServed {
+		t.Fatalf("hot group not session-served: %+v", shot)
+	}
+	if !shot.WithinTolerance {
+		t.Fatalf("session arm hot group out of tolerance: %+v", shot)
+	}
+	if sess.SessionRegressions != 0 {
+		t.Fatalf("session arm observed %d regressions", sess.SessionRegressions)
+	}
+	if sess.SessionReads == 0 {
+		t.Fatal("session arm coordinated no SESSION reads")
+	}
+	if sess.ThroughputOps <= res.Global.ThroughputOps {
+		t.Fatalf("session arm throughput %.0f not above global %.0f",
+			sess.ThroughputOps, res.Global.ThroughputOps)
+	}
 }
 
 func TestHotColdValidation(t *testing.T) {

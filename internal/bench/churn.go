@@ -295,7 +295,7 @@ func runChurn(spec ChurnSpec, opts Options, withRepair bool) (churnRun, error) {
 			ShadowEvery:  2,
 			Seed:         opts.Seed + seedOff,
 			ClientPrefix: prefix,
-			KeyLevels:    ctl,
+			Policy:       ctl,
 			ArrivalRate:  arrival,
 			OpTimeout:    750 * time.Millisecond,
 		}, s, c)

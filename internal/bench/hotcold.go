@@ -8,6 +8,7 @@ import (
 	"harmony/internal/cluster"
 	"harmony/internal/core"
 	"harmony/internal/sim"
+	"harmony/internal/wire"
 	"harmony/internal/ycsb"
 )
 
@@ -20,6 +21,14 @@ import (
 // multi-model controller gives each group its own measured λr/λw and its
 // own tolerance, so cold reads stay at ONE while hot reads tighten, buying
 // throughput without spending staleness where it matters.
+//
+// The session arm takes the menu one tier further: the hot group is flagged
+// session-scoped (its clients need read-your-writes and monotonic reads, not
+// a cluster-wide staleness bound), so the controller serves it at SESSION —
+// token-checked reads that block for a single replica in the common case —
+// instead of climbing to quorum. Clients run through client.Session, and the
+// run reports both the session contract (regressions must be zero) and the
+// escalation counters showing what the tokens cost.
 
 // HotColdSpec parameterizes the hot/cold experiment.
 type HotColdSpec struct {
@@ -69,6 +78,11 @@ type HotColdGroup struct {
 	// FinalLevel is the consistency level the controller held for this
 	// group when measurement ended.
 	FinalLevel string `json:"final_level"`
+	// SessionServed marks a group the session arm serves at SESSION: its
+	// requirement is the session contract (zero regressions), so
+	// WithinTolerance reports that contract; StaleFraction still reports the
+	// cross-session staleness for comparison against the other arms.
+	SessionServed bool `json:"session_served,omitempty"`
 }
 
 // HotColdRun is one policy's measurement.
@@ -79,18 +93,28 @@ type HotColdRun struct {
 	Errors        int64          `json:"errors"`
 	ReadP99Ms     float64        `json:"read_p99_ms"`
 	Groups        []HotColdGroup `json:"groups"`
+	// Session-arm telemetry (zero in the other arms): reads coordinated at
+	// SESSION, the session contract violations the clients counted, and the
+	// coordinator-side escalations token checks caused.
+	SessionReads       uint64 `json:"session_reads,omitempty"`
+	SessionRegressions uint64 `json:"session_regressions"`
+	SessionUpgrades    uint64 `json:"session_upgrades,omitempty"`
 }
 
 // HotColdResult compares per-group adaptation against the global
 // controller on identical load.
 type HotColdResult struct {
-	Scenario       string     `json:"scenario"`
-	HotKeys        int64      `json:"hot_keys"`
-	TotalKeys      int64      `json:"total_keys"`
-	Ops            int64      `json:"ops"`
-	PerGroup       HotColdRun `json:"per_group"`
-	Global         HotColdRun `json:"global"`
+	Scenario  string     `json:"scenario"`
+	HotKeys   int64      `json:"hot_keys"`
+	TotalKeys int64      `json:"total_keys"`
+	Ops       int64      `json:"ops"`
+	PerGroup  HotColdRun `json:"per_group"`
+	Global    HotColdRun `json:"global"`
+	// Session is the session-mode arm: the hot group flagged session-scoped
+	// and served at SESSION through client.Session.
+	Session        HotColdRun `json:"session"`
 	ThroughputGain float64    `json:"throughput_gain"` // PerGroup/Global - 1
+	SessionGain    float64    `json:"session_gain"`    // Session/Global - 1
 }
 
 // Format renders the comparison.
@@ -98,7 +122,7 @@ func (r HotColdResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== hotcold (%s, %d hot / %d total keys, %d ops) ==\n",
 		r.Scenario, r.HotKeys, r.TotalKeys, r.Ops)
-	for _, run := range []HotColdRun{r.PerGroup, r.Global} {
+	for _, run := range []HotColdRun{r.PerGroup, r.Session, r.Global} {
 		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s readP99=%6.2fms errors=%d\n",
 			run.Policy, run.ThroughputOps, run.ReadP99Ms, run.Errors)
 		for _, g := range run.Groups {
@@ -106,12 +130,17 @@ func (r HotColdResult) Format() string {
 			if !g.WithinTolerance {
 				status = "EXCEEDED"
 			}
-			fmt.Fprintf(&b, "  %-5s level=%-6s stale=%d/%d (%.3f vs tol %.2f, %s) reads=%d writes=%d\n",
+			fmt.Fprintf(&b, "  %-5s level=%-7s stale=%d/%d (%.3f vs tol %.2f, %s) reads=%d writes=%d\n",
 				g.Name, g.FinalLevel, g.StaleReads, g.ShadowSamples,
 				g.StaleFraction, g.Tolerance, status, g.Reads, g.Writes)
 		}
+		if run.SessionReads > 0 || run.SessionRegressions > 0 {
+			fmt.Fprintf(&b, "  session reads=%d regressions=%d upgrades=%d\n",
+				run.SessionReads, run.SessionRegressions, run.SessionUpgrades)
+		}
 	}
 	fmt.Fprintf(&b, "throughput gain per-group vs global: %+.0f%%\n", r.ThroughputGain*100)
+	fmt.Fprintf(&b, "throughput gain session   vs global: %+.0f%%\n", r.SessionGain*100)
 	return b.String()
 }
 
@@ -139,26 +168,45 @@ func HotCold(spec HotColdSpec, opts Options) (HotColdResult, error) {
 		TotalKeys: spec.TotalKeys,
 		Ops:       opts.OpsPerPoint,
 	}
-	perGroup, err := runHotCold(spec, opts, true)
+	perGroup, err := runHotCold(spec, opts, hotColdPerGroup)
 	if err != nil {
 		return HotColdResult{}, fmt.Errorf("bench: hotcold per-group: %w", err)
 	}
-	global, err := runHotCold(spec, opts, false)
+	session, err := runHotCold(spec, opts, hotColdSession)
+	if err != nil {
+		return HotColdResult{}, fmt.Errorf("bench: hotcold session: %w", err)
+	}
+	global, err := runHotCold(spec, opts, hotColdGlobal)
 	if err != nil {
 		return HotColdResult{}, fmt.Errorf("bench: hotcold global: %w", err)
 	}
-	res.PerGroup, res.Global = perGroup, global
+	res.PerGroup, res.Session, res.Global = perGroup, session, global
 	if global.ThroughputOps > 0 {
 		res.ThroughputGain = perGroup.ThroughputOps/global.ThroughputOps - 1
+		res.SessionGain = session.ThroughputOps/global.ThroughputOps - 1
 	}
-	opts.progress("hotcold %s: per-group %.0f ops/s vs global %.0f ops/s (%+.0f%%)",
-		spec.Scenario.Name, perGroup.ThroughputOps, global.ThroughputOps, res.ThroughputGain*100)
+	opts.progress("hotcold %s: per-group %.0f, session %.0f vs global %.0f ops/s (%+.0f%% / %+.0f%%)",
+		spec.Scenario.Name, perGroup.ThroughputOps, session.ThroughputOps, global.ThroughputOps,
+		res.ThroughputGain*100, res.SessionGain*100)
 	return res, nil
 }
 
-// runHotCold measures one policy: the multi-model per-group controller
-// (perGroup) or the classic global controller at the hot tolerance.
-func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, error) {
+// hotColdMode selects the controller arrangement of one hotcold arm.
+type hotColdMode int
+
+const (
+	// hotColdGlobal: one global controller at the hot tolerance (a
+	// single-knob deployment protecting its most sensitive data everywhere).
+	hotColdGlobal hotColdMode = iota
+	// hotColdPerGroup: the multi-model controller, one tolerance per group.
+	hotColdPerGroup
+	// hotColdSession: per-group controller with the hot group flagged
+	// session-scoped, clients running through client.Session.
+	hotColdSession
+)
+
+// runHotCold measures one arm of the experiment.
+func runHotCold(spec HotColdSpec, opts Options, mode hotColdMode) (HotColdRun, error) {
 	s := sim.New(opts.Seed)
 	cspec := spec.Scenario.Spec
 	cspec.Groups = 2
@@ -184,10 +232,15 @@ func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, erro
 		AvgWriteBytes:        1024,
 		BandwidthBytesPerSec: cspec.Profile.BandwidthBytesPerSec,
 	}
-	if perGroup {
+	if mode != hotColdGlobal {
 		ccfg.Groups = 2
 		ccfg.GroupFn = cspec.GroupFn
 		ccfg.GroupTolerances = []float64{spec.HotTolerance, spec.ColdTolerance}
+	}
+	if mode == hotColdSession {
+		// The hot group's clients only need session guarantees, so any
+		// tighter-than-ONE demand on it is served by the SESSION tier.
+		ccfg.SessionGroups = []bool{true, false}
 	}
 	ctl := core.NewController(ccfg)
 	mon := core.NewMonitor(core.MonitorConfig{
@@ -218,11 +271,10 @@ func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, erro
 			ShadowEvery:  4,
 			Seed:         opts.Seed + seedOff,
 			ClientPrefix: prefix,
-		}
-		if perGroup {
-			cfg.KeyLevels = ctl
-		} else {
-			cfg.Levels = ctl
+			// The controller is the policy in every arm: with one group its
+			// per-group stream coincides with the global one.
+			Policy:   ctl,
+			Sessions: mode == hotColdSession,
 		}
 		if spec.ArrivalRate > 0 && totalThreads > 0 {
 			cfg.ArrivalRate = spec.ArrivalRate * float64(threads) / float64(totalThreads)
@@ -272,8 +324,16 @@ func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, erro
 		Operations:    hotRep.Operations + coldRep.Operations,
 		Errors:        hotRep.Errors + coldRep.Errors,
 	}
-	if perGroup {
+	switch mode {
+	case hotColdPerGroup:
 		run.Policy = "per-group"
+	case hotColdSession:
+		run.Policy = "session"
+		// LevelUse and the upgrade counter are cluster-wide deltas over the
+		// shared measurement window; the regressions are per-runner sums.
+		run.SessionReads = hotRep.LevelUse[wire.Session]
+		run.SessionUpgrades = hotRep.SessionUpgrades
+		run.SessionRegressions = hotRep.SessionRegressions + coldRep.SessionRegressions
 	}
 	// Read p99 over both pools: take the slower of the two histograms'
 	// p99s weighted toward the larger pool by reporting the max (the SLO
@@ -303,10 +363,16 @@ func runHotCold(spec HotColdSpec, opts Options, perGroup bool) (HotColdRun, erro
 			StaleFraction: gs.StaleFraction(),
 		}
 		hg.WithinTolerance = hg.StaleFraction <= hg.Tolerance
-		if perGroup {
-			hg.FinalLevel = ctl.GroupLast(g).Level.String()
-		} else {
+		if mode == hotColdGlobal {
 			hg.FinalLevel = ctl.Last().Level.String()
+		} else {
+			hg.FinalLevel = ctl.GroupLast(g).Level.String()
+		}
+		if mode == hotColdSession && ctl.GroupLast(g).Level == wire.Session {
+			// A session-scoped group's requirement is the session contract:
+			// every session reads its own writes and never regresses.
+			hg.SessionServed = true
+			hg.WithinTolerance = run.SessionRegressions == 0
 		}
 		run.Groups = append(run.Groups, hg)
 	}

@@ -322,7 +322,7 @@ func runRegroup(spec RegroupSpec, opts Options, learned bool) (RegroupRun, error
 			ShadowEvery:  4,
 			Seed:         opts.Seed + seedOff,
 			ClientPrefix: prefix,
-			KeyLevels:    ctl,
+			Policy:       ctl,
 		}, s, c)
 	}
 	hotR, err := newRunner(hotWl, spec.HotThreads, "hot", 101)

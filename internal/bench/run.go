@@ -47,7 +47,7 @@ func RunPolicy(spec RunSpec) (RunResult, error) {
 			defer stop()
 		}
 	}
-	levels, ctl := spec.Policy.levelSource(spec.Scenario.Spec.RF, spec.Workload, spec.Scenario.Spec.Profile)
+	policy, ctl := spec.Policy.policy(spec.Scenario.Spec.RF, spec.Workload, spec.Scenario.Spec.Profile)
 	var mon *core.Monitor
 	if ctl != nil {
 		mon = core.NewMonitor(core.MonitorConfig{
@@ -64,7 +64,7 @@ func RunPolicy(spec RunSpec) (RunResult, error) {
 	runner, err := ycsb.NewRunner(ycsb.RunConfig{
 		Workload:    spec.Workload,
 		Threads:     spec.Threads,
-		Levels:      levels,
+		Policy:      policy,
 		ShadowEvery: 5, // sample 20% of reads for the staleness probe
 		Seed:        spec.Seed,
 		ArrivalRate: spec.ArrivalRate,

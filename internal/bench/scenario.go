@@ -204,14 +204,14 @@ func (p PolicySpec) Name() string {
 	return "unknown"
 }
 
-// levelSource builds the client.LevelSource and (for Harmony) the
+// policy builds the client.ConsistencyPolicy and (for Harmony) the
 // controller that must be fed by a monitor.
-func (p PolicySpec) levelSource(n int, w ycsb.Workload, profile simnet.Profile) (client.LevelSource, *core.Controller) {
+func (p PolicySpec) policy(n int, w ycsb.Workload, profile simnet.Profile) (client.ConsistencyPolicy, *core.Controller) {
 	switch p.Kind {
 	case PolicyStrong:
-		return client.Fixed(wire.All), nil
+		return client.Fixed{Read: wire.All}, nil
 	case PolicyQuorum:
-		return client.Fixed(wire.Quorum), nil
+		return client.Fixed{Read: wire.Quorum}, nil
 	case PolicyHarmony:
 		ctl := core.NewController(core.ControllerConfig{
 			Policy:               core.Policy{Name: p.Name(), ToleratedStaleRate: p.Tolerance},
@@ -222,7 +222,7 @@ func (p PolicySpec) levelSource(n int, w ycsb.Workload, profile simnet.Profile) 
 		})
 		return ctl, ctl
 	default:
-		return client.Fixed(wire.One), nil
+		return client.Fixed{}, nil
 	}
 }
 

@@ -87,7 +87,7 @@ func TestThreePopulationLearnsMiddleTier(t *testing.T) {
 			ShadowEvery:  4,
 			Seed:         5 + seedOff,
 			ClientPrefix: prefix,
-			KeyLevels:    ctl,
+			Policy:       ctl,
 			KeyOffset:    offset,
 		}, s, c)
 		if err != nil {

@@ -1,9 +1,15 @@
-// Package client implements the store's client driver: the counterpart of
-// the paper's modified YCSB Cassandra client. It routes operations to
-// coordinator nodes round-robin, attaches a per-operation consistency level
-// obtained from a pluggable LevelSource (Harmony's adaptive controller, or a
-// static policy), correlates responses, and enforces timeouts. It also
-// offers the dual-read staleness probe of §V-F.
+// Package client implements the store's client side: the counterpart of the
+// paper's modified YCSB Cassandra client.
+//
+// Session is the documented entry point for applications: it wraps a Driver
+// with session guarantees (read-your-writes, monotonic reads) by carrying
+// compact session tokens, and it works at every consistency level — at
+// wire.Session the cluster enforces the token, at other levels the Session
+// merely observes and counts violations. Driver is the low-level layer: it
+// routes operations to coordinator nodes round-robin, attaches per-operation
+// consistency levels from a pluggable ConsistencyPolicy (Harmony's adaptive
+// controller, or a static Fixed policy), correlates responses, and enforces
+// timeouts. It also offers the dual-read staleness probe of §V-F.
 //
 // The driver is event-driven like the rest of the system: operations take a
 // callback and complete on the driver's runtime.
@@ -27,43 +33,42 @@ var (
 	ErrServer      = errors.New("client: server error")
 )
 
-// LevelSource supplies the consistency level for the next read operation.
-// Harmony's controller implements it; static policies use Fixed.
-type LevelSource interface {
-	ReadLevel() wire.ConsistencyLevel
-}
-
-// KeyLevelSource supplies per-key consistency levels — the interface behind
-// the paper's future-work data categorization (core.PerKeyLevels, and the
-// multi-model core.Controller under the online regrouping subsystem): keys
-// in write-contended categories read at higher levels than cold ones.
+// ConsistencyPolicy supplies the read and write consistency levels for an
+// operation on key. It is the single policy surface of the client: Harmony's
+// adaptive controller implements it (per key group), static deployments use
+// Fixed, and per-key category tables (core.PerKeyLevels) implement it too.
 //
-// The driver consults the source at issue time for every read and never
-// caches levels, so a source whose grouping changes at runtime (the
+// The driver consults the policy at issue time for every operation and never
+// caches levels, so a policy whose grouping changes at runtime (the
 // regrouping subsystem swaps epochs mid-run) takes effect on the very next
 // operation. Implementations must resolve the key's group and that group's
-// level atomically — a key must never be judged with one epoch's group id
-// against another epoch's group table (core.Controller.ReadLevelFor holds
-// its lock across both lookups for exactly this reason).
-type KeyLevelSource interface {
-	ReadLevelFor(key []byte) wire.ConsistencyLevel
+// levels atomically — a key must never be judged with one epoch's group id
+// against another epoch's group table (core.Controller.LevelsFor holds its
+// lock across both lookups for exactly this reason). A zero returned level
+// means One.
+type ConsistencyPolicy interface {
+	LevelsFor(key []byte) (read, write wire.ConsistencyLevel)
 }
 
-// WriteLevelSource supplies per-key WRITE consistency levels — the other
-// half of per-key-group adaptation. The paper ships every write at ONE; an
-// adaptive controller may instead move a tightly-tolerated group's writes to
-// QUORUM so its reads can relax from near-ALL to QUORUM (R+W>N overlap).
-// The same atomicity contract as KeyLevelSource applies: the key's group
-// and that group's level must resolve together.
-type WriteLevelSource interface {
-	WriteLevelFor(key []byte) wire.ConsistencyLevel
+// Fixed is a ConsistencyPolicy returning constant levels; zero fields mean
+// One, so Fixed{} is the paper's baseline (read ONE, write ONE) and
+// Fixed{Read: wire.Quorum} upgrades only reads.
+type Fixed struct {
+	Read  wire.ConsistencyLevel
+	Write wire.ConsistencyLevel
 }
 
-// Fixed is a LevelSource always returning a constant level.
-type Fixed wire.ConsistencyLevel
-
-// ReadLevel implements LevelSource.
-func (f Fixed) ReadLevel() wire.ConsistencyLevel { return wire.ConsistencyLevel(f) }
+// LevelsFor implements ConsistencyPolicy.
+func (f Fixed) LevelsFor([]byte) (read, write wire.ConsistencyLevel) {
+	read, write = f.Read, f.Write
+	if read == 0 {
+		read = wire.One
+	}
+	if write == 0 {
+		write = wire.One
+	}
+	return read, write
+}
 
 // Options configure a Driver.
 type Options struct {
@@ -71,18 +76,10 @@ type Options struct {
 	ID ring.NodeID
 	// Coordinators are the nodes the driver spreads requests over.
 	Coordinators []ring.NodeID
-	// Levels supplies per-read consistency levels; nil means Fixed(One).
-	Levels LevelSource
-	// KeyLevels, when set, takes precedence over Levels and chooses the
-	// level per key (core.PerKeyLevels for category-based consistency).
-	KeyLevels KeyLevelSource
-	// WriteLevel is the consistency level for writes; zero means One (the
-	// paper's setting: "a write of consistency level one", §II-B).
-	WriteLevel wire.ConsistencyLevel
-	// WriteLevels, when set, takes precedence over WriteLevel and chooses
-	// the write level per key (the multi-model controller with adaptive
-	// write levels enabled).
-	WriteLevels WriteLevelSource
+	// Policy supplies per-operation consistency levels; nil means Fixed{}
+	// (read ONE, write ONE — the paper's baseline, "a write of consistency
+	// level one", §II-B).
+	Policy ConsistencyPolicy
 	// Timeout bounds each operation; zero means 2s.
 	Timeout time.Duration
 	// ShadowEvery requests the dual-read staleness probe (§V-F) on every
@@ -97,14 +94,16 @@ type ReadResult struct {
 	Found    bool
 	Value    []byte
 	Ts       int64
+	Clock    []wire.ClockEntry // version vector clock (empty for legacy values)
 	Achieved wire.ConsistencyLevel
 	Err      error
 }
 
 // WriteResult is delivered to write callbacks.
 type WriteResult struct {
-	Ts  int64
-	Err error
+	Ts    int64
+	Clock []wire.ClockEntry // clock the coordinator stamped on the write
+	Err   error
 }
 
 // Driver issues operations against the cluster. All methods must be called
@@ -131,11 +130,8 @@ func New(opts Options, rt sim.Runtime, send transport.Sender) (*Driver, error) {
 	if len(opts.Coordinators) == 0 {
 		return nil, fmt.Errorf("client: no coordinators")
 	}
-	if opts.Levels == nil {
-		opts.Levels = Fixed(wire.One)
-	}
-	if opts.WriteLevel == 0 {
-		opts.WriteLevel = wire.One
+	if opts.Policy == nil {
+		opts.Policy = Fixed{}
 	}
 	if opts.Timeout <= 0 {
 		opts.Timeout = 2 * time.Second
@@ -162,18 +158,25 @@ func (d *Driver) newOp() uint64 {
 	return d.nextID
 }
 
-// Read fetches key at the level the configured source chooses: per key when
-// KeyLevels is set, otherwise the global LevelSource.
+// Read fetches key at the read level the configured policy chooses.
 func (d *Driver) Read(key []byte, cb func(ReadResult)) {
-	level := d.opts.Levels.ReadLevel()
-	if d.opts.KeyLevels != nil {
-		level = d.opts.KeyLevels.ReadLevelFor(key)
-	}
+	level, _ := d.opts.Policy.LevelsFor(key)
 	d.ReadAt(key, level, cb)
 }
 
 // ReadAt fetches key at an explicit consistency level.
 func (d *Driver) ReadAt(key []byte, level wire.ConsistencyLevel, cb func(ReadResult)) {
+	d.ReadToken(key, level, nil, cb)
+}
+
+// ReadToken fetches key at an explicit level carrying a session token. At
+// wire.Session the coordinator must answer with a version covering the token
+// (Session maintains tokens and calls this); at other levels the token is
+// ignored by the cluster.
+func (d *Driver) ReadToken(key []byte, level wire.ConsistencyLevel, token []wire.ClockEntry, cb func(ReadResult)) {
+	if level == 0 {
+		level = wire.One
+	}
 	id := d.newOp()
 	op := &pendingOp{onRead: cb}
 	d.pending[id] = op
@@ -186,11 +189,11 @@ func (d *Driver) ReadAt(key []byte, level wire.ConsistencyLevel, cb func(ReadRes
 	d.reads++
 	shadow := d.opts.ShadowEvery > 0 && d.reads%uint64(d.opts.ShadowEvery) == 0
 	d.send.Send(d.opts.ID, d.coordinator(), wire.ReadRequest{
-		ID: id, Key: key, Level: level, Shadow: shadow,
+		ID: id, Key: key, Level: level, Shadow: shadow, Token: token,
 	})
 }
 
-// Write stores value under key at the configured write level.
+// Write stores value under key at the write level the policy chooses.
 func (d *Driver) Write(key, value []byte, cb func(WriteResult)) {
 	d.write(key, value, false, cb)
 }
@@ -210,11 +213,14 @@ func (d *Driver) write(key, value []byte, del bool, cb func(WriteResult)) {
 			cb(WriteResult{Err: ErrTimeout})
 		}
 	})
-	level := d.opts.WriteLevel
-	if d.opts.WriteLevels != nil {
-		if l := d.opts.WriteLevels.WriteLevelFor(key); l != 0 {
-			level = l
-		}
+	_, level := d.opts.Policy.LevelsFor(key)
+	if level == 0 {
+		level = wire.One
+	}
+	if level == wire.Session {
+		// Session is a read guarantee; writes at a session policy ship at
+		// ONE (the cheap arm of the tier).
+		level = wire.One
 	}
 	d.send.Send(d.opts.ID, d.coordinator(), wire.WriteRequest{
 		ID: id, Key: key, Value: value, Delete: del, Level: level,
@@ -250,6 +256,7 @@ func (d *Driver) Deliver(_ ring.NodeID, m wire.Message) {
 				Found:    msg.Found,
 				Value:    msg.Value.Data,
 				Ts:       msg.Value.Timestamp,
+				Clock:    msg.Value.Clock,
 				Achieved: msg.Achieved,
 			})
 		}
@@ -257,7 +264,7 @@ func (d *Driver) Deliver(_ ring.NodeID, m wire.Message) {
 		if op, ok := d.pending[msg.ID]; ok && op.onWrite != nil {
 			delete(d.pending, msg.ID)
 			op.cancel()
-			op.onWrite(WriteResult{Ts: msg.Timestamp})
+			op.onWrite(WriteResult{Ts: msg.Timestamp, Clock: msg.Clock})
 		}
 	case wire.Error:
 		if op, ok := d.pending[msg.ID]; ok {

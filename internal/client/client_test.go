@@ -114,7 +114,7 @@ func TestServerErrorMapping(t *testing.T) {
 	}
 }
 
-func TestLevelSourceConsulted(t *testing.T) {
+func TestPolicyConsulted(t *testing.T) {
 	var levels []wire.ConsistencyLevel
 	s := sim.New(1)
 	bus := transport.NewLoopback()
@@ -126,8 +126,8 @@ func TestLevelSourceConsulted(t *testing.T) {
 	}
 	bus.Register("coord", co)
 	lvl := wire.One
-	src := levelFunc(func() wire.ConsistencyLevel { return lvl })
-	drv, err := New(Options{ID: "cl", Coordinators: []ring.NodeID{"coord"}, Levels: src}, s, bus)
+	src := policyFunc(func([]byte) (wire.ConsistencyLevel, wire.ConsistencyLevel) { return lvl, wire.One })
+	drv, err := New(Options{ID: "cl", Coordinators: []ring.NodeID{"coord"}, Policy: src}, s, bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,9 +141,9 @@ func TestLevelSourceConsulted(t *testing.T) {
 	}
 }
 
-type levelFunc func() wire.ConsistencyLevel
+type policyFunc func(key []byte) (read, write wire.ConsistencyLevel)
 
-func (f levelFunc) ReadLevel() wire.ConsistencyLevel { return f() }
+func (f policyFunc) LevelsFor(key []byte) (read, write wire.ConsistencyLevel) { return f(key) }
 
 func TestShadowSampling(t *testing.T) {
 	var shadows []bool
@@ -243,11 +243,7 @@ func TestVerifyReadFresh(t *testing.T) {
 	}
 }
 
-type keyLevelFunc func(key []byte) wire.ConsistencyLevel
-
-func (f keyLevelFunc) ReadLevelFor(key []byte) wire.ConsistencyLevel { return f(key) }
-
-func TestPerKeyLevelSourceTakesPrecedence(t *testing.T) {
+func TestPerKeyPolicyChoosesLevels(t *testing.T) {
 	var got []wire.ConsistencyLevel
 	s := sim.New(1)
 	bus := transport.NewLoopback()
@@ -261,12 +257,11 @@ func TestPerKeyLevelSourceTakesPrecedence(t *testing.T) {
 	drv, err := New(Options{
 		ID:           "cl",
 		Coordinators: []ring.NodeID{"coord"},
-		Levels:       Fixed(wire.One), // would be ONE globally...
-		KeyLevels: keyLevelFunc(func(key []byte) wire.ConsistencyLevel {
+		Policy: policyFunc(func(key []byte) (wire.ConsistencyLevel, wire.ConsistencyLevel) {
 			if string(key) == "hot" {
-				return wire.All // ...but the hot category demands ALL
+				return wire.All, wire.One // the hot category demands ALL
 			}
-			return wire.One
+			return wire.One, wire.One
 		}),
 	}, s, bus)
 	if err != nil {
@@ -279,7 +274,7 @@ func TestPerKeyLevelSourceTakesPrecedence(t *testing.T) {
 	if len(got) != 2 || got[0] != wire.All || got[1] != wire.One {
 		t.Fatalf("levels = %v, want [ALL ONE]", got)
 	}
-	// Explicit ReadAt bypasses both sources.
+	// Explicit ReadAt bypasses the policy.
 	drv.ReadAt([]byte("hot"), wire.Two, func(ReadResult) {})
 	s.RunUntilIdle(100)
 	if got[2] != wire.Two {
@@ -287,12 +282,12 @@ func TestPerKeyLevelSourceTakesPrecedence(t *testing.T) {
 	}
 }
 
-// TestKeyLevelSourceConsistentAcrossEpochSwap pins the driver half of the
-// regrouping contract: levels are resolved from the KeyLevelSource at issue
-// time, per operation, with nothing cached — so when the source's grouping
-// swaps to a new epoch between two reads, the second read immediately sees
-// the new epoch's level for its key.
-func TestKeyLevelSourceConsistentAcrossEpochSwap(t *testing.T) {
+// TestPolicyConsistentAcrossEpochSwap pins the driver half of the
+// regrouping contract: levels are resolved from the ConsistencyPolicy at
+// issue time, per operation, with nothing cached — so when the policy's
+// grouping swaps to a new epoch between two reads, the second read
+// immediately sees the new epoch's level for its key.
+func TestPolicyConsistentAcrossEpochSwap(t *testing.T) {
 	var got []wire.ConsistencyLevel
 	s := sim.New(1)
 	bus := transport.NewLoopback()
@@ -306,13 +301,13 @@ func TestKeyLevelSourceConsistentAcrossEpochSwap(t *testing.T) {
 	// An epoch-swappable source: before the swap key "k" is cold (ONE),
 	// after it the same key is classified hot (QUORUM).
 	epoch := 0
-	src := keyLevelFunc(func(key []byte) wire.ConsistencyLevel {
+	src := policyFunc(func(key []byte) (wire.ConsistencyLevel, wire.ConsistencyLevel) {
 		if epoch >= 1 && string(key) == "k" {
-			return wire.Quorum
+			return wire.Quorum, wire.One
 		}
-		return wire.One
+		return wire.One, wire.One
 	})
-	drv, err := New(Options{ID: "cl", Coordinators: []ring.NodeID{"coord"}, KeyLevels: src}, s, bus)
+	drv, err := New(Options{ID: "cl", Coordinators: []ring.NodeID{"coord"}, Policy: src}, s, bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,14 +326,14 @@ func TestKeyLevelSourceConsistentAcrossEpochSwap(t *testing.T) {
 // keyedWriteLevels ships writes of keys with an "h" prefix at QUORUM.
 type keyedWriteLevels struct{}
 
-func (keyedWriteLevels) WriteLevelFor(key []byte) wire.ConsistencyLevel {
+func (keyedWriteLevels) LevelsFor(key []byte) (read, write wire.ConsistencyLevel) {
 	if len(key) > 0 && key[0] == 'h' {
-		return wire.Quorum
+		return wire.One, wire.Quorum
 	}
-	return wire.One
+	return wire.One, wire.One
 }
 
-func TestWriteLevelsChoosePerKeyWriteLevel(t *testing.T) {
+func TestPolicyChoosesPerKeyWriteLevel(t *testing.T) {
 	s := sim.New(1)
 	bus := transport.NewLoopback()
 	co := &fakeCoordinator{bus: bus, id: "coord", respond: func(m wire.Message) wire.Message {
@@ -349,7 +344,7 @@ func TestWriteLevelsChoosePerKeyWriteLevel(t *testing.T) {
 	drv, err := New(Options{
 		ID:           "cl",
 		Coordinators: []ring.NodeID{"coord"},
-		WriteLevels:  keyedWriteLevels{},
+		Policy:       keyedWriteLevels{},
 		Timeout:      100 * time.Millisecond,
 	}, s, bus)
 	if err != nil {

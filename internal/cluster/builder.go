@@ -418,6 +418,8 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		total.RepairAgeMs += s.RepairAgeMs
 		total.ShadowSamples += s.ShadowSamples
 		total.ShadowStale += s.ShadowStale
+		total.SessionUpgrades += s.SessionUpgrades
+		total.SessionRepolls += s.SessionRepolls
 		for i := range s.LevelUse {
 			total.LevelUse[i] += s.LevelUse[i]
 		}

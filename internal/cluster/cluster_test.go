@@ -75,7 +75,7 @@ func (h *testHarness) read(t *testing.T, key string, level wire.ConsistencyLevel
 }
 
 func TestWriteThenStrongRead(t *testing.T) {
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.One})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.One}})
 	if res := h.write(t, "user1", "hello"); res.Err != nil {
 		t.Fatalf("write: %v", res.Err)
 	}
@@ -97,7 +97,7 @@ func TestReadMissingKey(t *testing.T) {
 }
 
 func TestDeleteTombstones(t *testing.T) {
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.All})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.All}})
 	h.write(t, "k", "v")
 	var res client.WriteResult
 	h.drv.Delete([]byte("k"), func(r client.WriteResult) { res = r })
@@ -115,7 +115,7 @@ func TestQuorumIntersectionFreshness(t *testing.T) {
 	// R+W > N guarantees a read observes the latest acknowledged write.
 	// With W=QUORUM and R=QUORUM on RF=5 (3+3 > 5), reads must always be
 	// fresh no matter the interleaving.
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.Quorum})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.Quorum}})
 	for i := 0; i < 30; i++ {
 		want := fmt.Sprintf("v%d", i)
 		if res := h.write(t, "counter", want); res.Err != nil {
@@ -153,7 +153,7 @@ func TestEventualReadMayBeStaleThenConverges(t *testing.T) {
 	// With W=ONE, a read at ONE racing update propagation observes the old
 	// version; after propagation quiesces it must observe the new one.
 	spec := DefaultSpec()
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}})
 	h.write(t, "k", "old")
 	h.s.RunFor(time.Second) // quiesce propagation
 
@@ -161,7 +161,7 @@ func TestEventualReadMayBeStaleThenConverges(t *testing.T) {
 
 	// Write "new" through the delayed coordinator: it acks from its own
 	// replica while the others still hold "old".
-	wdrv, err := client.New(client.Options{ID: "w", Coordinators: []ring.NodeID{writer}, WriteLevel: wire.One}, h.s, h.c.Bus)
+	wdrv, err := client.New(client.Options{ID: "w", Coordinators: []ring.NodeID{writer}, Policy: client.Fixed{Write: wire.One}}, h.s, h.c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +209,7 @@ func TestEventualReadMayBeStaleThenConverges(t *testing.T) {
 func TestReadRepairConvergesReplicas(t *testing.T) {
 	spec := DefaultSpec()
 	spec.ReadRepairChance = 1.0
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}})
 	h.write(t, "rr", "v1")
 	h.s.RunFor(time.Second)
 
@@ -243,7 +243,7 @@ func TestReadRepairConvergesReplicas(t *testing.T) {
 }
 
 func TestAllReplicasHoldDataAfterQuiesce(t *testing.T) {
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.One})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.One}})
 	keys := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
 	for _, k := range keys {
 		h.write(t, k, "val-"+k)
@@ -265,12 +265,12 @@ func TestAllReplicasHoldDataAfterQuiesce(t *testing.T) {
 
 func TestShadowStalenessCounters(t *testing.T) {
 	spec := DefaultSpec()
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}})
 	h.write(t, "sk", "old")
 	h.s.RunFor(time.Second)
 
 	writer, reader := delayPropagation(t, h, "sk", 500*time.Millisecond)
-	wdrv, err := client.New(client.Options{ID: "w2", Coordinators: []ring.NodeID{writer}, WriteLevel: wire.One}, h.s, h.c.Bus)
+	wdrv, err := client.New(client.Options{ID: "w2", Coordinators: []ring.NodeID{writer}, Policy: client.Fixed{Write: wire.One}}, h.s, h.c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -314,7 +314,7 @@ func TestShadowStalenessCounters(t *testing.T) {
 func TestStrongReadsNeverStale(t *testing.T) {
 	spec := DefaultSpec()
 	spec.Profile = simnet.UniformProfile(10 * time.Millisecond)
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One, ShadowEvery: 1})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}, ShadowEvery: 1})
 	for i := 0; i < 30; i++ {
 		key := []byte(fmt.Sprintf("st%d", i%5))
 		h.drv.Write(key, []byte(fmt.Sprintf("v%d", i)), func(client.WriteResult) {})
@@ -343,7 +343,7 @@ func TestHintedHandoffDelivery(t *testing.T) {
 	for _, n := range c.Nodes {
 		n.cfg.Alive = func(id ring.NodeID) bool { return !(downFlag && id == down) }
 	}
-	drv, err := client.New(client.Options{ID: "cl", Coordinators: []ring.NodeID{reps[0]}, WriteLevel: wire.One}, s, c.Bus)
+	drv, err := client.New(client.Options{ID: "cl", Coordinators: []ring.NodeID{reps[0]}, Policy: client.Fixed{Write: wire.One}}, s, c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -382,7 +382,7 @@ func TestPartitionCausesTimeoutThenHeals(t *testing.T) {
 	spec := DefaultSpec()
 	spec.ReadTimeout = 200 * time.Millisecond
 	spec.WriteTimeout = 200 * time.Millisecond
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One, Timeout: 3 * time.Second})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}, Timeout: 3 * time.Second})
 	h.write(t, "pk", "v")
 	h.s.RunFor(time.Second)
 
@@ -643,7 +643,7 @@ func TestLinearizableSingleKeyProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		drv, err := client.New(client.Options{ID: "qc", Coordinators: c.NodeIDs(), WriteLevel: wire.All}, s, c.Bus)
+		drv, err := client.New(client.Options{ID: "qc", Coordinators: c.NodeIDs(), Policy: client.Fixed{Write: wire.All}}, s, c.Bus)
 		if err != nil {
 			return false
 		}
@@ -723,7 +723,7 @@ func TestRealTimeClusterSmoke(t *testing.T) {
 	defer c.Stop()
 	rt := sim.NewRealRuntime()
 	defer rt.Stop()
-	drv, err := client.New(client.Options{ID: "real-client", Coordinators: c.NodeIDs(), WriteLevel: wire.Quorum}, rt, c.Bus)
+	drv, err := client.New(client.Options{ID: "real-client", Coordinators: c.NodeIDs(), Policy: client.Fixed{Write: wire.Quorum}}, rt, c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,13 +16,13 @@ import (
 // instant and verifies every replica converges to a single winner (last
 // writer by coordinator timestamp, ties broken stably).
 func TestConcurrentWritesDifferentCoordinatorsConverge(t *testing.T) {
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.One})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.One}})
 	reps := ring.ReplicasForKey(h.c.Ring, h.c.Strategy, []byte("cc"))
 
 	var drvs []*client.Driver
 	for i, coord := range []ring.NodeID{reps[0], reps[1]} {
 		id := ring.NodeID(fmt.Sprintf("cw-%d", i))
-		d, err := client.New(client.Options{ID: id, Coordinators: []ring.NodeID{coord}, WriteLevel: wire.One}, h.s, h.c.Bus)
+		d, err := client.New(client.Options{ID: id, Coordinators: []ring.NodeID{coord}, Policy: client.Fixed{Write: wire.One}}, h.s, h.c.Bus)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -79,7 +79,7 @@ func TestConcurrentWritesDifferentCoordinatorsConverge(t *testing.T) {
 func TestWriteTimeoutWhenQuorumUnreachable(t *testing.T) {
 	spec := DefaultSpec()
 	spec.WriteTimeout = 200 * time.Millisecond
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.All, Timeout: 3 * time.Second})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.All}, Timeout: 3 * time.Second})
 	reps := ring.ReplicasForKey(h.c.Ring, h.c.Strategy, []byte("wt"))
 	// Cut three of five replicas off from everything.
 	for _, victim := range reps[2:] {
@@ -87,7 +87,7 @@ func TestWriteTimeoutWhenQuorumUnreachable(t *testing.T) {
 	}
 	// Write through a coordinator that is itself reachable (the harness
 	// driver round-robins over all nodes, including the isolated ones).
-	wdrv, err := client.New(client.Options{ID: "wt-client", Coordinators: []ring.NodeID{reps[0]}, WriteLevel: wire.All, Timeout: 3 * time.Second}, h.s, h.c.Bus)
+	wdrv, err := client.New(client.Options{ID: "wt-client", Coordinators: []ring.NodeID{reps[0]}, Policy: client.Fixed{Write: wire.All}, Timeout: 3 * time.Second}, h.s, h.c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,7 +118,7 @@ func TestWriteTimeoutWhenQuorumUnreachable(t *testing.T) {
 // TestTombstonePropagatesToAllReplicas verifies deletes replicate like
 // writes and win by timestamp on every replica.
 func TestTombstonePropagatesToAllReplicas(t *testing.T) {
-	h := newHarness(t, DefaultSpec(), client.Options{WriteLevel: wire.One})
+	h := newHarness(t, DefaultSpec(), client.Options{Policy: client.Fixed{Write: wire.One}})
 	h.write(t, "tomb", "alive")
 	h.s.RunFor(time.Second)
 	var res client.WriteResult
@@ -146,7 +146,7 @@ func TestReadLevelClampsAboveReplicaCount(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	drv, err := client.New(client.Options{ID: "clamp", Coordinators: c.NodeIDs(), WriteLevel: wire.All}, s, c.Bus)
+	drv, err := client.New(client.Options{ID: "clamp", Coordinators: c.NodeIDs(), Policy: client.Fixed{Write: wire.All}}, s, c.Bus)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,7 +177,7 @@ func TestReadLevelClampsAboveReplicaCount(t *testing.T) {
 // time the client sees the answer.
 func TestBlockingRepairAtAllDelaysResponse(t *testing.T) {
 	spec := DefaultSpec()
-	h := newHarness(t, spec, client.Options{WriteLevel: wire.One, Timeout: 10 * time.Second})
+	h := newHarness(t, spec, client.Options{Policy: client.Fixed{Write: wire.One}, Timeout: 10 * time.Second})
 	h.write(t, "br", "v1")
 	h.s.RunFor(time.Second)
 

@@ -16,24 +16,26 @@ import "sync/atomic"
 // delta-based monitor math absorbs. Nothing tears: every field is a single
 // atomic word.
 type nodeCounters struct {
-	reads         atomic.Uint64
-	writes        atomic.Uint64
-	replicaOps    atomic.Uint64
-	bytesRead     atomic.Uint64
-	bytesWritten  atomic.Uint64
-	repairsSent   atomic.Uint64
-	hintsQueued   atomic.Uint64
-	hintsReplayed atomic.Uint64
-	hintsDropped  atomic.Uint64
-	readTimeouts  atomic.Uint64
-	writeTimeouts atomic.Uint64
-	unavailable   atomic.Uint64
-	repairRows    atomic.Uint64
-	repairAgeMs   atomic.Uint64
-	shadowSamples atomic.Uint64
-	shadowStale   atomic.Uint64
-	levelUse      [6]atomic.Uint64
-	groups        atomic.Pointer[groupTallies]
+	reads           atomic.Uint64
+	writes          atomic.Uint64
+	replicaOps      atomic.Uint64
+	bytesRead       atomic.Uint64
+	bytesWritten    atomic.Uint64
+	repairsSent     atomic.Uint64
+	hintsQueued     atomic.Uint64
+	hintsReplayed   atomic.Uint64
+	hintsDropped    atomic.Uint64
+	readTimeouts    atomic.Uint64
+	writeTimeouts   atomic.Uint64
+	unavailable     atomic.Uint64
+	repairRows      atomic.Uint64
+	repairAgeMs     atomic.Uint64
+	shadowSamples   atomic.Uint64
+	shadowStale     atomic.Uint64
+	sessionUpgrades atomic.Uint64
+	sessionRepolls  atomic.Uint64
+	levelUse        [8]atomic.Uint64
+	groups          atomic.Pointer[groupTallies]
 }
 
 // groupTallies are the per-key-group counters of one grouping epoch. A
@@ -76,22 +78,24 @@ func loadCounters(s []atomic.Uint64) []uint64 {
 // snapshot assembles a plain Metrics from the live atomics.
 func (c *nodeCounters) snapshot() Metrics {
 	m := Metrics{
-		Reads:         c.reads.Load(),
-		Writes:        c.writes.Load(),
-		ReplicaOps:    c.replicaOps.Load(),
-		BytesRead:     c.bytesRead.Load(),
-		BytesWritten:  c.bytesWritten.Load(),
-		RepairsSent:   c.repairsSent.Load(),
-		HintsQueued:   c.hintsQueued.Load(),
-		HintsReplayed: c.hintsReplayed.Load(),
-		HintsDropped:  c.hintsDropped.Load(),
-		ReadTimeouts:  c.readTimeouts.Load(),
-		WriteTimeouts: c.writeTimeouts.Load(),
-		Unavailable:   c.unavailable.Load(),
-		RepairRows:    c.repairRows.Load(),
-		RepairAgeMs:   c.repairAgeMs.Load(),
-		ShadowSamples: c.shadowSamples.Load(),
-		ShadowStale:   c.shadowStale.Load(),
+		Reads:           c.reads.Load(),
+		Writes:          c.writes.Load(),
+		ReplicaOps:      c.replicaOps.Load(),
+		BytesRead:       c.bytesRead.Load(),
+		BytesWritten:    c.bytesWritten.Load(),
+		RepairsSent:     c.repairsSent.Load(),
+		HintsQueued:     c.hintsQueued.Load(),
+		HintsReplayed:   c.hintsReplayed.Load(),
+		HintsDropped:    c.hintsDropped.Load(),
+		ReadTimeouts:    c.readTimeouts.Load(),
+		WriteTimeouts:   c.writeTimeouts.Load(),
+		Unavailable:     c.unavailable.Load(),
+		RepairRows:      c.repairRows.Load(),
+		RepairAgeMs:     c.repairAgeMs.Load(),
+		ShadowSamples:   c.shadowSamples.Load(),
+		ShadowStale:     c.shadowStale.Load(),
+		SessionUpgrades: c.sessionUpgrades.Load(),
+		SessionRepolls:  c.sessionRepolls.Load(),
 	}
 	for i := range c.levelUse {
 		m.LevelUse[i] = c.levelUse[i].Load()

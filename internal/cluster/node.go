@@ -21,6 +21,7 @@ import (
 	"harmony/internal/sim"
 	"harmony/internal/storage"
 	"harmony/internal/transport"
+	"harmony/internal/versioning"
 	"harmony/internal/wire"
 )
 
@@ -36,6 +37,12 @@ type Config struct {
 	// WriteTimeout bounds how long a coordinator waits for enough mutation
 	// acks; zero means 1s.
 	WriteTimeout time.Duration
+	// SessionRetry is how long a SESSION read coordinator waits before
+	// re-polling replicas when no response yet covers the client's session
+	// token (the acked write is still propagating, or a down replica holds
+	// it). Zero means 25ms. The read still fails with the normal
+	// ReadTimeout when the token can never be satisfied.
+	SessionRetry time.Duration
 	// ReadRepairChance is the probability that a read fans out to every
 	// replica (still blocking only for the consistency level) and issues
 	// background repairs to stale ones — Cassandra's read_repair_chance.
@@ -120,7 +127,14 @@ type Metrics struct {
 	ShadowStale   uint64
 	// LevelUse tallies coordinated reads per consistency level (index by
 	// wire.ConsistencyLevel). Slot 0 is unused.
-	LevelUse [6]uint64
+	LevelUse [8]uint64
+	// SessionUpgrades counts SESSION reads whose first replica's answer did
+	// not cover the client's token, forcing a fan-out to the remaining live
+	// replicas; SessionRepolls counts the rarer re-poll rounds after even
+	// the full fan-in came back short. Their complement — SESSION reads
+	// absent from both — ran at single-replica cost.
+	SessionUpgrades uint64
+	SessionRepolls  uint64
 	// GroupReads / GroupWrites tally coordinated operations per key group
 	// (index by group id, length = the node's current group count). They
 	// partition the traffic coordinated since the current grouping epoch
@@ -169,6 +183,14 @@ type readOp struct {
 	blockedOnRepair bool
 	repairAcksLeft  int
 	repairIDs       []uint64
+	// SESSION state: the client's normalized token, the full live replica
+	// set held back for escalation, how many replicas were dead at issue
+	// time, and how many re-poll rounds have run.
+	token     versioning.Clock
+	sessLive  []ring.NodeID
+	sessDead  int
+	escalated bool
+	repolls   int
 }
 
 type writeOp struct {
@@ -180,6 +202,7 @@ type writeOp struct {
 	acks      int
 	responded bool
 	ts        int64
+	clock     []wire.ClockEntry // stamped on the value; echoed to the client
 	cancel    func()
 }
 
@@ -218,6 +241,9 @@ func New(cfg Config, rt sim.Runtime, send transport.Sender) *Node {
 	}
 	if cfg.WriteTimeout <= 0 {
 		cfg.WriteTimeout = time.Second
+	}
+	if cfg.SessionRetry <= 0 {
+		cfg.SessionRetry = 25 * time.Millisecond
 	}
 	if cfg.HintReplayInterval <= 0 {
 		cfg.HintReplayInterval = 10 * time.Second
@@ -467,6 +493,11 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		epoch:    n.epoch,
 		level:    level,
 	}
+	if level == wire.Session {
+		op.token = versioning.Normalize(versioning.Clock(req.Token))
+		op.sessLive = live
+		op.sessDead = dead
+	}
 	n.pendingReads[op.id] = op
 	if n.sampler != nil {
 		n.sampler.observe(req.Key, 1, 0)
@@ -504,11 +535,71 @@ func (n *Node) onReplicaReadResp(from ring.NodeID, resp wire.ReplicaReadResp) {
 	op.got = append(op.got, resp)
 	op.from = append(op.from, from)
 	if !op.responded && !op.blockedOnRepair && len(op.got) >= op.need {
-		n.respondRead(op)
+		if op.level == wire.Session {
+			n.sessionProgress(op)
+		} else {
+			n.respondRead(op)
+		}
 	}
 	if !op.finished && len(op.got) >= op.total {
 		n.finishRead(op)
 	}
+}
+
+// sessionProgress drives a SESSION read toward a token-covering answer: the
+// moment any response covers the client's token the read completes (usually
+// the very first, at single-replica cost); otherwise the coordinator widens
+// to every live replica, and when even the full fan-in comes back short it
+// re-polls. With no dead replicas one grace re-poll suffices — an acked
+// write is always applied on some live replica before its ack, so a still-
+// uncovered token after full fan-in can only be a watermark raised by a
+// DIFFERENT key in the session's token bucket — and the read then answers
+// with the newest version found. With dead replicas the coordinator keeps
+// re-polling (the cover may be replicating from a hint or repair) and lets
+// the ordinary read timeout report honest unavailability rather than ever
+// serving the session a regression.
+func (n *Node) sessionProgress(op *readOp) {
+	best, _ := newest(op.got)
+	if versioning.Covers(versioning.Clock(best.Clock), best.Timestamp, op.token) {
+		n.respondRead(op)
+		return
+	}
+	if len(op.got) < op.total {
+		return // stragglers may still cover
+	}
+	if !op.escalated {
+		op.escalated = true
+		if op.total < len(op.sessLive) {
+			n.counters.sessionUpgrades.Add(1)
+			for _, r := range op.sessLive[op.total:] {
+				n.send.Send(n.cfg.ID, r, wire.ReplicaRead{ID: op.id, Key: op.key})
+			}
+			op.total = len(op.sessLive)
+			return
+		}
+	}
+	if op.sessDead == 0 && op.repolls >= 1 {
+		n.respondRead(op) // watermark false positive; answer the newest version
+		return
+	}
+	op.repolls++
+	n.counters.sessionRepolls.Add(1)
+	opID := op.id
+	n.rt.After(n.cfg.SessionRetry, func() { n.sessionRepoll(opID) })
+}
+
+// sessionRepoll re-contacts every live replica of a still-unsatisfied
+// SESSION read. Duplicate responses are harmless: newest() is idempotent and
+// the op completes on the first covering answer.
+func (n *Node) sessionRepoll(id uint64) {
+	op, ok := n.pendingReads[id]
+	if !ok || op.responded {
+		return
+	}
+	for _, r := range op.sessLive {
+		n.send.Send(n.cfg.ID, r, wire.ReplicaRead{ID: op.id, Key: op.key})
+	}
+	op.total += len(op.sessLive)
 }
 
 // newest returns the freshest value among the responses (ok=false when no
@@ -659,13 +750,23 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 		return
 	}
 	ts := n.nextTimestamp()
-	v := wire.Value{Data: req.Value, Timestamp: ts, Tombstone: req.Delete}
+	// Stamp the value's vector clock: the local copy's history (when this
+	// coordinator is a replica of the key) merged with this write. The clock
+	// is fixed here and replicated verbatim, so replicas never disagree on a
+	// version's identity.
+	var prev versioning.Clock
+	if cur, ok := n.engine.Get(req.Key); ok {
+		prev = versioning.Clock(cur.Clock)
+	}
+	clock := versioning.Stamp(prev, string(n.cfg.ID), uint64(ts))
+	v := wire.Value{Data: req.Value, Timestamp: ts, Tombstone: req.Delete, Clock: clock}
 	op := &writeOp{
 		id:       n.opID(),
 		client:   client,
 		clientID: req.ID,
 		need:     req.Level.BlockFor(len(reps)),
 		ts:       ts,
+		clock:    clock,
 	}
 	n.pendingWrites[op.id] = op
 	group := n.groupOf(req.Key)
@@ -729,7 +830,7 @@ func (n *Node) onMutationAck(from ring.NodeID, ack wire.MutationAck) {
 	op.acks++
 	if !op.responded && op.acks >= op.need {
 		op.responded = true
-		n.send.Send(n.cfg.ID, op.client, wire.WriteResponse{ID: op.clientID, OK: true, Timestamp: op.ts})
+		n.send.Send(n.cfg.ID, op.client, wire.WriteResponse{ID: op.clientID, OK: true, Timestamp: op.ts, Clock: op.clock})
 	}
 	if op.acks >= op.total {
 		if op.cancel != nil {

@@ -429,7 +429,8 @@ func (c *Categorizer) ToleranceFor(key []byte) float64 {
 
 // PerKeyLevels combines a Categorizer with the live estimation model: each
 // read gets the level its key's category demands under current conditions.
-// It implements client.KeyLevelSource.
+// It implements client.ConsistencyPolicy (writes ship at ONE, the paper's
+// configuration).
 //
 // When GroupFn is set and the monitor reports per-group rates, the key's
 // category tolerance is evaluated against its own group's measured λr/λw
@@ -512,4 +513,10 @@ func (p *PerKeyLevels) ReadLevelFor(key []byte) wire.ConsistencyLevel {
 		return wire.One
 	}
 	return wire.LevelForCount(model.ReplicasNeeded(tol), model.N)
+}
+
+// LevelsFor implements client.ConsistencyPolicy: reads at the key's
+// category-demanded level, writes at ONE.
+func (p *PerKeyLevels) LevelsFor(key []byte) (read, write wire.ConsistencyLevel) {
+	return p.ReadLevelFor(key), wire.One
 }

@@ -112,6 +112,21 @@ type ControllerConfig struct {
 	GroupTolerances []float64
 	// OnGroupDecision, when set, observes every per-group decision.
 	OnGroupDecision func(group int, d Decision)
+
+	// SessionGroups marks groups (index by group id) whose clients read
+	// through client.Session: their correctness need is session-scoped
+	// (read-your-writes, monotonic reads), which wire.Session enforces via
+	// session tokens at single-replica cost in the common case. For a marked
+	// group, any decision that would raise reads above ONE is served at
+	// SESSION instead — a distinct cost/staleness point on the menu: it
+	// blocks for one replica like ONE (escalating only when a token is not
+	// yet satisfied locally) while eliminating the regressions the session's
+	// own clients could observe, rather than bounding the cluster-wide
+	// stale-read probability the way QUORUM does. Groups beyond the slice
+	// (or with a false entry) keep the paper's ONE/.../ALL menu. Regroup
+	// clears the flags (group ids change meaning); re-arm with
+	// SetSessionGroups after installing the new epoch.
+	SessionGroups []bool
 }
 
 // Controller is Harmony's adaptive-consistency module: it consumes monitor
@@ -121,15 +136,14 @@ type ControllerConfig struct {
 //	if app_stale_rate ≥ θ_stale: Level = ONE
 //	else:                        Level from Xn (equation 8)
 //
-// Controller implements client.LevelSource, so drivers pick up the current
-// level on every read, and it is safe for concurrent use (clients and the
-// monitor may live on different runtimes).
+// Controller implements client.ConsistencyPolicy (LevelsFor), so drivers
+// pick up the current levels on every operation, and it is safe for
+// concurrent use (clients and the monitor may live on different runtimes).
 //
 // With ControllerConfig.Groups > 1 it is a multi-model controller: every
 // key group gets its own estimator model and decision stream derived from
-// the monitor's per-group arrival rates, and Controller additionally
-// implements client.KeyLevelSource so each read is served at the level its
-// key's group demands. The global decision stream (ReadLevel, Last,
+// the monitor's per-group arrival rates, so each read is served at the
+// level its key's group demands. The global decision stream (ReadLevel, Last,
 // History) is always computed from the cluster-wide rates, so a
 // single-group configuration behaves exactly like the classic controller.
 type Controller struct {
@@ -148,6 +162,7 @@ type Controller struct {
 	epoch   uint64
 	groupFn func(key []byte) int
 	tols    []float64
+	sess    []bool
 }
 
 // groupState is one key group's live decision stream.
@@ -178,6 +193,7 @@ func NewController(cfg ControllerConfig) *Controller {
 		keep:    4096,
 		groupFn: cfg.GroupFn,
 		tols:    append([]float64(nil), cfg.GroupTolerances...),
+		sess:    append([]bool(nil), cfg.SessionGroups...),
 	}
 }
 
@@ -254,17 +270,35 @@ func (c *Controller) Regroup(epoch uint64, groupFn func(key []byte) int, toleran
 	c.groups = next
 	c.groupFn = groupFn
 	c.tols = append([]float64(nil), tolerances...)
+	// Session flags name groups of the retired epoch; the new epoch's groups
+	// start unflagged until SetSessionGroups re-arms them.
+	c.sess = nil
 }
 
-// ReadLevel implements client.LevelSource.
+// SetSessionGroups installs per-group session flags for the current grouping
+// (see ControllerConfig.SessionGroups). Call it after Regroup to re-arm
+// session-tier selection for the new epoch's groups.
+func (c *Controller) SetSessionGroups(flags []bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sess = append([]bool(nil), flags...)
+}
+
+// sessionOKLocked reports whether group g is flagged session-tolerant.
+// Callers must hold c.mu.
+func (c *Controller) sessionOKLocked(g int) bool {
+	return g >= 0 && g < len(c.sess) && c.sess[g]
+}
+
+// ReadLevel reports the global stream's current read level.
 func (c *Controller) ReadLevel() wire.ConsistencyLevel {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.level
 }
 
-// ReadLevelFor implements client.KeyLevelSource: the key's group decides
-// the level. Out-of-range GroupFn results clamp to group 0, matching the
+// ReadLevelFor serves the key's group's current read level. Out-of-range
+// GroupFn results clamp to group 0, matching the
 // cluster nodes' telemetry clamp so a miscategorized key is served by the
 // same group whose counters it feeds. The group function runs under the
 // controller's lock so the (group id, group table) pair is always from one
@@ -293,9 +327,9 @@ func (c *Controller) WriteLevel() wire.ConsistencyLevel {
 	return c.last.WriteLevel
 }
 
-// WriteLevelFor implements client.WriteLevelSource: the key's group decides
-// the write level, resolved under the same lock as the group table so key
-// and level always belong to one epoch (the KeyLevelSource contract).
+// WriteLevelFor serves the key's group's current write level, resolved under
+// the same lock as the group table so key and level always belong to one
+// epoch (the ConsistencyPolicy contract).
 func (c *Controller) WriteLevelFor(key []byte) wire.ConsistencyLevel {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -310,6 +344,28 @@ func (c *Controller) WriteLevelFor(key []byte) wire.ConsistencyLevel {
 		return l
 	}
 	return wire.One
+}
+
+// LevelsFor implements client.ConsistencyPolicy: the key's group supplies
+// both the read and the write level, resolved under one lock acquisition so
+// a key is never judged with one epoch's group id against another epoch's
+// group table, and read and write level always come from the same decision.
+func (c *Controller) LevelsFor(key []byte) (read, write wire.ConsistencyLevel) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	g := 0
+	if c.groupFn != nil {
+		g = c.groupFn(key)
+	}
+	if g < 0 || g >= len(c.groups) {
+		g = 0
+	}
+	read = c.groups[g].level
+	write = c.groups[g].last.WriteLevel
+	if write == 0 {
+		write = wire.One
+	}
+	return read, write
 }
 
 // GroupLast returns the most recent decision for a group.
@@ -458,6 +514,16 @@ func (c *Controller) Observe(obs Observation) {
 			}
 		}
 		groupDs[g] = c.decide(obs.At, model, c.groupToleranceLocked(g), c.divergenceStaleness(div))
+		if c.sessionOKLocked(g) && groupDs[g].Level != wire.One {
+			// Session-flagged group: any tighter-than-ONE demand is served by
+			// the SESSION tier instead — token-checked reads block for one
+			// replica in the common case, which is exactly the guarantee this
+			// group's clients need (see ControllerConfig.SessionGroups).
+			// Writes stay at ONE: session is a read-side guarantee.
+			groupDs[g].Xn = 1
+			groupDs[g].Level = wire.Session
+			groupDs[g].WriteLevel = wire.One
+		}
 	}
 
 	c.level = global.Level

@@ -178,7 +178,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 			n.stop()
 		}
 	}()
-	drv, rt, closeClient := tcpClient(t, "it-client", ids, addrs, client.Options{WriteLevel: wire.Quorum, Timeout: 5 * time.Second})
+	drv, rt, closeClient := tcpClient(t, "it-client", ids, addrs, client.Options{Policy: client.Fixed{Write: wire.Quorum}, Timeout: 5 * time.Second})
 	defer closeClient()
 
 	// Write then read back at QUORUM across distinct coordinators.
@@ -211,7 +211,7 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 func TestTCPClusterCommitLogRecovery(t *testing.T) {
 	dir := t.TempDir()
 	nodes, ids, addrs := tcpCluster(t, 3, dir)
-	drv, rt, closeClient := tcpClient(t, "rec-client", ids, addrs, client.Options{WriteLevel: wire.All, Timeout: 5 * time.Second})
+	drv, rt, closeClient := tcpClient(t, "rec-client", ids, addrs, client.Options{Policy: client.Fixed{Write: wire.All}, Timeout: 5 * time.Second})
 
 	runOn(t, rt, 5*time.Second, func(done func()) {
 		drv.Write([]byte("durable"), []byte("survives-restart"), func(r client.WriteResult) {
@@ -252,7 +252,7 @@ func TestTCPClusterMonitorObservesLoad(t *testing.T) {
 			n.stop()
 		}
 	}()
-	drv, rt, closeClient := tcpClient(t, "load-client", ids, addrs, client.Options{WriteLevel: wire.One, Timeout: 5 * time.Second})
+	drv, rt, closeClient := tcpClient(t, "load-client", ids, addrs, client.Options{Policy: client.Fixed{Write: wire.One}, Timeout: 5 * time.Second})
 	defer closeClient()
 
 	// A separate monitoring endpoint, as harmony-client's monitor mode.

@@ -26,6 +26,7 @@ import (
 	"slices"
 	"sync"
 
+	"harmony/internal/versioning"
 	"harmony/internal/wire"
 )
 
@@ -50,8 +51,9 @@ type shard struct {
 	writes    uint64
 	flushes   uint64
 	compacted uint64
+	siblings  uint64 // concurrent versions settled by the resolver
 
-	_ [48]byte // pad to 128 bytes
+	_ [40]byte // pad to 128 bytes
 }
 
 // table is an immutable flushed memtable with sorted keys for scans.
@@ -68,6 +70,7 @@ type Engine struct {
 	flushAt   int // per-shard freeze threshold in bytes
 	maxTables int // per-shard compaction trigger
 	log       CommitLog
+	resolver  versioning.Resolver
 	onApply   func(key []byte, v wire.Value)
 	onReplace func(key []byte, old wire.Value, hadOld bool, v wire.Value)
 }
@@ -89,6 +92,11 @@ type Options struct {
 	// CommitLog, when non-nil, receives every mutation before it is applied
 	// (durability hook). Nil disables logging.
 	CommitLog CommitLog
+	// Resolver arbitrates concurrent (sibling) versions detected by
+	// vector-clock comparison; nil means versioning.LWW, which reproduces
+	// the engine's historical last-writer-wins behavior exactly. Resolvers
+	// must be deterministic or anti-entropy cannot converge replicas.
+	Resolver versioning.Resolver
 	// OnApply, when non-nil, observes every mutation that actually changed
 	// the engine (last-writer-wins accepted it), after the shard's lock is
 	// released. The callback runs on the applying goroutine and must not
@@ -150,6 +158,7 @@ func NewEngine(opts Options) *Engine {
 		flushAt:   max(1, opts.FlushThresholdBytes/p),
 		maxTables: opts.MaxFlushedTables,
 		log:       opts.CommitLog,
+		resolver:  opts.Resolver,
 		onApply:   opts.OnApply,
 		onReplace: opts.OnReplace,
 	}
@@ -167,8 +176,11 @@ func (e *Engine) shardOf(key []byte) *shard {
 	return &e.shards[maphash.Bytes(e.seed, key)&e.mask]
 }
 
-// Apply writes v under key if v is newer than what the engine already holds
-// for that key (last-writer-wins). It reports whether the value was applied.
+// Apply writes v under key if it wins the engine's version comparison
+// against what is already held: causal (vector-clock) order when both
+// versions carry clocks, the configured Resolver for concurrent siblings
+// and clock-less values (last-writer-wins by default). It reports whether
+// the value was applied.
 //
 // The hot path is allocation-free for keys already resident in the
 // memtable: the stored value is updated in place under the shard lock, so a
@@ -190,7 +202,11 @@ func (e *Engine) Apply(key []byte, v wire.Value) (bool, error) {
 	if p, ok := s.memtable[string(key)]; ok {
 		// Invariant: a memtable entry is the newest visible version.
 		old, hadOld = *p, true
-		if !v.Fresh(old) {
+		take, conc := versioning.Decide(v, old, e.resolver)
+		if conc {
+			s.siblings++
+		}
+		if !take {
 			s.mu.Unlock()
 			return false, nil
 		}
@@ -199,7 +215,11 @@ func (e *Engine) Apply(key []byte, v wire.Value) (bool, error) {
 	} else {
 		if tp := s.tableLookup(key); tp != nil {
 			old, hadOld = *tp, true
-			if !v.Fresh(old) {
+			take, conc := versioning.Decide(v, old, e.resolver)
+			if conc {
+				s.siblings++
+			}
+			if !take {
 				s.mu.Unlock()
 				return false, nil
 			}
@@ -497,10 +517,14 @@ func (s *shard) collect(start, end []byte, tombstones bool) []kv {
 // Stats is a snapshot of engine counters. Sums aggregate across shards;
 // FlushedTables is the total table count over all shards.
 type Stats struct {
-	Writes        uint64
-	Reads         uint64
-	Flushes       uint64
-	Compactions   uint64
+	Writes      uint64
+	Reads       uint64
+	Flushes     uint64
+	Compactions uint64
+	// Siblings counts applies where the incoming and held versions were
+	// causally concurrent and the resolver had to arbitrate — the store's
+	// conflict-rate gauge.
+	Siblings      uint64
 	MemtableKeys  int
 	MemtableBytes int
 	FlushedTables int
@@ -520,6 +544,7 @@ func (e *Engine) Stats() Stats {
 		st.Reads += s.reads
 		st.Flushes += s.flushes
 		st.Compactions += s.compacted
+		st.Siblings += s.siblings
 		st.MemtableKeys += len(s.memtable)
 		st.MemtableBytes += s.memBytes
 		st.FlushedTables += len(s.tables)

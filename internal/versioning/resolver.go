@@ -1,0 +1,67 @@
+package versioning
+
+import (
+	"bytes"
+
+	"harmony/internal/wire"
+)
+
+// Resolver decides which of two concurrent (sibling) versions a replica
+// keeps. Decisions MUST be deterministic and symmetric — every replica
+// resolving the same pair picks the same winner regardless of arrival order
+// — or anti-entropy cannot converge replicas byte-for-byte.
+type Resolver interface {
+	// Resolve reports whether incoming should replace current, given that
+	// the two are causally concurrent (or clock-less). It is never called
+	// when one version causally descends the other.
+	Resolve(incoming, current wire.Value) bool
+}
+
+// LWW is the default resolver: last-writer-wins on the coordinator write
+// timestamp, ties kept (incoming loses), matching the engine's historical
+// Fresh() comparison exactly. For true siblings with identical timestamps
+// it falls back to a deterministic byte-order tie-break so replicas that
+// received the siblings in different orders still converge.
+type LWW struct{}
+
+// Resolve implements Resolver.
+func (LWW) Resolve(incoming, current wire.Value) bool {
+	if incoming.Timestamp != current.Timestamp {
+		return incoming.Timestamp > current.Timestamp
+	}
+	// Identical timestamps. Legacy clock-less values keep the historical
+	// "ties keep current" rule — idempotent replays must not churn state.
+	// Concurrent same-timestamp siblings (both clock-bearing, different
+	// content) need a content tie-break: tombstones win (deletes are
+	// explicit intent), then higher byte-order data.
+	if len(incoming.Clock) == 0 || len(current.Clock) == 0 {
+		return false
+	}
+	if incoming.Tombstone != current.Tombstone {
+		return incoming.Tombstone
+	}
+	return bytes.Compare(incoming.Data, current.Data) > 0
+}
+
+// Decide is the engine's version-comparison gate: it reports whether
+// incoming should replace current, and whether the pair was concurrent
+// (siblings handed to the resolver rather than settled causally). When both
+// values carry clocks the causal order is authoritative; otherwise the
+// resolver arbitrates directly, which for LWW reproduces the legacy
+// timestamp comparison bit-for-bit.
+func Decide(incoming, current wire.Value, r Resolver) (take, concurrent bool) {
+	if r == nil {
+		r = LWW{}
+	}
+	if len(incoming.Clock) > 0 && len(current.Clock) > 0 {
+		switch Compare(Clock(incoming.Clock), Clock(current.Clock)) {
+		case Descends:
+			return true, false
+		case DescendedBy, Equal:
+			return false, false
+		case Concurrent:
+			return r.Resolve(incoming, current), true
+		}
+	}
+	return r.Resolve(incoming, current), false
+}

@@ -43,7 +43,18 @@ func varintLen(v int64) int {
 
 func bytesLen(p []byte) int { return uvarintLen(uint64(len(p))) + len(p) }
 func strLen(s string) int   { return uvarintLen(uint64(len(s))) + len(s) }
-func valueLen(v Value) int  { return bytesLen(v.Data) + varintLen(v.Timestamp) + 1 }
+
+func clockLen(c []ClockEntry) int {
+	n := uvarintLen(uint64(len(c)))
+	for _, e := range c {
+		n += strLen(e.Node) + uvarintLen(e.Counter)
+	}
+	return n
+}
+
+func valueLen(v Value) int {
+	return bytesLen(v.Data) + varintLen(v.Timestamp) + 1 + clockLen(v.Clock)
+}
 
 func entriesLen(es []GossipEntry) int {
 	n := uvarintLen(uint64(len(es)))
@@ -59,13 +70,13 @@ func entriesLen(es []GossipEntry) int {
 func bodySize(m Message) (int, error) {
 	switch v := m.(type) {
 	case ReadRequest:
-		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + 2, nil
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + 2 + clockLen(v.Token), nil
 	case ReadResponse:
 		return 1 + uvarintLen(v.ID) + 1 + valueLen(v.Value) + 2, nil
 	case WriteRequest:
 		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + bytesLen(v.Value) + 2, nil
 	case WriteResponse:
-		return 1 + uvarintLen(v.ID) + 1 + varintLen(v.Timestamp), nil
+		return 1 + uvarintLen(v.ID) + 1 + varintLen(v.Timestamp) + clockLen(v.Clock), nil
 	case ReplicaRead:
 		return 1 + uvarintLen(v.ID) + bytesLen(v.Key), nil
 	case ReplicaReadResp:
@@ -266,10 +277,44 @@ func (r *buffer) rTokenRange() (TokenRange, error) {
 	return tr, nil
 }
 
+func (w *buffer) clock(c []ClockEntry) {
+	w.uvarint(uint64(len(c)))
+	for _, e := range c {
+		w.str(e.Node)
+		w.uvarint(e.Counter)
+	}
+}
+
+func (r *buffer) rClock() ([]ClockEntry, error) {
+	n, err := r.rUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(r.b)) { // cheap sanity bound
+		return nil, ErrTruncated
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	out := make([]ClockEntry, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var e ClockEntry
+		if e.Node, err = r.rStr(); err != nil {
+			return nil, err
+		}
+		if e.Counter, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}
+
 func (w *buffer) value(v Value) {
 	w.bytes(v.Data)
 	w.varint(v.Timestamp)
 	w.bool(v.Tombstone)
+	w.clock(v.Clock)
 }
 
 func (r *buffer) rValue() (Value, error) {
@@ -282,6 +327,9 @@ func (r *buffer) rValue() (Value, error) {
 		return v, err
 	}
 	if v.Tombstone, err = r.rBool(); err != nil {
+		return v, err
+	}
+	if v.Clock, err = r.rClock(); err != nil {
 		return v, err
 	}
 	return v, nil
@@ -312,6 +360,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.bytes(v.Key)
 		w.byte(byte(v.Level))
 		w.bool(v.Shadow)
+		w.clock(v.Token)
 	case ReadResponse:
 		w.uvarint(v.ID)
 		w.bool(v.Found)
@@ -328,6 +377,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.ID)
 		w.bool(v.OK)
 		w.varint(v.Timestamp)
+		w.clock(v.Clock)
 	case ReplicaRead:
 		w.uvarint(v.ID)
 		w.bytes(v.Key)
@@ -500,6 +550,9 @@ func decodeBody(body []byte, share bool) (Message, error) {
 		if m.Shadow, err = r.rBool(); err != nil {
 			return nil, err
 		}
+		if m.Token, err = r.rClock(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case KindReadResponse:
 		var m ReadResponse
@@ -550,6 +603,9 @@ func decodeBody(body []byte, share bool) (Message, error) {
 			return nil, err
 		}
 		if m.Timestamp, err = r.rVarint(); err != nil {
+			return nil, err
+		}
+		if m.Clock, err = r.rClock(); err != nil {
 			return nil, err
 		}
 		return m, nil

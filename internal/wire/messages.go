@@ -67,13 +67,18 @@ func (k Kind) String() string {
 type ConsistencyLevel uint8
 
 // Consistency levels. One..Three are absolute counts; Quorum and All are
-// resolved against the replication factor at coordination time.
+// resolved against the replication factor at coordination time. Session sits
+// between One and Quorum in guarantee strength: the coordinator answers from
+// a single replica when that replica already covers the client's session
+// token, and widens the read only when it does not — so the common case costs
+// ONE while read-your-writes and monotonic reads still hold.
 const (
 	One ConsistencyLevel = iota + 1
 	Two
 	Three
 	Quorum
 	All
+	Session
 )
 
 // String names the level like Cassandra's documentation does.
@@ -89,6 +94,8 @@ func (c ConsistencyLevel) String() string {
 		return "QUORUM"
 	case All:
 		return "ALL"
+	case Session:
+		return "SESSION"
 	}
 	return fmt.Sprintf("CL(%d)", uint8(c))
 }
@@ -97,7 +104,9 @@ func (c ConsistencyLevel) String() string {
 func (c ConsistencyLevel) BlockFor(rf int) int {
 	var n int
 	switch c {
-	case One:
+	case One, Session:
+		// Session blocks for one replica; token satisfaction, not replica
+		// count, provides its extra guarantee.
 		n = 1
 	case Two:
 		n = 2
@@ -144,13 +153,29 @@ func LevelForCount(x, rf int) ConsistencyLevel {
 	}
 }
 
+// ClockEntry is one coordinator's component of a vector clock: the highest
+// write timestamp the value has observed through that coordinator. Counters
+// are write timestamps (UnixNano of the coordinating write), so a value's
+// clock doubles as a causal history and a recency watermark.
+type ClockEntry struct {
+	Node    string
+	Counter uint64
+}
+
 // Value is a timestamped cell. Timestamps are the write coordinator's clock
-// in nanoseconds; conflict resolution is last-writer-wins, exactly the
-// reconciliation Cassandra applies on read.
+// in nanoseconds; conflict resolution is last-writer-wins by default, exactly
+// the reconciliation Cassandra applies on read, with the vector Clock
+// available for causal comparison and pluggable sibling resolution
+// (internal/versioning).
 type Value struct {
 	Data      []byte
 	Timestamp int64 // UnixNano of the coordinating write
 	Tombstone bool
+	// Clock is the value's vector clock, stamped by the write coordinator:
+	// the previous version's clock merged with (coordinator, Timestamp).
+	// Empty for legacy/bulk-loaded values, which compare purely by
+	// Timestamp.
+	Clock []ClockEntry
 }
 
 // Fresh reports whether v is newer than other (ties broken toward v=false so
@@ -169,6 +194,12 @@ type ReadRequest struct {
 	// compared against the primary read to detect staleness — the paper's
 	// §V-F dual-read measurement.
 	Shadow bool
+	// Token is the client's session token for the key's range: high-water
+	// vector-clock entries from the session's previous reads and writes.
+	// Meaningful only at Level Session, where the coordinator must answer
+	// with a version covering the token (read-your-writes + monotonic
+	// reads) or widen the read until one is found.
+	Token []ClockEntry
 }
 
 // ReadResponse is the coordinator's reply to a ReadRequest.
@@ -199,6 +230,10 @@ type WriteResponse struct {
 	ID        uint64
 	OK        bool
 	Timestamp int64
+	// Clock is the vector clock the coordinator stamped on the written
+	// value; sessions fold it into their token so subsequent SESSION reads
+	// observe the write.
+	Clock []ClockEntry
 }
 
 // ReplicaRead is a coordinator-to-replica data read.

@@ -23,20 +23,17 @@ type RunConfig struct {
 	// Operations caps the total operations issued; 0 means unlimited (the
 	// caller stops the run by advancing virtual time and calling Stop).
 	Operations int64
-	// Levels supplies the read consistency level per operation: Harmony's
-	// controller, or client.Fixed for the static baselines.
-	Levels client.LevelSource
-	// KeyLevels, when set, takes precedence over Levels and chooses the
-	// level per key — the per-group multi-model controller or
-	// core.PerKeyLevels.
-	KeyLevels client.KeyLevelSource
-	// WriteLevel for updates/inserts; zero means ONE (the paper's write
-	// setting).
-	WriteLevel wire.ConsistencyLevel
-	// WriteLevels, when set, takes precedence over WriteLevel and picks the
-	// write level per key — the multi-model controller with adaptive write
-	// levels (core.Controller.WriteLevelFor).
-	WriteLevels client.WriteLevelSource
+	// Policy supplies the read and write consistency levels per operation:
+	// Harmony's controller (per key group), core.PerKeyLevels, or
+	// client.Fixed for the static baselines. Nil means client.Fixed{} —
+	// read ONE, write ONE, the paper's baseline.
+	Policy client.ConsistencyPolicy
+	// Sessions routes every thread's operations through a client.Session:
+	// reads at wire.Session carry the thread's session token (enforced
+	// read-your-writes / monotonic reads), and the run's Report tallies the
+	// regressions the sessions observed — zero when the policy serves
+	// SESSION, a measured violation count when it serves plain ONE.
+	Sessions bool
 	// ShadowEvery enables the coordinator-side dual-read staleness probe
 	// (§V-F) on every k-th read; 0 disables, 1 probes every read.
 	ShadowEvery int
@@ -90,8 +87,19 @@ type Report struct {
 	StaleReads    uint64
 	ShadowSamples uint64
 	// LevelUse tallies reads coordinated per consistency level during the
-	// run (index by wire.ConsistencyLevel).
-	LevelUse [6]uint64
+	// run (index by wire.ConsistencyLevel; slot wire.Session counts
+	// token-checked session reads).
+	LevelUse [8]uint64
+	// SessionRegressions counts reads the run's sessions saw answer below
+	// their own high-water mark (always zero without RunConfig.Sessions;
+	// zero by contract when the policy serves wire.Session).
+	SessionRegressions uint64
+	// SessionUpgrades / SessionRepolls are the cluster's coordinator-side
+	// session-read escalation counters accumulated during the run: how often
+	// the first replica's answer failed the token check and the read fanned
+	// out, and how often a full fan-in still fell short and re-polled.
+	SessionUpgrades uint64
+	SessionRepolls  uint64
 	// Groups splits the run's coordinated traffic and probe staleness by
 	// key group (index by group id), when the cluster tallies groups.
 	Groups []GroupStaleness
@@ -150,6 +158,7 @@ type Runner struct {
 	stopped     bool
 	started     time.Time
 	baseline    cluster.Metrics
+	baseRegr    uint64
 	readLat     stats.Histogram
 	updateLat   stats.Histogram
 	valuePool   [][]byte
@@ -158,8 +167,27 @@ type Runner struct {
 type thread struct {
 	idx    int
 	drv    *client.Driver
+	sess   *client.Session // non-nil in session mode (RunConfig.Sessions)
 	rng    *rand.Rand
 	parked bool
+}
+
+// read issues a read through the thread's session when session mode is on.
+func (th *thread) read(key []byte, cb func(client.ReadResult)) {
+	if th.sess != nil {
+		th.sess.Read(key, cb)
+		return
+	}
+	th.drv.Read(key, cb)
+}
+
+// write issues a write through the thread's session when session mode is on.
+func (th *thread) write(key, value []byte, cb func(client.WriteResult)) {
+	if th.sess != nil {
+		th.sess.Write(key, value, cb)
+		return
+	}
+	th.drv.Write(key, value, cb)
 }
 
 // NewRunner prepares a runner: it validates the workload, creates one client
@@ -177,11 +205,8 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 	if cfg.Threads <= 0 {
 		return nil, fmt.Errorf("ycsb: threads must be positive")
 	}
-	if cfg.WriteLevel == 0 {
-		cfg.WriteLevel = wire.One
-	}
-	if cfg.Levels == nil {
-		cfg.Levels = client.Fixed(wire.One)
+	if cfg.Policy == nil {
+		cfg.Policy = client.Fixed{}
 	}
 	if cfg.OpTimeout <= 0 {
 		cfg.OpTimeout = 5 * time.Second
@@ -222,10 +247,7 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 		drv, err := client.New(client.Options{
 			ID:           id,
 			Coordinators: rot,
-			Levels:       cfg.Levels,
-			KeyLevels:    cfg.KeyLevels,
-			WriteLevel:   cfg.WriteLevel,
-			WriteLevels:  cfg.WriteLevels,
+			Policy:       cfg.Policy,
 			Timeout:      cfg.OpTimeout,
 			ShadowEvery:  cfg.ShadowEvery,
 		}, s, c.Bus)
@@ -233,11 +255,15 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 			return nil, err
 		}
 		c.Bus.Register(id, s, drv)
-		r.threads = append(r.threads, &thread{
+		th := &thread{
 			idx: i,
 			drv: drv,
 			rng: rand.New(rand.NewSource(cfg.Seed + int64(i)*7919)),
-		})
+		}
+		if cfg.Sessions {
+			th.sess = client.NewSession(drv)
+		}
+		r.threads = append(r.threads, th)
 	}
 	return r, nil
 }
@@ -390,7 +416,7 @@ func (r *Runner) value(rng *rand.Rand) []byte {
 func (r *Runner) doRead(th *thread) {
 	key := r.pickKey(th.rng)
 	start := r.s.Now()
-	th.drv.Read(key, func(res client.ReadResult) {
+	th.read(key, func(res client.ReadResult) {
 		r.reads++
 		r.finish(th, start, &r.readLat, res.Err)
 	})
@@ -399,7 +425,7 @@ func (r *Runner) doRead(th *thread) {
 func (r *Runner) doUpdate(th *thread) {
 	key := r.pickKey(th.rng)
 	start := r.s.Now()
-	th.drv.Write(key, r.value(th.rng), func(res client.WriteResult) {
+	th.write(key, r.value(th.rng), func(res client.WriteResult) {
 		r.updates++
 		r.finish(th, start, &r.updateLat, res.Err)
 	})
@@ -410,7 +436,7 @@ func (r *Runner) doInsert(th *thread) {
 	key := Key(r.inserted - 1)
 	r.chooser.SetItemCount(r.inserted)
 	start := r.s.Now()
-	th.drv.Write(key, r.value(th.rng), func(res client.WriteResult) {
+	th.write(key, r.value(th.rng), func(res client.WriteResult) {
 		r.updates++
 		r.finish(th, start, &r.updateLat, res.Err)
 	})
@@ -419,7 +445,7 @@ func (r *Runner) doInsert(th *thread) {
 func (r *Runner) doRMW(th *thread) {
 	key := r.pickKey(th.rng)
 	start := r.s.Now()
-	th.drv.Read(key, func(res client.ReadResult) {
+	th.read(key, func(res client.ReadResult) {
 		r.reads++
 		if res.Err != nil {
 			r.finish(th, start, &r.readLat, res.Err)
@@ -427,7 +453,7 @@ func (r *Runner) doRMW(th *thread) {
 		}
 		r.readLat.Record(r.s.Now().Sub(start))
 		wstart := r.s.Now()
-		th.drv.Write(key, r.value(th.rng), func(wres client.WriteResult) {
+		th.write(key, r.value(th.rng), func(wres client.WriteResult) {
 			r.updates++
 			r.finish(th, wstart, &r.updateLat, wres.Err)
 		})
@@ -477,9 +503,22 @@ func (r *Runner) Drain() {
 func (r *Runner) ResetMeasurement() {
 	r.started = r.s.Now()
 	r.baseline = r.c.AggregateMetrics()
+	r.baseRegr = r.sessionRegressions()
 	r.completed, r.errors, r.reads, r.updates = 0, 0, 0, 0
 	r.readLat.Reset()
 	r.updateLat.Reset()
+}
+
+// sessionRegressions sums the threads' session regression counters (zero
+// without session mode).
+func (r *Runner) sessionRegressions() uint64 {
+	var total uint64
+	for _, th := range r.threads {
+		if th.sess != nil {
+			total += th.sess.Regressions()
+		}
+	}
+	return total
 }
 
 // RunMeasured runs the workload with an unmeasured warm-up of virtual
@@ -531,18 +570,21 @@ func (r *Runner) Report() Report {
 	dur := now.Sub(r.started)
 	after := r.c.AggregateMetrics()
 	rep := Report{
-		Workload:      r.cfg.Workload.Name,
-		Threads:       r.cfg.Threads,
-		Duration:      dur,
-		Operations:    r.completed,
-		Reads:         r.reads,
-		Updates:       r.updates,
-		Errors:        r.errors,
-		ReadLatency:   r.readLat,
-		UpdateLatency: r.updateLat,
-		StaleReads:    after.ShadowStale - r.baseline.ShadowStale,
-		ShadowSamples: after.ShadowSamples - r.baseline.ShadowSamples,
+		Workload:        r.cfg.Workload.Name,
+		Threads:         r.cfg.Threads,
+		Duration:        dur,
+		Operations:      r.completed,
+		Reads:           r.reads,
+		Updates:         r.updates,
+		Errors:          r.errors,
+		ReadLatency:     r.readLat,
+		UpdateLatency:   r.updateLat,
+		StaleReads:      after.ShadowStale - r.baseline.ShadowStale,
+		ShadowSamples:   after.ShadowSamples - r.baseline.ShadowSamples,
+		SessionUpgrades: after.SessionUpgrades - r.baseline.SessionUpgrades,
+		SessionRepolls:  after.SessionRepolls - r.baseline.SessionRepolls,
 	}
+	rep.SessionRegressions = r.sessionRegressions() - r.baseRegr
 	for i := range rep.LevelUse {
 		rep.LevelUse[i] = after.LevelUse[i] - r.baseline.LevelUse[i]
 	}

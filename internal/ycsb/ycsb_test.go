@@ -221,7 +221,7 @@ func TestRunnerShadowMeasuresStaleness(t *testing.T) {
 		Operations:  6000,
 		Seed:        11,
 		ShadowEvery: 1,
-		Levels:      client.Fixed(wire.One),
+		Policy:      client.Fixed{},
 	})
 	rep, err := r.RunOps()
 	if err != nil {
@@ -245,7 +245,7 @@ func TestRunnerStrongConsistencyZeroStale(t *testing.T) {
 		Operations:  3000,
 		Seed:        13,
 		ShadowEvery: 1,
-		Levels:      client.Fixed(wire.All),
+		Policy:      client.Fixed{Read: wire.All},
 	})
 	rep, err := r.RunOps()
 	if err != nil {
@@ -438,15 +438,14 @@ func TestRunnerReportsGroupStaleness(t *testing.T) {
 	}
 }
 
-func TestRunnerKeyLevelsTakesPrecedence(t *testing.T) {
-	// A per-key source forcing ALL must shape every coordinated read.
+func TestRunnerPolicyShapesEveryRead(t *testing.T) {
+	// A policy forcing ALL must shape every coordinated read.
 	s, c, r := newRunner(t, RunConfig{
 		Workload:   smallWorkload(WorkloadA()),
 		Threads:    4,
 		Operations: 500,
 		Seed:       13,
-		Levels:     client.Fixed(wire.One),
-		KeyLevels:  allKeyLevels{},
+		Policy:     allReads{},
 	})
 	_ = s
 	if _, err := r.RunOps(); err != nil {
@@ -454,13 +453,13 @@ func TestRunnerKeyLevelsTakesPrecedence(t *testing.T) {
 	}
 	m := c.AggregateMetrics()
 	if m.LevelUse[wire.One] != 0 || m.LevelUse[wire.All] == 0 {
-		t.Fatalf("KeyLevels ignored: level use = %v", m.LevelUse)
+		t.Fatalf("policy ignored: level use = %v", m.LevelUse)
 	}
 }
 
-type allKeyLevels struct{}
+type allReads struct{}
 
-func (allKeyLevels) ReadLevelFor([]byte) wire.ConsistencyLevel { return wire.All }
+func (allReads) LevelsFor([]byte) (read, write wire.ConsistencyLevel) { return wire.All, wire.One }
 
 func TestRunnerThinkTimeThrottles(t *testing.T) {
 	run := func(think dist.Sampler) int64 {
@@ -490,5 +489,32 @@ func TestRunnerThinkTimeThrottles(t *testing.T) {
 	poisson := run(dist.NewExponential(0.05))
 	if poisson == 0 || poisson > 500 {
 		t.Fatalf("poisson think-time run completed %d ops", poisson)
+	}
+}
+
+func TestRunnerSessionMode(t *testing.T) {
+	// Session mode over a SESSION policy: every coordinated read is
+	// token-checked and no session may observe a version regression.
+	_, c, r := newRunner(t, RunConfig{
+		Workload:   smallWorkload(WorkloadA()),
+		Threads:    8,
+		Operations: 2000,
+		Seed:       17,
+		Policy:     client.Fixed{Read: wire.Session},
+		Sessions:   true,
+	})
+	rep, err := r.RunOps()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SessionRegressions != 0 {
+		t.Fatalf("SESSION run observed %d regressions", rep.SessionRegressions)
+	}
+	m := c.AggregateMetrics()
+	if m.LevelUse[wire.Session] == 0 {
+		t.Fatal("no reads coordinated at SESSION")
+	}
+	if rep.LevelUse[wire.Session] == 0 {
+		t.Fatal("report missed the SESSION level tally")
 	}
 }
