@@ -40,8 +40,9 @@ bench-micro:
 # end-to-end scenario sweep, a single iteration each, the tracked
 # bench-micro baseline (with delta vs the previous run), the hotcold
 # per-group-vs-global comparison, the regroup migrating-hotspot comparison
-# (learned online regrouping vs build-time-pinned groups), and the churn
-# failure/recovery comparison (anti-entropy repair vs hints-only), each
+# (learned online regrouping vs build-time-pinned groups), the churn
+# failure/recovery comparison (anti-entropy repair vs hints-only), and a
+# live-cluster smoke (3 real server processes over loopback TCP), each
 # with JSON results (uploaded as CI artifacts).
 bench-smoke: bench-micro
 	$(GO) test -run '^$$' -bench . -benchtime 1x $$($(GO) list ./internal/... | grep -v bench/micro)
@@ -49,6 +50,7 @@ bench-smoke: bench-micro
 	$(GO) run ./cmd/harmony-bench -experiment hotcold -scenario grid5000 -ops 8000 -quiet -json out/hotcold.json
 	$(GO) run ./cmd/harmony-bench -experiment regroup -ops 8000 -quiet -json out/regroup.json
 	$(GO) run ./cmd/harmony-bench -experiment churn -quiet -json out/churn.json
+	$(GO) run ./cmd/harmony-bench -backend live -experiment hotcold -procs 3 -live-measure 3s -live-keys 1500 -json out/live.json
 
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }

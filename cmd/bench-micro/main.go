@@ -56,6 +56,10 @@ var suite = []struct {
 	{"wire/decode", micro.WireDecode},
 	{"wire/decode-shared", micro.WireDecodeShared},
 	{"wire/size", micro.WireSize},
+	{"transport/serial-rpc", micro.TransportSerialRPC},
+	{"transport/pipelined-rpc", micro.TransportPipelinedRPC},
+	{"transport/batched-tput", micro.TransportBatchedThroughput},
+	{"transport/unbatched-tput", micro.TransportUnbatchedThroughput},
 	{"merkle/write-path", micro.MerkleWritePath},
 	{"merkle/invalidate-rebuild", micro.MerkleInvalidateRebuild},
 	{"cluster/ops", micro.ClusterOps},

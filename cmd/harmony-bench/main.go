@@ -11,6 +11,7 @@
 //	harmony-bench -experiment hotcold -json out/hotcold.json
 //	harmony-bench -experiment regroup -json out/regroup.json
 //	harmony-bench -experiment fig5 -arrival 8000   # open-loop Poisson load
+//	harmony-bench -backend live -experiment hotcold -procs 5 -json out/live.json
 //
 // Experiments: fig4a fig4b fig5 fig6 headline ablations hotcold regroup lag
 // all. fig5 and fig6 derive from the same measurement grid; requesting
@@ -21,6 +22,12 @@
 // time-from-regime-change-to-stable-level on the drifting scenario; -json
 // writes results (plus any figures) as machine-readable JSON for CI
 // artifacts.
+//
+// -backend live replaces the simulated cluster with a spawned cluster of
+// real server processes (re-executions of this binary dispatching into
+// internal/server) driven over real TCP; the hotcold and churn experiments
+// then measure the deployed stack — kernel sockets, kill -9 failure
+// injection, dual-read staleness probes — instead of the model.
 package main
 
 import (
@@ -34,9 +41,15 @@ import (
 	"time"
 
 	"harmony/internal/bench"
+	"harmony/internal/server"
 )
 
 func main() {
+	// A process carrying the child marker IS a cluster member: dispatch
+	// into the server before touching bench flags.
+	if os.Getenv(bench.LiveChildEnv) == "1" {
+		os.Exit(server.Main(os.Args[1:]))
+	}
 	var (
 		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|churn|all")
 		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal, drifting), 'both' paper testbeds, or 'all'")
@@ -47,6 +60,14 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to write per-figure CSV files")
 		jsonPath   = flag.String("json", "", "file to write machine-readable JSON results")
 		quiet      = flag.Bool("quiet", false, "suppress progress lines")
+
+		backend     = flag.String("backend", "sim", "sim|live: simulated cluster or spawned server processes")
+		procs       = flag.Int("procs", 0, "live: cluster size (0 = experiment default)")
+		liveMeasure = flag.Duration("live-measure", 0, "live hotcold: measured duration override")
+		liveOutage  = flag.Duration("live-outage", 0, "live churn: outage duration override")
+		livePost    = flag.Duration("live-postwatch", 0, "live churn: post-recovery watch override")
+		liveKeys    = flag.Int64("live-keys", 0, "live: total keyspace override (hot range scales with it)")
+		liveLogs    = flag.String("live-logs", "", "live: directory for member process logs (default: temp)")
 	)
 	flag.Parse()
 
@@ -62,6 +83,18 @@ func main() {
 			}
 			opts.Threads = append(opts.Threads, t)
 		}
+	}
+
+	switch *backend {
+	case "sim":
+	case "live":
+		runLiveBackend(*experiment, opts, *jsonPath, liveOverrides{
+			procs: *procs, measure: *liveMeasure, outage: *liveOutage,
+			postWatch: *livePost, totalKeys: *liveKeys, logDir: *liveLogs,
+		})
+		return
+	default:
+		fatalf("unknown backend %q (have sim, live)", *backend)
 	}
 
 	scenarios := selectScenarios(*scenario)
@@ -195,6 +228,93 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
 		}
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+}
+
+// liveOverrides carries the CLI knobs that shrink (or grow) the live
+// experiment defaults — CI smoke runs a 3-process cluster for seconds.
+type liveOverrides struct {
+	procs     int
+	measure   time.Duration
+	outage    time.Duration
+	postWatch time.Duration
+	totalKeys int64
+	logDir    string
+}
+
+// runLiveBackend executes the live-cluster experiments and writes their own
+// JSON document (the out/live.json CI artifact).
+func runLiveBackend(experiment string, opts bench.Options, jsonPath string, ov liveOverrides) {
+	if !wants(experiment, "hotcold") && !wants(experiment, "churn") {
+		fatalf("backend live supports -experiment hotcold, churn, or all (got %q)", experiment)
+	}
+	start := time.Now()
+	var hots []bench.LiveHotColdResult
+	var churns []bench.LiveChurnResult
+	if wants(experiment, "hotcold") {
+		spec := bench.DefaultLiveHotColdSpec()
+		if ov.procs > 0 {
+			spec.Procs = ov.procs
+			spec.RF = min(spec.RF, ov.procs)
+		}
+		if ov.measure > 0 {
+			spec.Measure = ov.measure
+		}
+		if ov.totalKeys > 0 {
+			spec.TotalKeys = ov.totalKeys
+			spec.HotKeys = max(ov.totalKeys/20, 1)
+		}
+		spec.LogDir = ov.logDir
+		res, err := bench.LiveHotCold(spec, opts)
+		if err != nil {
+			fatalf("live hotcold: %v", err)
+		}
+		fmt.Println(res.Format())
+		hots = append(hots, res)
+	}
+	if wants(experiment, "churn") {
+		spec := bench.DefaultLiveChurnSpec()
+		if ov.procs > 0 {
+			spec.Procs = ov.procs
+			spec.RF = min(spec.RF, ov.procs)
+		}
+		if ov.outage > 0 {
+			spec.Outage = ov.outage
+		}
+		if ov.postWatch > 0 {
+			spec.PostWatch = ov.postWatch
+		}
+		if ov.totalKeys > 0 {
+			spec.TotalKeys = ov.totalKeys
+			spec.HotKeys = max(ov.totalKeys/15, 1)
+		}
+		spec.LogDir = ov.logDir
+		res, err := bench.LiveChurn(spec, opts)
+		if err != nil {
+			fatalf("live churn: %v", err)
+		}
+		fmt.Println(res.Format())
+		churns = append(churns, res)
+	}
+	if jsonPath != "" {
+		doc := struct {
+			LiveHotCold []bench.LiveHotColdResult `json:"live_hotcold,omitempty"`
+			LiveChurn   []bench.LiveChurnResult   `json:"live_churn,omitempty"`
+		}{LiveHotCold: hots, LiveChurn: churns}
+		b, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			fatalf("marshal live json: %v", err)
+		}
+		if dir := filepath.Dir(jsonPath); dir != "." {
+			if err := os.MkdirAll(dir, 0o755); err != nil {
+				fatalf("json dir: %v", err)
+			}
+		}
+		if err := os.WriteFile(jsonPath, append(b, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", jsonPath, err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
 }

@@ -72,6 +72,7 @@ func main() {
 		level   = flag.String("level", "ONE", "read consistency level: ONE|SESSION|TWO|THREE|QUORUM|ALL")
 		timeout = flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 		verify  = flag.Bool("verify", false, "get only: dual-read staleness check")
+		streams = flag.Int("streams", 1, "pooled TCP connections per server (pipelining)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -90,7 +91,7 @@ func main() {
 
 	rt := sim.NewRealRuntime()
 	defer rt.Stop()
-	tcp, err := transport.NewTCPNode(transport.TCPConfig{ID: "harmony-client", Peers: peers}, rt, transport.HandlerFunc(func(ring.NodeID, wire.Message) {}))
+	tcp, err := transport.NewTCPNode(transport.TCPConfig{ID: "harmony-client", Peers: peers, Streams: *streams}, rt, transport.HandlerFunc(func(ring.NodeID, wire.Message) {}))
 	if err != nil {
 		log.Fatalf("harmony-client: %v", err)
 	}

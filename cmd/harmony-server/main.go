@@ -9,198 +9,15 @@
 //	harmony-server -id n2 -listen 127.0.0.1:7002 -rf 3 -cluster ... &
 //	harmony-server -id n3 -listen 127.0.0.1:7003 -rf 3 -cluster ... &
 //
-// Then read and write with harmony-client.
+// Then read and write with harmony-client. All assembly lives in
+// internal/server, which harmony-bench's live backend re-executes as its
+// cluster member processes.
 package main
 
 import (
-	"flag"
-	"fmt"
-	"log"
 	"os"
-	"os/signal"
-	"strings"
-	"sync"
-	"syscall"
-	"time"
 
-	"harmony/internal/cluster"
-	"harmony/internal/gossip"
-	"harmony/internal/ring"
-	"harmony/internal/sim"
-	"harmony/internal/storage"
-	"harmony/internal/transport"
-	"harmony/internal/wire"
+	"harmony/internal/server"
 )
 
-// member is one parsed -cluster entry.
-type member struct {
-	id   ring.NodeID
-	addr string
-	dc   string
-	rack string
-}
-
-func parseCluster(spec string) ([]member, error) {
-	var out []member
-	for _, entry := range strings.Split(spec, ",") {
-		entry = strings.TrimSpace(entry)
-		if entry == "" {
-			continue
-		}
-		eq := strings.SplitN(entry, "=", 2)
-		if len(eq) != 2 {
-			return nil, fmt.Errorf("entry %q: want id=addr/dc/rack", entry)
-		}
-		parts := strings.Split(eq[1], "/")
-		if len(parts) != 3 {
-			return nil, fmt.Errorf("entry %q: want id=addr/dc/rack", entry)
-		}
-		out = append(out, member{
-			id:   ring.NodeID(eq[0]),
-			addr: parts[0],
-			dc:   parts[1],
-			rack: parts[2],
-		})
-	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty cluster description")
-	}
-	return out, nil
-}
-
-// lateHandler lets the TCP endpoint start before the node exists (the node
-// needs the endpoint as its Sender). Messages arriving before binding are
-// dropped like network loss; protocol timeouts cover the window.
-type lateHandler struct {
-	mu sync.RWMutex
-	h  transport.Handler
-}
-
-func (l *lateHandler) bind(h transport.Handler) {
-	l.mu.Lock()
-	l.h = h
-	l.mu.Unlock()
-}
-
-func (l *lateHandler) Deliver(from ring.NodeID, m wire.Message) {
-	l.mu.RLock()
-	h := l.h
-	l.mu.RUnlock()
-	if h != nil {
-		h.Deliver(from, m)
-	}
-}
-
-func main() {
-	var (
-		id          = flag.String("id", "", "this node's id (must appear in -cluster)")
-		listen      = flag.String("listen", ":7000", "listen address")
-		clusterSpec = flag.String("cluster", "", "comma list of id=addr/dc/rack")
-		rf          = flag.Int("rf", 3, "replication factor")
-		vnodes      = flag.Int("vnodes", 16, "virtual nodes per member")
-		readRepair  = flag.Float64("read-repair-chance", 0.1, "probability a read fans out for repair")
-		hints       = flag.Bool("hinted-handoff", true, "queue hints for down replicas")
-		commitLog   = flag.String("commitlog", "", "path to a commit log file (durability); empty disables")
-		gossipEvery = flag.Duration("gossip-interval", time.Second, "gossip round interval")
-	)
-	flag.Parse()
-	if *id == "" || *clusterSpec == "" {
-		fmt.Fprintln(os.Stderr, "harmony-server: -id and -cluster are required")
-		flag.Usage()
-		os.Exit(2)
-	}
-	members, err := parseCluster(*clusterSpec)
-	if err != nil {
-		log.Fatalf("harmony-server: -cluster: %v", err)
-	}
-	var infos []ring.NodeInfo
-	peers := map[ring.NodeID]string{}
-	var peerIDs []ring.NodeID
-	found := false
-	for _, m := range members {
-		infos = append(infos, ring.NodeInfo{ID: m.id, DC: m.dc, Rack: m.rack})
-		peers[m.id] = m.addr
-		peerIDs = append(peerIDs, m.id)
-		if m.id == ring.NodeID(*id) {
-			found = true
-		}
-	}
-	if !found {
-		log.Fatalf("harmony-server: id %q not present in -cluster", *id)
-	}
-	topo, err := ring.NewTopology(infos)
-	if err != nil {
-		log.Fatalf("harmony-server: topology: %v", err)
-	}
-	rng, err := ring.Build(topo, *vnodes)
-	if err != nil {
-		log.Fatalf("harmony-server: ring: %v", err)
-	}
-
-	rt := sim.NewRealRuntime()
-	defer rt.Stop()
-
-	var engineOpts storage.Options
-	if *commitLog != "" {
-		cl, err := storage.OpenFileCommitLog(*commitLog)
-		if err != nil {
-			log.Fatalf("harmony-server: commit log: %v", err)
-		}
-		defer cl.Close()
-		engineOpts.CommitLog = cl
-	}
-
-	late := &lateHandler{}
-	tcp, err := transport.NewTCPNode(transport.TCPConfig{
-		ID:     ring.NodeID(*id),
-		Listen: *listen,
-		Peers:  peers,
-	}, rt, late)
-	if err != nil {
-		log.Fatalf("harmony-server: %v", err)
-	}
-	defer tcp.Close()
-
-	g := gossip.New(gossip.Config{
-		ID:       ring.NodeID(*id),
-		Peers:    peerIDs,
-		Interval: *gossipEvery,
-	}, rt, tcp)
-
-	node := cluster.New(cluster.Config{
-		ID:               ring.NodeID(*id),
-		Ring:             rng,
-		Strategy:         ring.NetworkTopologyStrategy{RF: *rf},
-		ReadRepairChance: *readRepair,
-		HintedHandoff:    *hints,
-		Engine:           engineOpts,
-		Alive:            g.Alive,
-	}, rt, tcp)
-
-	// Replay the durability log into the engine before serving traffic.
-	if *commitLog != "" {
-		replayed := 0
-		if err := storage.Replay(*commitLog, func(key []byte, v wire.Value) error {
-			_, err := node.Engine().Apply(key, v)
-			replayed++
-			return err
-		}); err != nil {
-			log.Fatalf("harmony-server: replay: %v", err)
-		}
-		if replayed > 0 {
-			log.Printf("harmony-server %s: replayed %d commit-log records", *id, replayed)
-		}
-	}
-
-	late.bind(gossip.Mux{Gossip: g, Rest: node})
-	node.Start()
-	g.Start()
-	log.Printf("harmony-server %s: serving on %s (rf=%d, %d members)", *id, tcp.Addr(), *rf, len(members))
-
-	sigs := make(chan os.Signal, 1)
-	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
-	<-sigs
-	log.Printf("harmony-server %s: shutting down", *id)
-	g.Stop()
-	node.Stop()
-}
+func main() { os.Exit(server.Main(os.Args[1:])) }

@@ -1,0 +1,590 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/core"
+	"harmony/internal/dist"
+	"harmony/internal/wire"
+)
+
+// LiveHotColdSpec parameterizes the live hot/cold experiment — the same
+// comparison as HotColdSpec (per-group multi-model controller vs one global
+// knob) but over a spawned process cluster.
+type LiveHotColdSpec struct {
+	Procs int
+	RF    int
+	// HotKeys / TotalKeys split the keyspace as in the simulated variant.
+	HotKeys   int64
+	TotalKeys int64
+	// HotWorkers / ColdWorkers size the closed-loop client pools.
+	HotWorkers, ColdWorkers int
+	// HotTolerance / ColdTolerance are the per-group stale targets; the
+	// global arm runs everything at the hot tolerance.
+	HotTolerance, ColdTolerance float64
+	ValueBytes                  int
+	// VerifyEvery probes every k-th read with a dual read (§V-F literal).
+	VerifyEvery int
+	// ClientStreams / ServerStreams set transport pool sizes on each side.
+	ClientStreams, ServerStreams int
+	// ControllerBandwidth parameterizes Tp's transfer term. Loopback RTTs
+	// are microseconds, so the latency term alone would let the estimator
+	// serve everything at ONE; the bandwidth term stands in for the
+	// provisioned per-replica bandwidth of a real deployment, exactly as
+	// the scenario profiles do for the simulated benches.
+	ControllerBandwidth float64
+	MonitorInterval     time.Duration
+	Warmup, Measure     time.Duration
+	// LogDir keeps member logs (empty = temp, removed).
+	LogDir string
+}
+
+// DefaultLiveHotColdSpec returns a configuration sized for a laptop/CI
+// machine: a 5-process cluster and a few seconds of measured load.
+func DefaultLiveHotColdSpec() LiveHotColdSpec {
+	return LiveHotColdSpec{
+		Procs:               5,
+		RF:                  3,
+		HotKeys:             200,
+		TotalKeys:           4000,
+		HotWorkers:          5,
+		ColdWorkers:         10,
+		HotTolerance:        0.05,
+		ColdTolerance:       0.60,
+		ValueBytes:          3072,
+		VerifyEvery:         8,
+		ClientStreams:       2,
+		ServerStreams:       2,
+		ControllerBandwidth: 8 << 20,
+		MonitorInterval:     500 * time.Millisecond,
+		Warmup:              3 * time.Second,
+		Measure:             8 * time.Second,
+	}
+}
+
+// LiveHotColdResult compares the two controller arms over the live cluster.
+type LiveHotColdResult struct {
+	Procs     int        `json:"procs"`
+	RF        int        `json:"rf"`
+	HotKeys   int64      `json:"hot_keys"`
+	TotalKeys int64      `json:"total_keys"`
+	MeasureMs float64    `json:"measure_ms"`
+	PerGroup  HotColdRun `json:"per_group"`
+	Global    HotColdRun `json:"global"`
+	// ThroughputGain is PerGroup/Global - 1, the headline of the live run.
+	ThroughputGain float64 `json:"throughput_gain"`
+}
+
+// Format renders the comparison.
+func (r LiveHotColdResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== live hotcold (%d procs, rf=%d, %d hot / %d total keys, %.0fms measured) ==\n",
+		r.Procs, r.RF, r.HotKeys, r.TotalKeys, r.MeasureMs)
+	for _, run := range []HotColdRun{r.PerGroup, r.Global} {
+		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s readP99=%6.2fms errors=%d\n",
+			run.Policy, run.ThroughputOps, run.ReadP99Ms, run.Errors)
+		for _, g := range run.Groups {
+			status := "within"
+			if !g.WithinTolerance {
+				status = "EXCEEDED"
+			}
+			fmt.Fprintf(&b, "  %-5s level=%-7s stale=%d/%d (%.3f vs tol %.2f, %s) reads=%d writes=%d\n",
+				g.Name, g.FinalLevel, g.StaleReads, g.ShadowSamples,
+				g.StaleFraction, g.Tolerance, status, g.Reads, g.Writes)
+		}
+	}
+	fmt.Fprintf(&b, "throughput gain per-group vs global: %+.0f%%\n", r.ThroughputGain*100)
+	return b.String()
+}
+
+// LiveHotCold runs both arms against freshly spawned clusters and compares
+// them. opts supplies Seed and Progress; the spec supplies durations (live
+// runs are time-bounded, not op-bounded — wall clock is real here).
+func LiveHotCold(spec LiveHotColdSpec, opts Options) (LiveHotColdResult, error) {
+	opts = opts.withDefaults()
+	if spec.HotKeys <= 0 || spec.TotalKeys <= spec.HotKeys {
+		return LiveHotColdResult{}, fmt.Errorf("bench: live hotcold needs 0 < HotKeys < TotalKeys, got %d/%d", spec.HotKeys, spec.TotalKeys)
+	}
+	res := LiveHotColdResult{
+		Procs: spec.Procs, RF: spec.RF,
+		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
+		MeasureMs: durMs(spec.Measure),
+	}
+	perGroup, err := runLiveHotCold(spec, opts, true)
+	if err != nil {
+		return LiveHotColdResult{}, fmt.Errorf("bench: live hotcold per-group: %w", err)
+	}
+	global, err := runLiveHotCold(spec, opts, false)
+	if err != nil {
+		return LiveHotColdResult{}, fmt.Errorf("bench: live hotcold global: %w", err)
+	}
+	res.PerGroup, res.Global = perGroup, global
+	res.RF = max(spec.RF, 1)
+	if global.ThroughputOps > 0 {
+		res.ThroughputGain = perGroup.ThroughputOps/global.ThroughputOps - 1
+	}
+	opts.progress("live hotcold: per-group %.0f vs global %.0f ops/s (%+.0f%%)",
+		perGroup.ThroughputOps, global.ThroughputOps, res.ThroughputGain*100)
+	return res, nil
+}
+
+// liveController builds the controller for one arm: two models with split
+// tolerances (per-group), or one global model at the hot tolerance.
+func liveController(spec LiveHotColdSpec, perGroup bool) *core.Controller {
+	cfg := core.ControllerConfig{
+		Policy: core.Policy{
+			Name:               "live-hotcold",
+			ToleratedStaleRate: spec.HotTolerance,
+		},
+		N:                    spec.RF,
+		BandwidthBytesPerSec: spec.ControllerBandwidth,
+	}
+	if perGroup {
+		cfg.Groups = 2
+		cfg.GroupFn = hotColdGroupFn(spec.HotKeys)
+		cfg.GroupTolerances = []float64{spec.HotTolerance, spec.ColdTolerance}
+	}
+	return core.NewController(cfg)
+}
+
+// liveWorkerPool builds and starts the hot and cold closed-loop pools.
+func liveWorkerPool(spec LiveHotColdSpec, lc *LiveCluster, policy client.ConsistencyPolicy,
+	tally *liveTally, timeout time.Duration, verifyEvery int, seed int64) ([]*liveWorker, error) {
+	peers, coords := lc.Peers(), lc.IDs()
+	groupFn := hotColdGroupFn(spec.HotKeys)
+	var workers []*liveWorker
+	mk := func(kind string, i int, readProp float64, chooser dist.KeyChooser, off int64) error {
+		w, err := newLiveWorker(liveWorkerConfig{
+			id:    fmt.Sprintf("live-%s-%d", kind, i),
+			peers: peers, coords: coords,
+			policy: policy, streams: spec.ClientStreams, timeout: timeout,
+			readProp: readProp, chooser: chooser,
+			valueBytes: spec.ValueBytes, verifyEvery: verifyEvery,
+			groupFn: groupFn, seed: seed + off,
+		}, tally)
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+		return nil
+	}
+	for i := 0; i < spec.HotWorkers; i++ {
+		// Hot pool: zipfian 50/50 over the hot range — contended, write-heavy.
+		if err := mk("hot", i, 0.5, dist.NewZipfianChooser(spec.HotKeys), 101+int64(i)); err != nil {
+			haltAll(workers)
+			return nil, err
+		}
+	}
+	for i := 0; i < spec.ColdWorkers; i++ {
+		// Cold pool: uniform 95/5 over the whole keyspace — read-mostly.
+		if err := mk("cold", i, 0.95, dist.NewUniformChooser(spec.TotalKeys), 10_101+int64(i)); err != nil {
+			haltAll(workers)
+			return nil, err
+		}
+	}
+	for _, w := range workers {
+		w.start()
+	}
+	return workers, nil
+}
+
+func haltAll(workers []*liveWorker) {
+	for _, w := range workers {
+		w.halt()
+	}
+}
+
+// runLiveHotCold measures one arm: spawn, preload, warm up, measure.
+func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdRun, error) {
+	arm := "global"
+	if perGroup {
+		arm = "per-group"
+	}
+	lc, err := StartLiveCluster(LiveClusterConfig{
+		Procs: spec.Procs, RF: spec.RF,
+		HotKeys: spec.HotKeys, Streams: spec.ServerStreams,
+		LogDir: spec.LogDir,
+	})
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	defer lc.Close()
+	opts.progress("live hotcold %s: %d procs up, preloading %d keys", arm, spec.Procs, spec.TotalKeys)
+	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
+		return HotColdRun{}, err
+	}
+
+	ctl := liveController(spec, perGroup)
+	mon, err := startLiveMonitor(lc, ctl, spec.MonitorInterval)
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	defer mon.close()
+
+	tally := &liveTally{}
+	workers, err := liveWorkerPool(spec, lc, ctl, tally, 2*time.Second, spec.VerifyEvery, opts.Seed)
+	if err != nil {
+		return HotColdRun{}, err
+	}
+	time.Sleep(spec.Warmup)
+	tally.reset()
+	start := time.Now()
+	time.Sleep(spec.Measure)
+	snap := tally.snapshot()
+	elapsed := time.Since(start)
+	haltAll(workers)
+
+	run := HotColdRun{
+		Policy:     arm,
+		Operations: snap.ops,
+		Errors:     snap.errors,
+		ReadP99Ms:  float64(snap.readP99) / 1e6,
+	}
+	if elapsed > 0 {
+		run.ThroughputOps = float64(snap.ops) / elapsed.Seconds()
+	}
+	tols := []float64{spec.HotTolerance, spec.ColdTolerance}
+	names := []string{"hot", "cold"}
+	for g := 0; g < 2; g++ {
+		hg := HotColdGroup{
+			Name:          names[g],
+			Tolerance:     tols[g],
+			Reads:         snap.reads[g],
+			Writes:        snap.writes[g],
+			ShadowSamples: snap.samples[g],
+			StaleReads:    snap.stale[g],
+		}
+		if hg.ShadowSamples > 0 {
+			hg.StaleFraction = float64(hg.StaleReads) / float64(hg.ShadowSamples)
+		}
+		hg.WithinTolerance = hg.StaleFraction <= hg.Tolerance
+		if perGroup {
+			hg.FinalLevel = ctl.GroupLast(g).Level.String()
+		} else {
+			hg.FinalLevel = ctl.Last().Level.String()
+		}
+		run.Groups = append(run.Groups, hg)
+	}
+	return run, nil
+}
+
+// LiveChurnSpec parameterizes the live failure/churn experiment: a member
+// is killed with SIGKILL mid-run, restarted empty, and the per-group
+// staleness trajectory is watched while repair (or hints alone) heals it.
+type LiveChurnSpec struct {
+	Procs int
+	RF    int
+	// HotKeys / TotalKeys split the keyspace as in hotcold.
+	HotKeys   int64
+	TotalKeys int64
+	// HotWorkers / ColdWorkers size the closed-loop pools.
+	HotWorkers, ColdWorkers int
+	// HotTolerance / ColdTolerance are the per-group stale targets.
+	HotTolerance, ColdTolerance float64
+	ValueBytes                  int
+	// VerifyEvery probes every k-th read (staleness windows need density).
+	VerifyEvery int
+	// OpTimeout keeps workers cycling while the victim is down.
+	OpTimeout time.Duration
+	// ControllerBandwidth: see LiveHotColdSpec.
+	ControllerBandwidth float64
+	MonitorInterval     time.Duration
+	GossipInterval      time.Duration
+	// Warmup precedes measurement; Baseline is watched before the kill;
+	// Outage is how long the victim stays dead; PostWatch how long recovery
+	// is observed after the restart.
+	Warmup, Baseline, Outage, PostWatch time.Duration
+	// WindowLen is the staleness window; RecoverWindows the consecutive
+	// within-tolerance windows that declare a group recovered.
+	WindowLen      time.Duration
+	RecoverWindows int
+	// HintQueueLimit caps hints so the outage genuinely loses data.
+	HintQueueLimit int
+	// RepairInterval tunes anti-entropy cadence in the repair arm.
+	RepairInterval time.Duration
+	ClientStreams  int
+	ServerStreams  int
+	LogDir         string
+}
+
+// DefaultLiveChurnSpec returns the standard live failure schedule: a
+// 5-process RF=4 cluster (a recovered replica's divergence is visible to a
+// large share of CL=ONE reads), a 3s SIGKILL outage, capped hints.
+func DefaultLiveChurnSpec() LiveChurnSpec {
+	return LiveChurnSpec{
+		Procs:               5,
+		RF:                  4,
+		HotKeys:             200,
+		TotalKeys:           3000,
+		HotWorkers:          4,
+		ColdWorkers:         8,
+		HotTolerance:        0.05,
+		ColdTolerance:       0.50,
+		ValueBytes:          256,
+		VerifyEvery:         2,
+		OpTimeout:           750 * time.Millisecond,
+		ControllerBandwidth: 1 << 20,
+		MonitorInterval:     400 * time.Millisecond,
+		GossipInterval:      200 * time.Millisecond,
+		Warmup:              2 * time.Second,
+		Baseline:            2 * time.Second,
+		Outage:              3 * time.Second,
+		PostWatch:           8 * time.Second,
+		WindowLen:           500 * time.Millisecond,
+		RecoverWindows:      4,
+		HintQueueLimit:      200,
+		RepairInterval:      500 * time.Millisecond,
+		ClientStreams:       2,
+		ServerStreams:       2,
+	}
+}
+
+// LiveChurnResult compares repair-enabled recovery against hints-only over
+// identical live failure schedules.
+type LiveChurnResult struct {
+	Procs     int      `json:"procs"`
+	RF        int      `json:"rf"`
+	Victim    string   `json:"victim"`
+	HotKeys   int64    `json:"hot_keys"`
+	TotalKeys int64    `json:"total_keys"`
+	OutageMs  float64  `json:"outage_ms"`
+	Repair    ChurnRun `json:"repair"`
+	HintsOnly ChurnRun `json:"hints_only"`
+}
+
+// Format renders the comparison.
+func (r LiveChurnResult) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== live churn (%d procs, rf=%d, victim %s killed for %.0fms, %d hot / %d total keys) ==\n",
+		r.Procs, r.RF, r.Victim, r.OutageMs, r.HotKeys, r.TotalKeys)
+	for _, run := range []ChurnRun{r.Repair, r.HintsOnly} {
+		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s errors=%d hints=%d healed=%d\n",
+			run.Policy, run.ThroughputOps, run.Errors, run.HintsQueued, run.RowsHealed)
+		for _, g := range run.Groups {
+			rec := "NEVER"
+			if g.RecoveredWithinMs >= 0 {
+				rec = fmt.Sprintf("%.0fms", g.RecoveredWithinMs)
+			}
+			fmt.Fprintf(&b, "  %-5s tol=%.2f level=%-6s recovered=%-8s post-stale=%d/%d (%.3f) worst-window=%.3f tail=%.3f\n",
+				g.Name, g.Tolerance, g.FinalLevel, rec, g.PostStale, g.PostSamples, g.PostFraction, g.WorstWindow, g.TailFraction)
+		}
+	}
+	return b.String()
+}
+
+// LiveChurn runs the failure schedule for both policies over live clusters.
+func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
+	opts = opts.withDefaults()
+	if spec.HotKeys <= 0 || spec.TotalKeys <= spec.HotKeys {
+		return LiveChurnResult{}, fmt.Errorf("bench: live churn needs 0 < HotKeys < TotalKeys, got %d/%d", spec.HotKeys, spec.TotalKeys)
+	}
+	if spec.WindowLen <= 0 || spec.Outage <= 0 || spec.PostWatch < spec.WindowLen {
+		return LiveChurnResult{}, fmt.Errorf("bench: live churn needs positive WindowLen/Outage and PostWatch >= WindowLen")
+	}
+	withRepair, victim, err := runLiveChurn(spec, opts, true)
+	if err != nil {
+		return LiveChurnResult{}, fmt.Errorf("bench: live churn repair: %w", err)
+	}
+	hintsOnly, _, err := runLiveChurn(spec, opts, false)
+	if err != nil {
+		return LiveChurnResult{}, fmt.Errorf("bench: live churn hints-only: %w", err)
+	}
+	res := LiveChurnResult{
+		Procs: spec.Procs, RF: spec.RF,
+		Victim:  victim,
+		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
+		OutageMs:  durMs(spec.Outage),
+		Repair:    withRepair,
+		HintsOnly: hintsOnly,
+	}
+	opts.progress("live churn: repair post-stale %.3f/%.3f (hot/cold) vs hints-only %.3f/%.3f",
+		res.Repair.Groups[0].PostFraction, res.Repair.Groups[1].PostFraction,
+		res.HintsOnly.Groups[0].PostFraction, res.HintsOnly.Groups[1].PostFraction)
+	return res, nil
+}
+
+// runLiveChurn measures one arm through the kill/restart schedule.
+func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, string, error) {
+	arm := "hints-only"
+	if withRepair {
+		arm = "repair"
+	}
+	lc, err := StartLiveCluster(LiveClusterConfig{
+		Procs: spec.Procs, RF: spec.RF,
+		GossipInterval: spec.GossipInterval,
+		Repair:         withRepair, RepairInterval: spec.RepairInterval,
+		HotKeys: spec.HotKeys, HintQueueLimit: spec.HintQueueLimit,
+		Streams: spec.ServerStreams,
+		LogDir:  spec.LogDir,
+	})
+	if err != nil {
+		return ChurnRun{}, "", err
+	}
+	defer lc.Close()
+	opts.progress("live churn %s: %d procs up, preloading %d keys", arm, spec.Procs, spec.TotalKeys)
+	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
+		return ChurnRun{}, "", err
+	}
+
+	tols := []float64{spec.HotTolerance, spec.ColdTolerance}
+	ctl := core.NewController(core.ControllerConfig{
+		Policy: core.Policy{
+			Name:               "live-churn",
+			ToleratedStaleRate: spec.HotTolerance,
+		},
+		N:                    spec.RF,
+		BandwidthBytesPerSec: spec.ControllerBandwidth,
+		Groups:               2,
+		GroupFn:              hotColdGroupFn(spec.HotKeys),
+		GroupTolerances:      tols,
+	})
+	mon, err := startLiveMonitor(lc, ctl, spec.MonitorInterval)
+	if err != nil {
+		return ChurnRun{}, "", err
+	}
+	defer mon.close()
+
+	tally := &liveTally{}
+	hcSpec := LiveHotColdSpec{
+		Procs: spec.Procs, RF: spec.RF,
+		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
+		HotWorkers: spec.HotWorkers, ColdWorkers: spec.ColdWorkers,
+		ValueBytes:    spec.ValueBytes,
+		ClientStreams: spec.ClientStreams,
+	}
+	workers, err := liveWorkerPool(hcSpec, lc, ctl, tally, spec.OpTimeout, spec.VerifyEvery, opts.Seed)
+	if err != nil {
+		return ChurnRun{}, "", err
+	}
+	time.Sleep(spec.Warmup)
+	tally.reset()
+	measureStart := time.Now()
+
+	// Staleness windows: cumulative probe counters sampled on a fixed
+	// cadence by a real ticker; deltas between samples are the windows.
+	tickerStart := time.Now()
+	prevSamples, prevStale := tally.probes()
+	var windows []ChurnWindow
+	windowDone := make(chan struct{})
+	windowStop := make(chan struct{})
+	go func() {
+		defer close(windowDone)
+		tick := time.NewTicker(spec.WindowLen)
+		defer tick.Stop()
+		for {
+			select {
+			case <-windowStop:
+				return
+			case <-tick.C:
+				curSamples, curStale := tally.probes()
+				w := ChurnWindow{}
+				for g := 0; g < 2; g++ {
+					samples := curSamples[g] - prevSamples[g]
+					stale := curStale[g] - prevStale[g]
+					frac := 0.0
+					if samples > 0 {
+						frac = float64(stale) / float64(samples)
+					}
+					w.Samples = append(w.Samples, samples)
+					w.Stale = append(w.Stale, stale)
+					w.Fraction = append(w.Fraction, frac)
+				}
+				prevSamples, prevStale = curSamples, curStale
+				windows = append(windows, w)
+			}
+		}
+	}()
+
+	// The schedule: baseline -> SIGKILL -> outage -> restart -> watch.
+	victim := lc.IDs()[1]
+	time.Sleep(spec.Baseline)
+	if err := lc.Kill(victim); err != nil {
+		close(windowStop)
+		<-windowDone
+		haltAll(workers)
+		return ChurnRun{}, "", err
+	}
+	opts.progress("live churn %s: killed %s (SIGKILL)", arm, victim)
+	time.Sleep(spec.Outage)
+	if err := lc.Restart(victim); err != nil {
+		close(windowStop)
+		<-windowDone
+		haltAll(workers)
+		return ChurnRun{}, "", err
+	}
+	recoveredAt := time.Now()
+	opts.progress("live churn %s: restarted %s (empty engine)", arm, victim)
+	time.Sleep(spec.PostWatch)
+	close(windowStop)
+	<-windowDone
+	snap := tally.snapshot()
+	elapsed := time.Since(measureStart)
+	haltAll(workers)
+
+	run := ChurnRun{Policy: arm, Windows: windows}
+	run.Operations = snap.ops
+	run.Errors = snap.errors
+	if elapsed > 0 {
+		run.ThroughputOps = float64(snap.ops) / elapsed.Seconds()
+	}
+	run.HintsQueued = mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.HintsQueued })
+	run.RowsHealed = mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.RepairRows })
+
+	// Window offsets relative to the victim's return; the post-recovery
+	// horizon starts at the first window fully after it. Same assembly as
+	// the simulated churn bench, driven by wall-clock instants.
+	recoveryOffset := recoveredAt.Sub(tickerStart)
+	postStart := len(windows)
+	for i := range windows {
+		start := time.Duration(i) * spec.WindowLen
+		windows[i].OffsetMs = durMs(start - recoveryOffset)
+		if start >= recoveryOffset && i < postStart {
+			postStart = i
+		}
+	}
+	names := []string{"hot", "cold"}
+	tailStart := postStart + (len(windows)-postStart)*3/4
+	for g := 0; g < 2; g++ {
+		cg := ChurnGroup{Name: names[g], Tolerance: tols[g], RecoveredWithinMs: -1,
+			FinalLevel: ctl.GroupLast(g).Level.String()}
+		streak := 0
+		var tailStale, tailSamples uint64
+		for i := postStart; i < len(windows); i++ {
+			w := windows[i]
+			cg.PostSamples += w.Samples[g]
+			cg.PostStale += w.Stale[g]
+			if i >= tailStart {
+				tailSamples += w.Samples[g]
+				tailStale += w.Stale[g]
+			}
+			if w.Fraction[g] > cg.WorstWindow {
+				cg.WorstWindow = w.Fraction[g]
+			}
+			within := w.Samples[g] < 10 || w.Fraction[g] <= tols[g]
+			if within {
+				streak++
+				if streak == spec.RecoverWindows && cg.RecoveredWithinMs < 0 {
+					first := i - spec.RecoverWindows + 1
+					cg.RecoveredWithinMs = durMs(time.Duration(first)*spec.WindowLen - recoveryOffset)
+					if cg.RecoveredWithinMs < 0 {
+						cg.RecoveredWithinMs = 0
+					}
+				}
+			} else {
+				streak = 0
+				cg.RecoveredWithinMs = -1
+			}
+		}
+		if cg.PostSamples > 0 {
+			cg.PostFraction = float64(cg.PostStale) / float64(cg.PostSamples)
+		}
+		if tailSamples > 0 {
+			cg.TailFraction = float64(tailStale) / float64(tailSamples)
+		}
+		run.Groups = append(run.Groups, cg)
+	}
+	return run, string(victim), nil
+}

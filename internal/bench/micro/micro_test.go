@@ -12,6 +12,10 @@ func BenchmarkWireEncode(b *testing.B)              { WireEncode(b) }
 func BenchmarkWireDecode(b *testing.B)              { WireDecode(b) }
 func BenchmarkWireDecodeShared(b *testing.B)        { WireDecodeShared(b) }
 func BenchmarkWireSize(b *testing.B)                { WireSize(b) }
+func BenchmarkTransportSerialRPC(b *testing.B)      { TransportSerialRPC(b) }
+func BenchmarkTransportPipelinedRPC(b *testing.B)   { TransportPipelinedRPC(b) }
+func BenchmarkTransportBatched(b *testing.B)        { TransportBatchedThroughput(b) }
+func BenchmarkTransportUnbatched(b *testing.B)      { TransportUnbatchedThroughput(b) }
 func BenchmarkMerkleWritePath(b *testing.B)         { MerkleWritePath(b) }
 func BenchmarkMerkleInvalidateRebuild(b *testing.B) { MerkleInvalidateRebuild(b) }
 func BenchmarkClusterOps(b *testing.B)              { ClusterOps(b) }

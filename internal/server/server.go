@@ -1,0 +1,376 @@
+// Package server assembles one storage node of the replicated key-value
+// store over the TCP transport: ring, gossip, cluster node, optional
+// anti-entropy repair and commit-log durability, all on a real runtime. It
+// is the embeddable core of cmd/harmony-server — and of harmony-bench's
+// live backend, whose child processes run exactly this code path, so the
+// live experiments measure the same binary logic a production node runs.
+package server
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"harmony/internal/cluster"
+	"harmony/internal/gossip"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/storage"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+	"harmony/internal/ycsb"
+)
+
+// Member is one parsed -cluster entry.
+type Member struct {
+	ID   ring.NodeID
+	Addr string
+	DC   string
+	Rack string
+}
+
+// ParseCluster parses a comma-separated "id=addr/dc/rack" cluster
+// description (the -cluster flag format).
+func ParseCluster(spec string) ([]Member, error) {
+	var out []Member
+	for _, entry := range strings.Split(spec, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		eq := strings.SplitN(entry, "=", 2)
+		if len(eq) != 2 {
+			return nil, fmt.Errorf("entry %q: want id=addr/dc/rack", entry)
+		}
+		parts := strings.Split(eq[1], "/")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("entry %q: want id=addr/dc/rack", entry)
+		}
+		out = append(out, Member{
+			ID:   ring.NodeID(eq[0]),
+			Addr: parts[0],
+			DC:   parts[1],
+			Rack: parts[2],
+		})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty cluster description")
+	}
+	return out, nil
+}
+
+// FormatCluster renders members back into the -cluster flag format.
+func FormatCluster(members []Member) string {
+	parts := make([]string, 0, len(members))
+	for _, m := range members {
+		dc, rack := m.DC, m.Rack
+		if dc == "" {
+			dc = "dc1"
+		}
+		if rack == "" {
+			rack = "r1"
+		}
+		parts = append(parts, fmt.Sprintf("%s=%s/%s/%s", m.ID, m.Addr, dc, rack))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Config assembles one storage node.
+type Config struct {
+	// ID must appear in Members; Listen is the local bind address.
+	ID     ring.NodeID
+	Listen string
+	// Members is the full static cluster membership.
+	Members []Member
+	// RF is the replication factor; Vnodes the virtual nodes per member.
+	RF     int
+	Vnodes int
+	// ReadRepairChance / HintedHandoff / HintQueueLimit mirror
+	// cluster.Config.
+	ReadRepairChance float64
+	HintedHandoff    bool
+	HintQueueLimit   int
+	// CommitLog, when non-empty, enables write durability and replays the
+	// log on startup.
+	CommitLog string
+	// GossipInterval is the heartbeat round interval; zero means 1s.
+	GossipInterval time.Duration
+	// Streams is the TCP transport's per-peer connection pool size.
+	Streams int
+	// NoBatch disables the transport's write coalescing (benchmarks).
+	NoBatch bool
+	// Repair enables anti-entropy Merkle repair; RepairInterval tunes its
+	// scheduler cadence. Gossip's down->up transitions trigger priority
+	// sessions with recovered peers.
+	Repair         bool
+	RepairInterval time.Duration
+	// HotKeys, when positive, installs the standard two-group telemetry
+	// partition used by the hotcold/churn experiments: YCSB keys with
+	// index < HotKeys form group 0 (hot), everything else group 1. Zero
+	// keeps the classic single implicit group. Online regrouping
+	// supersedes the static assignment either way.
+	HotKeys int64
+	// KeySampleLimit enables per-key access sampling (regrouping input).
+	KeySampleLimit int
+	// Logf receives diagnostics; nil uses log.Printf.
+	Logf func(string, ...any)
+}
+
+// Server is a running storage node.
+type Server struct {
+	cfg       Config
+	rt        *sim.RealRuntime
+	tcp       *transport.TCPNode
+	gossiper  *gossip.Gossiper
+	node      *cluster.Node
+	commitLog io.Closer
+}
+
+// New builds and starts a node: listening, gossiping, serving.
+func New(cfg Config) (*Server, error) {
+	logf := cfg.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	var infos []ring.NodeInfo
+	peers := map[ring.NodeID]string{}
+	var peerIDs []ring.NodeID
+	found := false
+	for _, m := range cfg.Members {
+		dc, rack := m.DC, m.Rack
+		if dc == "" {
+			dc = "dc1"
+		}
+		if rack == "" {
+			rack = "r1"
+		}
+		infos = append(infos, ring.NodeInfo{ID: m.ID, DC: dc, Rack: rack})
+		peers[m.ID] = m.Addr
+		peerIDs = append(peerIDs, m.ID)
+		if m.ID == cfg.ID {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("server: id %q not present in members", cfg.ID)
+	}
+	if cfg.RF <= 0 {
+		cfg.RF = 3
+	}
+	if cfg.Vnodes <= 0 {
+		cfg.Vnodes = 16
+	}
+	topo, err := ring.NewTopology(infos)
+	if err != nil {
+		return nil, fmt.Errorf("server: topology: %w", err)
+	}
+	rng, err := ring.Build(topo, cfg.Vnodes)
+	if err != nil {
+		return nil, fmt.Errorf("server: ring: %w", err)
+	}
+
+	s := &Server{cfg: cfg, rt: sim.NewRealRuntime()}
+
+	var engineOpts storage.Options
+	if cfg.CommitLog != "" {
+		cl, err := storage.OpenFileCommitLog(cfg.CommitLog)
+		if err != nil {
+			s.rt.Stop()
+			return nil, fmt.Errorf("server: commit log: %w", err)
+		}
+		s.commitLog = cl
+		engineOpts.CommitLog = cl
+	}
+
+	// The transport starts with no handler (inbound frames drop like lost
+	// packets) and is bound once the node exists — it is the node's Sender,
+	// so one of the two must come first.
+	tcp, err := transport.NewTCPNode(transport.TCPConfig{
+		ID:      cfg.ID,
+		Listen:  cfg.Listen,
+		Peers:   peers,
+		Streams: cfg.Streams,
+		NoBatch: cfg.NoBatch,
+		Logf:    logf,
+	}, s.rt, nil)
+	if err != nil {
+		s.closePartial()
+		return nil, err
+	}
+	s.tcp = tcp
+
+	s.gossiper = gossip.New(gossip.Config{
+		ID:       cfg.ID,
+		Peers:    peerIDs,
+		Interval: cfg.GossipInterval,
+		// A recovered peer immediately gets a priority repair session: the
+		// down->up transition is the live-cluster analogue of the simulated
+		// SetUp hook.
+		OnRecover: func(peer ring.NodeID) {
+			if s.node == nil {
+				return
+			}
+			if m := s.node.RepairManager(); m != nil {
+				m.PeerRecovered(peer)
+			}
+		},
+	}, s.rt, tcp)
+
+	ccfg := cluster.Config{
+		ID:               cfg.ID,
+		Ring:             rng,
+		Strategy:         ring.NetworkTopologyStrategy{RF: cfg.RF},
+		ReadRepairChance: cfg.ReadRepairChance,
+		HintedHandoff:    cfg.HintedHandoff,
+		HintQueueLimit:   cfg.HintQueueLimit,
+		Engine:           engineOpts,
+		KeySampleLimit:   cfg.KeySampleLimit,
+		Alive:            s.gossiper.Alive,
+	}
+	if cfg.Repair {
+		ccfg.Repair.Enabled = true
+		ccfg.Repair.Interval = cfg.RepairInterval
+	}
+	if cfg.HotKeys > 0 {
+		ccfg.Groups = 2
+		ccfg.GroupFn = HotColdGroupFn(cfg.HotKeys)
+	}
+	s.node = cluster.New(ccfg, s.rt, tcp)
+
+	// Replay the durability log into the engine before serving traffic.
+	if cfg.CommitLog != "" {
+		replayed := 0
+		if err := storage.Replay(cfg.CommitLog, func(key []byte, v wire.Value) error {
+			_, err := s.node.Engine().Apply(key, v)
+			replayed++
+			return err
+		}); err != nil {
+			s.closePartial()
+			return nil, fmt.Errorf("server: replay: %w", err)
+		}
+		if replayed > 0 {
+			logf("harmony-server %s: replayed %d commit-log records", cfg.ID, replayed)
+		}
+	}
+
+	tcp.SetHandler(gossip.Mux{Gossip: s.gossiper, Rest: s.node})
+	s.node.Start()
+	s.gossiper.Start()
+	return s, nil
+}
+
+// HotColdGroupFn is the standard two-group partition: YCSB key indexes
+// below hotKeys are group 0 (hot), everything else group 1. Exported so the
+// bench's client-side controllers install the byte-identical function the
+// server nodes tally with.
+func HotColdGroupFn(hotKeys int64) func(key []byte) int {
+	return func(key []byte) int {
+		if idx, ok := ycsb.KeyIndex(key); ok && idx < hotKeys {
+			return 0
+		}
+		return 1
+	}
+}
+
+// Addr is the transport's bound listen address.
+func (s *Server) Addr() net.Addr { return s.tcp.Addr() }
+
+// Node exposes the cluster node (tests, embedders).
+func (s *Server) Node() *cluster.Node { return s.node }
+
+// Transport exposes the TCP endpoint (stats).
+func (s *Server) Transport() *transport.TCPNode { return s.tcp }
+
+// Close stops serving: gossip, node, transport, runtime, commit log.
+func (s *Server) Close() {
+	if s.gossiper != nil {
+		s.gossiper.Stop()
+	}
+	if s.node != nil {
+		s.node.Stop()
+	}
+	s.closePartial()
+}
+
+func (s *Server) closePartial() {
+	if s.tcp != nil {
+		_ = s.tcp.Close()
+	}
+	s.rt.Stop()
+	if s.commitLog != nil {
+		_ = s.commitLog.Close()
+	}
+}
+
+// Main runs a server from command-line arguments and blocks until
+// SIGINT/SIGTERM. It is the whole of cmd/harmony-server, and the entry
+// point harmony-bench's re-exec'd live-cluster children call — both run
+// this exact function, so flags mean the same thing everywhere.
+func Main(args []string) int {
+	fs := flag.NewFlagSet("harmony-server", flag.ExitOnError)
+	var (
+		id          = fs.String("id", "", "this node's id (must appear in -cluster)")
+		listen      = fs.String("listen", ":7000", "listen address")
+		clusterSpec = fs.String("cluster", "", "comma list of id=addr/dc/rack")
+		rf          = fs.Int("rf", 3, "replication factor")
+		vnodes      = fs.Int("vnodes", 16, "virtual nodes per member")
+		readRepair  = fs.Float64("read-repair-chance", 0.1, "probability a read fans out for repair")
+		hints       = fs.Bool("hinted-handoff", true, "queue hints for down replicas")
+		hintLimit   = fs.Int("hint-queue-limit", 0, "cap queued hints (0 = unlimited; overflow drops mutations)")
+		commitLog   = fs.String("commitlog", "", "path to a commit log file (durability); empty disables")
+		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip round interval")
+		streams     = fs.Int("streams", 1, "TCP connections pooled per peer")
+		noBatch     = fs.Bool("no-batch", false, "disable transport write coalescing (benchmarks)")
+		repairOn    = fs.Bool("repair", false, "enable anti-entropy Merkle repair")
+		repairEvery = fs.Duration("repair-interval", time.Second, "anti-entropy scheduler cadence")
+		hotKeys     = fs.Int64("hot-keys", 0, "two-group telemetry split: YCSB key index < hot-keys is group 0")
+		sampleLimit = fs.Int("key-sample-limit", 0, "per-key access samples on stats responses (0 disables)")
+	)
+	_ = fs.Parse(args)
+	if *id == "" || *clusterSpec == "" {
+		fmt.Fprintln(os.Stderr, "harmony-server: -id and -cluster are required")
+		fs.Usage()
+		return 2
+	}
+	members, err := ParseCluster(*clusterSpec)
+	if err != nil {
+		log.Printf("harmony-server: -cluster: %v", err)
+		return 1
+	}
+	s, err := New(Config{
+		ID:               ring.NodeID(*id),
+		Listen:           *listen,
+		Members:          members,
+		RF:               *rf,
+		Vnodes:           *vnodes,
+		ReadRepairChance: *readRepair,
+		HintedHandoff:    *hints,
+		HintQueueLimit:   *hintLimit,
+		CommitLog:        *commitLog,
+		GossipInterval:   *gossipEvery,
+		Streams:          *streams,
+		NoBatch:          *noBatch,
+		Repair:           *repairOn,
+		RepairInterval:   *repairEvery,
+		HotKeys:          *hotKeys,
+		KeySampleLimit:   *sampleLimit,
+	})
+	if err != nil {
+		log.Printf("harmony-server: %v", err)
+		return 1
+	}
+	log.Printf("harmony-server %s: serving on %s (rf=%d, %d members)", *id, s.Addr(), *rf, len(members))
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
+	<-sigs
+	log.Printf("harmony-server %s: shutting down", *id)
+	s.Close()
+	return 0
+}

@@ -978,6 +978,16 @@ func DecodeShared(b []byte) (Message, int, error) {
 	return decode(b, true)
 }
 
+// DecodeBodyShared parses a frame body — the bytes after the length prefix —
+// in shared mode. It exists for transports that read the prefix themselves
+// (FrameReader reads the uvarint off the stream and the body into an owned
+// per-frame buffer) and want the zero-copy decode without re-framing. The
+// aliasing contract is DecodeShared's: the returned message's byte-slice
+// fields alias body, which must stay untouched while the message is live.
+func DecodeBodyShared(body []byte) (Message, error) {
+	return decodeBody(body, true)
+}
+
 func decode(b []byte, share bool) (Message, int, error) {
 	n, sz := binary.Uvarint(b)
 	if sz <= 0 {
