@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race repair-test bench bench-micro bench-smoke lint api-check api-baseline ci
+.PHONY: build test test-race repair-test storage-test bench bench-micro bench-smoke lint api-check api-baseline ci
 
 build:
 	$(GO) build ./...
@@ -22,13 +22,20 @@ repair-test:
 	$(GO) test -race -timeout 15m ./internal/repair/
 	$(GO) test -race -timeout 15m -run 'Repair|Hint|Churn' ./internal/cluster/ ./internal/bench/
 
+# Focused durability verification: the bitcask engine (crash-recovery
+# property tests, group-commit batching, data-dir locking/manifest, scan
+# scratch reuse) under the race detector.
+storage-test:
+	$(GO) test -race -timeout 15m -run 'Persist|DataDir|Scan|Engine' ./internal/storage/
+
 # Full figure regeneration through the testing.B harness (minutes).
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 60m .
 
 # Tracked micro-benchmark baseline over the hot paths (engine Apply/Get/
-# Scan, wire Encode/Decode/Size, Merkle write-path maintenance, end-to-end
-# cluster ops/sec). Results land in out/micro.json (a CI artifact); when a
+# Scan for both the in-memory and persistent bitcask engines, crash
+# recovery, wire Encode/Decode/Size, Merkle write-path maintenance,
+# end-to-end cluster ops/sec). Results land in out/micro.json (a CI artifact); when a
 # previous baseline exists it is preserved as out/micro.prev.json and a
 # benchstat-style delta is printed.
 bench-micro:
@@ -40,17 +47,21 @@ bench-micro:
 # end-to-end scenario sweep, a single iteration each, the tracked
 # bench-micro baseline (with delta vs the previous run), the hotcold
 # per-group-vs-global comparison, the regroup migrating-hotspot comparison
-# (learned online regrouping vs build-time-pinned groups), the churn
-# failure/recovery comparison (anti-entropy repair vs hints-only), and a
-# live-cluster smoke (3 real server processes over loopback TCP), each
-# with JSON results (uploaded as CI artifacts).
+# (learned online regrouping vs build-time-pinned groups), the simulated
+# churn failure/recovery comparison (anti-entropy repair vs hints-only),
+# and two live-cluster smokes (3 real server processes over loopback TCP):
+# hotcold, and the churn kill -9 schedule whose third arm restarts the
+# victim from its bitcask data dir (out/churn.json carries the live
+# repair / hints-only / persistent-restart comparison). Each step writes
+# JSON results (uploaded as CI artifacts).
 bench-smoke: bench-micro
 	$(GO) test -run '^$$' -bench . -benchtime 1x $$($(GO) list ./internal/... | grep -v bench/micro)
 	$(GO) test -run '^$$' -bench 'BenchmarkScenarioStressProfiles|BenchmarkWorkloadAEventual' -benchtime 1x .
 	$(GO) run ./cmd/harmony-bench -experiment hotcold -scenario grid5000 -ops 8000 -quiet -json out/hotcold.json
 	$(GO) run ./cmd/harmony-bench -experiment regroup -ops 8000 -quiet -json out/regroup.json
-	$(GO) run ./cmd/harmony-bench -experiment churn -quiet -json out/churn.json
+	$(GO) run ./cmd/harmony-bench -experiment churn -quiet -json out/churn-sim.json
 	$(GO) run ./cmd/harmony-bench -backend live -experiment hotcold -procs 3 -live-measure 3s -live-keys 1500 -json out/live.json
+	$(GO) run ./cmd/harmony-bench -backend live -experiment churn -procs 3 -live-outage 1500ms -live-postwatch 4s -live-keys 900 -json out/churn.json
 
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }

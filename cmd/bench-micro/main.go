@@ -52,6 +52,9 @@ var suite = []struct {
 	{"engine/apply-8g", micro.EngineApply},
 	{"engine/get-8g", micro.EngineGet},
 	{"engine/scan", micro.EngineScan},
+	{"persist/apply-8g", micro.PersistApply},
+	{"persist/get-8g", micro.PersistGet},
+	{"persist/recover", micro.PersistRecover},
 	{"wire/encode", micro.WireEncode},
 	{"wire/decode", micro.WireDecode},
 	{"wire/decode-shared", micro.WireDecodeShared},

@@ -145,6 +145,10 @@ type ChurnRun struct {
 	// hints-only).
 	RowsHealed  uint64 `json:"rows_healed"`
 	RepairBytes uint64 `json:"repair_bytes"`
+	// RowsRecovered counts rows rebuilt from disk at startup — nonzero only
+	// in the live persistent-restart arm, where the victim reopens its data
+	// dir instead of returning empty.
+	RowsRecovered uint64 `json:"rows_recovered,omitempty"`
 }
 
 // ChurnResult compares repair-enabled recovery against hints-only on an

@@ -60,6 +60,12 @@ type LiveClusterConfig struct {
 	// Streams / NoBatch configure each member's transport.
 	Streams int
 	NoBatch bool
+	// DataDir, when set, gives every member a persistent bitcask engine
+	// rooted at DataDir/<id>; a member Restart()ed after a kill recovers
+	// its pre-crash rows from disk instead of returning empty.
+	DataDir string
+	// FsyncInterval batches member fsyncs (0 = group commit per apply).
+	FsyncInterval time.Duration
 	// LogDir receives one log file per member; empty uses a temp dir that
 	// Close removes.
 	LogDir string
@@ -152,6 +158,12 @@ func StartLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
 		}
 		if cfg.HintQueueLimit > 0 {
 			args = append(args, "-hint-queue-limit", fmt.Sprint(cfg.HintQueueLimit))
+		}
+		if cfg.DataDir != "" {
+			args = append(args, "-data-dir", filepath.Join(cfg.DataDir, string(m.ID)))
+			if cfg.FsyncInterval > 0 {
+				args = append(args, "-fsync-interval", cfg.FsyncInterval.String())
+			}
 		}
 		lc.procs = append(lc.procs, &liveProc{
 			id: m.ID, addr: m.Addr, args: args,
@@ -253,8 +265,10 @@ func (lc *LiveCluster) Kill(id ring.NodeID) error {
 }
 
 // Restart respawns a killed member with its original arguments. Without a
-// commit log the process returns EMPTY — it lost every row it ever held,
-// the worst-case divergence anti-entropy exists to repair.
+// data dir the process returns EMPTY — it lost every row it ever held, the
+// worst-case divergence anti-entropy exists to repair. With DataDir set the
+// member reopens its bitcask directory and recovers its pre-crash rows
+// before accepting connections.
 func (lc *LiveCluster) Restart(id ring.NodeID) error {
 	lc.mu.Lock()
 	p := lc.find(id)

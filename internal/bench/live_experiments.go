@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
@@ -305,9 +306,12 @@ type LiveChurnSpec struct {
 	HintQueueLimit int
 	// RepairInterval tunes anti-entropy cadence in the repair arm.
 	RepairInterval time.Duration
-	ClientStreams  int
-	ServerStreams  int
-	LogDir         string
+	// FsyncInterval batches fsyncs in the persistent-restart arm (0 keeps
+	// group commit: every acknowledged write is on disk before the kill).
+	FsyncInterval time.Duration
+	ClientStreams int
+	ServerStreams int
+	LogDir        string
 }
 
 // DefaultLiveChurnSpec returns the standard live failure schedule: a
@@ -342,8 +346,9 @@ func DefaultLiveChurnSpec() LiveChurnSpec {
 	}
 }
 
-// LiveChurnResult compares repair-enabled recovery against hints-only over
-// identical live failure schedules.
+// LiveChurnResult compares three recovery modes over identical live failure
+// schedules: anti-entropy repair, hints alone, and a persistent restart
+// where the victim recovers its pre-crash rows from its bitcask data dir.
 type LiveChurnResult struct {
 	Procs     int      `json:"procs"`
 	RF        int      `json:"rf"`
@@ -353,6 +358,7 @@ type LiveChurnResult struct {
 	OutageMs  float64  `json:"outage_ms"`
 	Repair    ChurnRun `json:"repair"`
 	HintsOnly ChurnRun `json:"hints_only"`
+	Persist   ChurnRun `json:"persist"`
 }
 
 // Format renders the comparison.
@@ -360,9 +366,9 @@ func (r LiveChurnResult) Format() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== live churn (%d procs, rf=%d, victim %s killed for %.0fms, %d hot / %d total keys) ==\n",
 		r.Procs, r.RF, r.Victim, r.OutageMs, r.HotKeys, r.TotalKeys)
-	for _, run := range []ChurnRun{r.Repair, r.HintsOnly} {
-		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s errors=%d hints=%d healed=%d\n",
-			run.Policy, run.ThroughputOps, run.Errors, run.HintsQueued, run.RowsHealed)
+	for _, run := range []ChurnRun{r.Repair, r.HintsOnly, r.Persist} {
+		fmt.Fprintf(&b, "%-10s tput=%8.0f ops/s errors=%d hints=%d healed=%d recovered=%d\n",
+			run.Policy, run.ThroughputOps, run.Errors, run.HintsQueued, run.RowsHealed, run.RowsRecovered)
 		for _, g := range run.Groups {
 			rec := "NEVER"
 			if g.RecoveredWithinMs >= 0 {
@@ -375,7 +381,15 @@ func (r LiveChurnResult) Format() string {
 	return b.String()
 }
 
-// LiveChurn runs the failure schedule for both policies over live clusters.
+// liveChurnArm names one recovery mode through the failure schedule.
+type liveChurnArm struct {
+	name    string
+	repair  bool // anti-entropy enabled on every member
+	persist bool // members run persistent engines; the victim restarts with data
+}
+
+// LiveChurn runs the failure schedule for all three recovery modes over
+// freshly spawned live clusters: repair, hints-only, and persistent restart.
 func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 	opts = opts.withDefaults()
 	if spec.HotKeys <= 0 || spec.TotalKeys <= spec.HotKeys {
@@ -384,13 +398,17 @@ func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 	if spec.WindowLen <= 0 || spec.Outage <= 0 || spec.PostWatch < spec.WindowLen {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn needs positive WindowLen/Outage and PostWatch >= WindowLen")
 	}
-	withRepair, victim, err := runLiveChurn(spec, opts, true)
+	withRepair, victim, err := runLiveChurn(spec, opts, liveChurnArm{name: "repair", repair: true})
 	if err != nil {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn repair: %w", err)
 	}
-	hintsOnly, _, err := runLiveChurn(spec, opts, false)
+	hintsOnly, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "hints-only"})
 	if err != nil {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn hints-only: %w", err)
+	}
+	persist, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "persist", persist: true})
+	if err != nil {
+		return LiveChurnResult{}, fmt.Errorf("bench: live churn persist: %w", err)
 	}
 	res := LiveChurnResult{
 		Procs: spec.Procs, RF: spec.RF,
@@ -399,32 +417,41 @@ func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 		OutageMs:  durMs(spec.Outage),
 		Repair:    withRepair,
 		HintsOnly: hintsOnly,
+		Persist:   persist,
 	}
-	opts.progress("live churn: repair post-stale %.3f/%.3f (hot/cold) vs hints-only %.3f/%.3f",
+	opts.progress("live churn: post-stale hot/cold — repair %.3f/%.3f, hints-only %.3f/%.3f, persist %.3f/%.3f (%d rows recovered)",
 		res.Repair.Groups[0].PostFraction, res.Repair.Groups[1].PostFraction,
-		res.HintsOnly.Groups[0].PostFraction, res.HintsOnly.Groups[1].PostFraction)
+		res.HintsOnly.Groups[0].PostFraction, res.HintsOnly.Groups[1].PostFraction,
+		res.Persist.Groups[0].PostFraction, res.Persist.Groups[1].PostFraction,
+		res.Persist.RowsRecovered)
 	return res, nil
 }
 
 // runLiveChurn measures one arm through the kill/restart schedule.
-func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, string, error) {
-	arm := "hints-only"
-	if withRepair {
-		arm = "repair"
+func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun, string, error) {
+	dataDir := ""
+	if arm.persist {
+		dir, err := os.MkdirTemp("", "harmony-churn-data-*")
+		if err != nil {
+			return ChurnRun{}, "", fmt.Errorf("bench: churn data dir: %w", err)
+		}
+		defer os.RemoveAll(dir)
+		dataDir = dir
 	}
 	lc, err := StartLiveCluster(LiveClusterConfig{
 		Procs: spec.Procs, RF: spec.RF,
 		GossipInterval: spec.GossipInterval,
-		Repair:         withRepair, RepairInterval: spec.RepairInterval,
+		Repair:         arm.repair, RepairInterval: spec.RepairInterval,
 		HotKeys: spec.HotKeys, HintQueueLimit: spec.HintQueueLimit,
 		Streams: spec.ServerStreams,
-		LogDir:  spec.LogDir,
+		DataDir: dataDir, FsyncInterval: spec.FsyncInterval,
+		LogDir: spec.LogDir,
 	})
 	if err != nil {
 		return ChurnRun{}, "", err
 	}
 	defer lc.Close()
-	opts.progress("live churn %s: %d procs up, preloading %d keys", arm, spec.Procs, spec.TotalKeys)
+	opts.progress("live churn %s: %d procs up, preloading %d keys", arm.name, spec.Procs, spec.TotalKeys)
 	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
 		return ChurnRun{}, "", err
 	}
@@ -507,7 +534,7 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, 
 		haltAll(workers)
 		return ChurnRun{}, "", err
 	}
-	opts.progress("live churn %s: killed %s (SIGKILL)", arm, victim)
+	opts.progress("live churn %s: killed %s (SIGKILL)", arm.name, victim)
 	time.Sleep(spec.Outage)
 	if err := lc.Restart(victim); err != nil {
 		close(windowStop)
@@ -516,7 +543,11 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, 
 		return ChurnRun{}, "", err
 	}
 	recoveredAt := time.Now()
-	opts.progress("live churn %s: restarted %s (empty engine)", arm, victim)
+	restartMode := "empty engine"
+	if arm.persist {
+		restartMode = "recovering from data dir"
+	}
+	opts.progress("live churn %s: restarted %s (%s)", arm.name, victim, restartMode)
 	time.Sleep(spec.PostWatch)
 	close(windowStop)
 	<-windowDone
@@ -524,7 +555,7 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, 
 	elapsed := time.Since(measureStart)
 	haltAll(workers)
 
-	run := ChurnRun{Policy: arm, Windows: windows}
+	run := ChurnRun{Policy: arm.name, Windows: windows}
 	run.Operations = snap.ops
 	run.Errors = snap.errors
 	if elapsed > 0 {
@@ -532,6 +563,9 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, withRepair bool) (ChurnRun, 
 	}
 	run.HintsQueued = mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.HintsQueued })
 	run.RowsHealed = mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.RepairRows })
+	// Every member other than the victim started on an empty data dir
+	// (recovered 0), so this sum is the victim's startup index rebuild.
+	run.RowsRecovered = mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.RecoveredRows })
 
 	// Window offsets relative to the victim's return; the post-recovery
 	// horizon starts at the first window fully after it. Same assembly as

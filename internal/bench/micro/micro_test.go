@@ -8,6 +8,9 @@ import "testing"
 func BenchmarkEngineApply(b *testing.B)             { EngineApply(b) }
 func BenchmarkEngineGet(b *testing.B)               { EngineGet(b) }
 func BenchmarkEngineScan(b *testing.B)              { EngineScan(b) }
+func BenchmarkPersistApply(b *testing.B)            { PersistApply(b) }
+func BenchmarkPersistGet(b *testing.B)              { PersistGet(b) }
+func BenchmarkPersistRecover(b *testing.B)          { PersistRecover(b) }
 func BenchmarkWireEncode(b *testing.B)              { WireEncode(b) }
 func BenchmarkWireDecode(b *testing.B)              { WireDecode(b) }
 func BenchmarkWireDecodeShared(b *testing.B)        { WireDecodeShared(b) }

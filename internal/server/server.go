@@ -98,8 +98,19 @@ type Config struct {
 	HintedHandoff    bool
 	HintQueueLimit   int
 	// CommitLog, when non-empty, enables write durability and replays the
-	// log on startup.
+	// log on startup. Superseded by DataDir; setting both is an error.
 	CommitLog string
+	// DataDir, when non-empty, backs the storage engine with the
+	// bitcask-style persistent backend under this directory: writes are
+	// durable, and a restarted node recovers its pre-crash rows from hint
+	// files + log tail replay before serving. The server refuses to start
+	// if the directory is locked by another process or stamped with a
+	// different on-disk format version.
+	DataDir string
+	// FsyncInterval selects the persistent engine's durability mode:
+	// <= 0 means group commit (writes ack on an fsync batch boundary),
+	// > 0 fsyncs in the background every interval. Only used with DataDir.
+	FsyncInterval time.Duration
 	// GossipInterval is the heartbeat round interval; zero means 1s.
 	GossipInterval time.Duration
 	// Streams is the TCP transport's per-peer connection pool size.
@@ -131,6 +142,7 @@ type Server struct {
 	gossiper  *gossip.Gossiper
 	node      *cluster.Node
 	commitLog io.Closer
+	dataDir   *storage.DataDir // owned by the engine once the node exists
 }
 
 // New builds and starts a node: listening, gossiping, serving.
@@ -179,6 +191,10 @@ func New(cfg Config) (*Server, error) {
 	s := &Server{cfg: cfg, rt: sim.NewRealRuntime()}
 
 	var engineOpts storage.Options
+	if cfg.CommitLog != "" && cfg.DataDir != "" {
+		s.rt.Stop()
+		return nil, fmt.Errorf("server: -commitlog and -data-dir are mutually exclusive (the data dir subsumes the commit log)")
+	}
 	if cfg.CommitLog != "" {
 		cl, err := storage.OpenFileCommitLog(cfg.CommitLog)
 		if err != nil {
@@ -187,6 +203,21 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.commitLog = cl
 		engineOpts.CommitLog = cl
+	}
+	if cfg.DataDir != "" {
+		// Pre-flight the fallible checks so a locked or version-mismatched
+		// data dir is a startup refusal, not an engine panic. The engine
+		// takes ownership of the acquired dir; node.Stop releases it.
+		dd, err := storage.AcquireDataDir(cfg.DataDir)
+		if err != nil {
+			s.rt.Stop()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.dataDir = dd
+		engineOpts.Persist = &storage.PersistOptions{
+			Dir:           dd,
+			FsyncInterval: cfg.FsyncInterval,
+		}
 	}
 
 	// The transport starts with no handler (inbound frames drop like lost
@@ -243,6 +274,12 @@ func New(cfg Config) (*Server, error) {
 		ccfg.GroupFn = HotColdGroupFn(cfg.HotKeys)
 	}
 	s.node = cluster.New(ccfg, s.rt, tcp)
+
+	if cfg.DataDir != "" {
+		// Recovery already ran inside cluster.New → storage.Open: the keydir
+		// was rebuilt from hint files + tail replay before this line.
+		logf("harmony-server %s: recovered %d rows from %s", cfg.ID, s.node.Engine().Recovered(), cfg.DataDir)
+	}
 
 	// Replay the durability log into the engine before serving traffic.
 	if cfg.CommitLog != "" {
@@ -307,6 +344,13 @@ func (s *Server) closePartial() {
 	if s.commitLog != nil {
 		_ = s.commitLog.Close()
 	}
+	// The persistent engine owns the data dir once the node exists (Close
+	// is idempotent); before that, release the pre-flight lock directly.
+	if s.node != nil {
+		_ = s.node.Engine().Close()
+	} else if s.dataDir != nil {
+		_ = s.dataDir.Release()
+	}
 }
 
 // Main runs a server from command-line arguments and blocks until
@@ -324,7 +368,9 @@ func Main(args []string) int {
 		readRepair  = fs.Float64("read-repair-chance", 0.1, "probability a read fans out for repair")
 		hints       = fs.Bool("hinted-handoff", true, "queue hints for down replicas")
 		hintLimit   = fs.Int("hint-queue-limit", 0, "cap queued hints (0 = unlimited; overflow drops mutations)")
-		commitLog   = fs.String("commitlog", "", "path to a commit log file (durability); empty disables")
+		commitLog   = fs.String("commitlog", "", "path to a commit log file (legacy durability); empty disables")
+		dataDir     = fs.String("data-dir", "", "persistent storage directory (bitcask engine; recovers on restart); empty keeps storage in memory")
+		fsyncEvery  = fs.Duration("fsync-interval", 0, "background fsync cadence for -data-dir; 0 = group commit (writes ack on fsync batch boundaries)")
 		gossipEvery = fs.Duration("gossip-interval", time.Second, "gossip round interval")
 		streams     = fs.Int("streams", 1, "TCP connections pooled per peer")
 		noBatch     = fs.Bool("no-batch", false, "disable transport write coalescing (benchmarks)")
@@ -354,6 +400,8 @@ func Main(args []string) int {
 		HintedHandoff:    *hints,
 		HintQueueLimit:   *hintLimit,
 		CommitLog:        *commitLog,
+		DataDir:          *dataDir,
+		FsyncInterval:    *fsyncEvery,
 		GossipInterval:   *gossipEvery,
 		Streams:          *streams,
 		NoBatch:          *noBatch,

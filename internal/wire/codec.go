@@ -94,6 +94,7 @@ func bodySize(m Message) (int, error) {
 			uvarintLen(v.ReplicaOps) + uvarintLen(v.BytesRead) + uvarintLen(v.BytesWrit) +
 			uvarintLen(v.RepairsSent) + uvarintLen(v.HintsQueued) +
 			uvarintLen(v.RepairRows) + uvarintLen(v.RepairAgeMs) +
+			uvarintLen(v.RecoveredRows) +
 			uvarintLen(uint64(len(v.Groups)))
 		for _, g := range v.Groups {
 			n += uvarintLen(g.Reads) + uvarintLen(g.Writes) + uvarintLen(g.BytesWritten) +
@@ -408,6 +409,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.HintsQueued)
 		w.uvarint(v.RepairRows)
 		w.uvarint(v.RepairAgeMs)
+		w.uvarint(v.RecoveredRows)
 		w.uvarint(uint64(len(v.Groups)))
 		for _, g := range v.Groups {
 			w.uvarint(g.Reads)
@@ -671,7 +673,7 @@ func decodeBody(body []byte, share bool) (Message, error) {
 		if m.ID, err = r.rUvarint(); err != nil {
 			return nil, err
 		}
-		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued, &m.RepairRows, &m.RepairAgeMs}
+		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued, &m.RepairRows, &m.RepairAgeMs, &m.RecoveredRows}
 		for _, f := range fields {
 			if *f, err = r.rUvarint(); err != nil {
 				return nil, err

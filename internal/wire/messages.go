@@ -296,6 +296,12 @@ type StatsResponse struct {
 	// windowed delta is a live "divergence being discovered" signal.
 	RepairRows  uint64
 	RepairAgeMs uint64
+	// RecoveredRows is the number of rows the node's storage engine rebuilt
+	// from its data dir at startup (hint files + log tail replay). Zero for
+	// memory-backed nodes; constant after startup, so the monitor reads it
+	// as "how much pre-crash state a restarted node brought back itself"
+	// versus rows anti-entropy had to heal (RepairRows).
+	RecoveredRows uint64
 	// Groups carries per-key-group operation counters, indexed by group id
 	// (the node's GroupFn assigns keys to groups). Empty when the node
 	// tallies a single implicit group; the aggregate counters above always

@@ -40,7 +40,7 @@ func allSampleMessages() []Message {
 		GroupUpdate{Epoch: 3, Tolerances: []float64{0.02, 0.4}, Default: 1,
 			Entries: []GroupAssign{{Key: []byte("user0000000001"), Group: 0}, {Key: []byte("user0000000002"), Group: 1}}},
 		GroupUpdate{Epoch: 1, Tolerances: []float64{0.5}},
-		StatsResponse{ID: 17, RepairRows: 1 << 33, RepairAgeMs: 123456,
+		StatsResponse{ID: 17, RepairRows: 1 << 33, RepairAgeMs: 123456, RecoveredRows: 1 << 21,
 			Groups: []GroupCounters{{Reads: 4, RepairRows: 9, RepairAgeMs: 8000}}},
 		TreeRequest{ID: 18, Ranges: []TokenRange{{Start: 1, End: 2}, {Start: 1 << 63, End: 5}}},
 		TreeRequest{ID: 19},
