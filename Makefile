@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race repair-test storage-test bench bench-micro bench-smoke lint api-check api-baseline ci
+.PHONY: build test test-race repair-test storage-test admin-smoke bench bench-micro bench-smoke lint api-check api-baseline ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,12 @@ repair-test:
 # scratch reuse) under the race detector.
 storage-test:
 	$(GO) test -race -timeout 15m -run 'Persist|DataDir|Scan|Engine' ./internal/storage/
+
+# Live observability smoke: boot a real server with -admin-addr and curl
+# /metrics, /status, /trace, /debug/vars and a 1s CPU profile, failing on
+# any non-200 or empty body (scripts/admin_smoke.sh).
+admin-smoke:
+	bash scripts/admin_smoke.sh
 
 # Full figure regeneration through the testing.B harness (minutes).
 bench:
@@ -80,4 +86,4 @@ api-check:
 api-baseline:
 	$(GO) run ./cmd/apicheck > api/exported.txt
 
-ci: lint build api-check test-race bench-smoke
+ci: lint build api-check test-race admin-smoke bench-smoke

@@ -50,9 +50,12 @@ var suite = []struct {
 	fn   func(*testing.B)
 }{
 	{"engine/apply-8g", micro.EngineApply},
+	{"engine/apply-8g-observed", micro.EngineApplyObserved},
 	{"engine/get-8g", micro.EngineGet},
+	{"engine/get-8g-observed", micro.EngineGetObserved},
 	{"engine/scan", micro.EngineScan},
 	{"persist/apply-8g", micro.PersistApply},
+	{"persist/apply-8g-observed", micro.PersistApplyObserved},
 	{"persist/get-8g", micro.PersistGet},
 	{"persist/recover", micro.PersistRecover},
 	{"wire/encode", micro.WireEncode},

@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strings"
@@ -20,6 +21,7 @@ import (
 
 	"harmony/internal/client"
 	"harmony/internal/core"
+	"harmony/internal/obs"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/transport"
@@ -73,6 +75,8 @@ func main() {
 		timeout = flag.Duration("timeout", 5*time.Second, "per-operation timeout")
 		verify  = flag.Bool("verify", false, "get only: dual-read staleness check")
 		streams = flag.Int("streams", 1, "pooled TCP connections per server (pipelining)")
+		stats   = flag.Bool("stats", false, "print p50/p99/max latency and per-level op counts after the run")
+		count   = flag.Int("count", 1, "repeat the operation this many times (stats sampling)")
 	)
 	flag.Parse()
 	args := flag.Args()
@@ -99,7 +103,7 @@ func main() {
 
 	switch args[0] {
 	case "get", "put", "del":
-		runKV(rt, tcp, ids, lvl, *timeout, *verify, args)
+		runKV(rt, tcp, ids, lvl, *timeout, *verify, *stats, *count, args)
 	case "monitor":
 		runMonitor(rt, tcp, ids)
 	default:
@@ -107,7 +111,7 @@ func main() {
 	}
 }
 
-func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl wire.ConsistencyLevel, timeout time.Duration, verify bool, args []string) {
+func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl wire.ConsistencyLevel, timeout time.Duration, verify, stats bool, count int, args []string) {
 	drv, err := client.New(client.Options{
 		ID:           "harmony-client",
 		Coordinators: ids,
@@ -123,7 +127,51 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 	rebind(tcp, rt, drv)
 	sess := client.NewSession(drv)
 
+	if count < 1 {
+		count = 1
+	}
+	// quiet suppresses per-operation output on repeated runs: with -count
+	// the deliverable is the latency distribution, not N result lines.
+	quiet := count > 1
+	hist := obs.NewOpLevelHist()
+	exit := 0
+	for i := 0; i < count && exit == 0; i++ {
+		exit = runOne(rt, drv, sess, hist, lvl, verify, quiet, args)
+	}
+	if stats {
+		printStats(os.Stderr, hist)
+	}
+	os.Exit(exit)
+}
+
+// runOne executes one get/put/del on the runtime and records its latency
+// into hist keyed by op kind and the consistency level the operation
+// actually ran at (the achieved level for reads).
+func runOne(rt *sim.RealRuntime, drv *client.Driver, sess *client.Session, hist *obs.OpLevelHist, lvl wire.ConsistencyLevel, verify, quiet bool, args []string) int {
 	done := make(chan int, 1)
+	start := time.Now()
+	readDone := func(res client.ReadResult) {
+		achieved := res.Achieved
+		if achieved == 0 {
+			achieved = lvl
+		}
+		hist.Record(obs.OpRead, achieved, time.Since(start))
+		if !quiet {
+			printRead(res)
+		}
+		done <- exitFor(res.Err)
+	}
+	writeDone := func(res client.WriteResult, what string) {
+		hist.Record(obs.OpWrite, wire.One, time.Since(start))
+		if !quiet {
+			if res.Err != nil {
+				fmt.Printf("error: %v\n", res.Err)
+			} else {
+				fmt.Println(what)
+			}
+		}
+		done <- exitFor(res.Err)
+	}
 	rt.Post(func() {
 		switch args[0] {
 		case "get":
@@ -134,16 +182,16 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 			}
 			if verify {
 				drv.VerifyRead([]byte(args[1]), func(res client.ReadResult, stale bool) {
-					printRead(res)
-					fmt.Printf("stale=%v\n", stale)
+					if !quiet {
+						printRead(res)
+						fmt.Printf("stale=%v\n", stale)
+					}
+					hist.Record(obs.OpRead, wire.All, time.Since(start))
 					done <- exitFor(res.Err)
 				})
 				return
 			}
-			sess.Read([]byte(args[1]), func(res client.ReadResult) {
-				printRead(res)
-				done <- exitFor(res.Err)
-			})
+			sess.Read([]byte(args[1]), readDone)
 		case "put":
 			if len(args) < 3 {
 				log.Println("put needs a key and a value")
@@ -151,12 +199,7 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 				return
 			}
 			sess.Write([]byte(args[1]), []byte(args[2]), func(res client.WriteResult) {
-				if res.Err != nil {
-					fmt.Printf("error: %v\n", res.Err)
-				} else {
-					fmt.Printf("ok ts=%d\n", res.Ts)
-				}
-				done <- exitFor(res.Err)
+				writeDone(res, fmt.Sprintf("ok ts=%d", res.Ts))
 			})
 		case "del":
 			if len(args) < 2 {
@@ -165,16 +208,31 @@ func runKV(rt *sim.RealRuntime, tcp *transport.TCPNode, ids []ring.NodeID, lvl w
 				return
 			}
 			sess.Delete([]byte(args[1]), func(res client.WriteResult) {
-				if res.Err != nil {
-					fmt.Printf("error: %v\n", res.Err)
-				} else {
-					fmt.Println("deleted")
-				}
-				done <- exitFor(res.Err)
+				writeDone(res, "deleted")
 			})
 		}
 	})
-	os.Exit(<-done)
+	return <-done
+}
+
+// printStats renders the client-side latency histogram: one line per
+// populated op × level cell with its count and p50/p99/max.
+func printStats(w io.Writer, hist *obs.OpLevelHist) {
+	cells := hist.Snapshot()
+	if len(cells) == 0 {
+		fmt.Fprintln(w, "stats: no operations recorded")
+		return
+	}
+	var total uint64
+	for _, c := range cells {
+		total += c.Hist.Count()
+	}
+	fmt.Fprintf(w, "stats: %d ops\n", total)
+	for _, c := range cells {
+		h := c.Hist
+		fmt.Fprintf(w, "  %-5s %-7s n=%-6d p50=%-10v p99=%-10v max=%v\n",
+			c.Op, c.Level, h.Count(), h.Median(), h.P99(), h.Max())
+	}
 }
 
 // rebind points the TCP endpoint's inbound path at the driver. NewTCPNode

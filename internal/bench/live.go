@@ -75,11 +75,12 @@ type LiveClusterConfig struct {
 
 // liveProc is one spawned cluster member.
 type liveProc struct {
-	id   ring.NodeID
-	addr string
-	args []string
-	log  string
-	cmd  *exec.Cmd
+	id    ring.NodeID
+	addr  string
+	admin string // admin HTTP endpoint (scraper target)
+	args  []string
+	log   string
+	cmd   *exec.Cmd
 }
 
 // LiveCluster is a running cluster of real server processes.
@@ -123,25 +124,39 @@ func StartLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
 		return nil, fmt.Errorf("bench: live log dir: %w", err)
 	}
 
-	// Reserve one loopback port per member by binding and releasing; the
-	// window between release and the child's bind is benign locally.
-	members := make([]server.Member, cfg.Procs)
-	for i := range members {
+	// Reserve loopback ports per member by binding and releasing (one for
+	// the transport, one for the admin endpoint); the window between release
+	// and the child's bind is benign locally.
+	reserve := func() (string, error) {
 		l, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
-			lc.Close()
-			return nil, fmt.Errorf("bench: reserve port: %w", err)
+			return "", fmt.Errorf("bench: reserve port: %w", err)
 		}
 		addr := l.Addr().String()
 		l.Close()
+		return addr, nil
+	}
+	members := make([]server.Member, cfg.Procs)
+	admins := make([]string, cfg.Procs)
+	for i := range members {
+		addr, err := reserve()
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
 		members[i] = server.Member{ID: ring.NodeID(fmt.Sprintf("n%d", i+1)), Addr: addr}
+		if admins[i], err = reserve(); err != nil {
+			lc.Close()
+			return nil, err
+		}
 	}
 	spec := server.FormatCluster(members)
-	for _, m := range members {
+	for i, m := range members {
 		args := []string{
 			"-id", string(m.ID),
 			"-listen", m.Addr,
 			"-cluster", spec,
+			"-admin-addr", admins[i],
 			"-rf", fmt.Sprint(cfg.RF),
 			"-vnodes", fmt.Sprint(cfg.Vnodes),
 			"-gossip-interval", cfg.GossipInterval.String(),
@@ -166,7 +181,7 @@ func StartLiveCluster(cfg LiveClusterConfig) (*LiveCluster, error) {
 			}
 		}
 		lc.procs = append(lc.procs, &liveProc{
-			id: m.ID, addr: m.Addr, args: args,
+			id: m.ID, addr: m.Addr, admin: admins[i], args: args,
 			log: filepath.Join(lc.logDir, string(m.ID)+".log"),
 		})
 	}
@@ -233,6 +248,16 @@ func (lc *LiveCluster) Peers() map[ring.NodeID]string {
 	out := make(map[ring.NodeID]string, len(lc.procs))
 	for _, p := range lc.procs {
 		out[p.id] = p.addr
+	}
+	return out
+}
+
+// AdminAddrs returns the id -> admin HTTP address map (the scrape targets).
+// A restarted member rebinds the same admin port.
+func (lc *LiveCluster) AdminAddrs() map[ring.NodeID]string {
+	out := make(map[ring.NodeID]string, len(lc.procs))
+	for _, p := range lc.procs {
+		out[p.id] = p.admin
 	}
 	return out
 }

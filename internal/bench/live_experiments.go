@@ -9,6 +9,7 @@ import (
 	"harmony/internal/client"
 	"harmony/internal/core"
 	"harmony/internal/dist"
+	"harmony/internal/obs"
 	"harmony/internal/wire"
 )
 
@@ -77,6 +78,10 @@ type LiveHotColdResult struct {
 	Global    HotColdRun `json:"global"`
 	// ThroughputGain is PerGroup/Global - 1, the headline of the live run.
 	ThroughputGain float64 `json:"throughput_gain"`
+	// PerGroupSeries / GlobalSeries are the scraped per-second time series
+	// of each arm's measured interval, including the merged decision trace.
+	PerGroupSeries *LiveSeries `json:"per_group_series,omitempty"`
+	GlobalSeries   *LiveSeries `json:"global_series,omitempty"`
 }
 
 // Format renders the comparison.
@@ -114,15 +119,16 @@ func LiveHotCold(spec LiveHotColdSpec, opts Options) (LiveHotColdResult, error) 
 		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
 		MeasureMs: durMs(spec.Measure),
 	}
-	perGroup, err := runLiveHotCold(spec, opts, true)
+	perGroup, perSeries, err := runLiveHotCold(spec, opts, true)
 	if err != nil {
 		return LiveHotColdResult{}, fmt.Errorf("bench: live hotcold per-group: %w", err)
 	}
-	global, err := runLiveHotCold(spec, opts, false)
+	global, globalSeries, err := runLiveHotCold(spec, opts, false)
 	if err != nil {
 		return LiveHotColdResult{}, fmt.Errorf("bench: live hotcold global: %w", err)
 	}
 	res.PerGroup, res.Global = perGroup, global
+	res.PerGroupSeries, res.GlobalSeries = perSeries, globalSeries
 	res.RF = max(spec.RF, 1)
 	if global.ThroughputOps > 0 {
 		res.ThroughputGain = perGroup.ThroughputOps/global.ThroughputOps - 1
@@ -133,8 +139,10 @@ func LiveHotCold(spec LiveHotColdSpec, opts Options) (LiveHotColdResult, error) 
 }
 
 // liveController builds the controller for one arm: two models with split
-// tolerances (per-group), or one global model at the hot tolerance.
-func liveController(spec LiveHotColdSpec, perGroup bool) *core.Controller {
+// tolerances (per-group), or one global model at the hot tolerance. Its
+// decisions land in trace, so the scraped series can account for every
+// level change the experiment commanded.
+func liveController(spec LiveHotColdSpec, perGroup bool, trace *obs.Trace) *core.Controller {
 	cfg := core.ControllerConfig{
 		Policy: core.Policy{
 			Name:               "live-hotcold",
@@ -142,6 +150,7 @@ func liveController(spec LiveHotColdSpec, perGroup bool) *core.Controller {
 		},
 		N:                    spec.RF,
 		BandwidthBytesPerSec: spec.ControllerBandwidth,
+		Trace:                trace,
 	}
 	if perGroup {
 		cfg.Groups = 2
@@ -198,8 +207,9 @@ func haltAll(workers []*liveWorker) {
 	}
 }
 
-// runLiveHotCold measures one arm: spawn, preload, warm up, measure.
-func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdRun, error) {
+// runLiveHotCold measures one arm: spawn, preload, warm up, measure. The
+// returned series is the scraped per-second view of the measured interval.
+func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdRun, *LiveSeries, error) {
 	arm := "global"
 	if perGroup {
 		arm = "per-group"
@@ -210,32 +220,35 @@ func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdR
 		LogDir: spec.LogDir,
 	})
 	if err != nil {
-		return HotColdRun{}, err
+		return HotColdRun{}, nil, err
 	}
 	defer lc.Close()
 	opts.progress("live hotcold %s: %d procs up, preloading %d keys", arm, spec.Procs, spec.TotalKeys)
 	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
-		return HotColdRun{}, err
+		return HotColdRun{}, nil, err
 	}
 
-	ctl := liveController(spec, perGroup)
+	trace := obs.NewTrace(4096)
+	ctl := liveController(spec, perGroup, trace)
 	mon, err := startLiveMonitor(lc, ctl, spec.MonitorInterval)
 	if err != nil {
-		return HotColdRun{}, err
+		return HotColdRun{}, nil, err
 	}
 	defer mon.close()
 
 	tally := &liveTally{}
 	workers, err := liveWorkerPool(spec, lc, ctl, tally, 2*time.Second, spec.VerifyEvery, opts.Seed)
 	if err != nil {
-		return HotColdRun{}, err
+		return HotColdRun{}, nil, err
 	}
 	time.Sleep(spec.Warmup)
 	tally.reset()
+	scraper := startLiveScraper(lc, tally, liveLevels(ctl, perGroup), trace, time.Second)
 	start := time.Now()
 	time.Sleep(spec.Measure)
 	snap := tally.snapshot()
 	elapsed := time.Since(start)
+	series := scraper.finish()
 	haltAll(workers)
 
 	run := HotColdRun{
@@ -269,7 +282,20 @@ func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdR
 		}
 		run.Groups = append(run.Groups, hg)
 	}
-	return run, nil
+	return run, series, nil
+}
+
+// liveLevels returns the commanded-level sampler for the scraper: the level
+// each group's model last decided (the global arm serves both groups at its
+// single model's level).
+func liveLevels(ctl *core.Controller, perGroup bool) func() []string {
+	return func() []string {
+		if perGroup {
+			return []string{ctl.GroupLast(0).Level.String(), ctl.GroupLast(1).Level.String()}
+		}
+		l := ctl.Last().Level.String()
+		return []string{l, l}
+	}
 }
 
 // LiveChurnSpec parameterizes the live failure/churn experiment: a member
@@ -359,6 +385,11 @@ type LiveChurnResult struct {
 	Repair    ChurnRun `json:"repair"`
 	HintsOnly ChurnRun `json:"hints_only"`
 	Persist   ChurnRun `json:"persist"`
+	// *Series are the scraped per-second time series of each arm's measured
+	// interval (baseline through post-watch), including the decision trace.
+	RepairSeries    *LiveSeries `json:"repair_series,omitempty"`
+	HintsOnlySeries *LiveSeries `json:"hints_only_series,omitempty"`
+	PersistSeries   *LiveSeries `json:"persist_series,omitempty"`
 }
 
 // Format renders the comparison.
@@ -398,15 +429,15 @@ func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 	if spec.WindowLen <= 0 || spec.Outage <= 0 || spec.PostWatch < spec.WindowLen {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn needs positive WindowLen/Outage and PostWatch >= WindowLen")
 	}
-	withRepair, victim, err := runLiveChurn(spec, opts, liveChurnArm{name: "repair", repair: true})
+	withRepair, repairSeries, victim, err := runLiveChurn(spec, opts, liveChurnArm{name: "repair", repair: true})
 	if err != nil {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn repair: %w", err)
 	}
-	hintsOnly, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "hints-only"})
+	hintsOnly, hintsSeries, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "hints-only"})
 	if err != nil {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn hints-only: %w", err)
 	}
-	persist, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "persist", persist: true})
+	persist, persistSeries, _, err := runLiveChurn(spec, opts, liveChurnArm{name: "persist", persist: true})
 	if err != nil {
 		return LiveChurnResult{}, fmt.Errorf("bench: live churn persist: %w", err)
 	}
@@ -414,10 +445,13 @@ func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 		Procs: spec.Procs, RF: spec.RF,
 		Victim:  victim,
 		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
-		OutageMs:  durMs(spec.Outage),
-		Repair:    withRepair,
-		HintsOnly: hintsOnly,
-		Persist:   persist,
+		OutageMs:        durMs(spec.Outage),
+		Repair:          withRepair,
+		HintsOnly:       hintsOnly,
+		Persist:         persist,
+		RepairSeries:    repairSeries,
+		HintsOnlySeries: hintsSeries,
+		PersistSeries:   persistSeries,
 	}
 	opts.progress("live churn: post-stale hot/cold — repair %.3f/%.3f, hints-only %.3f/%.3f, persist %.3f/%.3f (%d rows recovered)",
 		res.Repair.Groups[0].PostFraction, res.Repair.Groups[1].PostFraction,
@@ -428,12 +462,12 @@ func LiveChurn(spec LiveChurnSpec, opts Options) (LiveChurnResult, error) {
 }
 
 // runLiveChurn measures one arm through the kill/restart schedule.
-func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun, string, error) {
+func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun, *LiveSeries, string, error) {
 	dataDir := ""
 	if arm.persist {
 		dir, err := os.MkdirTemp("", "harmony-churn-data-*")
 		if err != nil {
-			return ChurnRun{}, "", fmt.Errorf("bench: churn data dir: %w", err)
+			return ChurnRun{}, nil, "", fmt.Errorf("bench: churn data dir: %w", err)
 		}
 		defer os.RemoveAll(dir)
 		dataDir = dir
@@ -448,15 +482,16 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 		LogDir: spec.LogDir,
 	})
 	if err != nil {
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 	defer lc.Close()
 	opts.progress("live churn %s: %d procs up, preloading %d keys", arm.name, spec.Procs, spec.TotalKeys)
 	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 
 	tols := []float64{spec.HotTolerance, spec.ColdTolerance}
+	trace := obs.NewTrace(4096)
 	ctl := core.NewController(core.ControllerConfig{
 		Policy: core.Policy{
 			Name:               "live-churn",
@@ -467,10 +502,11 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 		Groups:               2,
 		GroupFn:              hotColdGroupFn(spec.HotKeys),
 		GroupTolerances:      tols,
+		Trace:                trace,
 	})
 	mon, err := startLiveMonitor(lc, ctl, spec.MonitorInterval)
 	if err != nil {
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 	defer mon.close()
 
@@ -484,10 +520,11 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 	}
 	workers, err := liveWorkerPool(hcSpec, lc, ctl, tally, spec.OpTimeout, spec.VerifyEvery, opts.Seed)
 	if err != nil {
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 	time.Sleep(spec.Warmup)
 	tally.reset()
+	scraper := startLiveScraper(lc, tally, liveLevels(ctl, true), trace, time.Second)
 	measureStart := time.Now()
 
 	// Staleness windows: cumulative probe counters sampled on a fixed
@@ -531,16 +568,18 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 	if err := lc.Kill(victim); err != nil {
 		close(windowStop)
 		<-windowDone
+		scraper.finish()
 		haltAll(workers)
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 	opts.progress("live churn %s: killed %s (SIGKILL)", arm.name, victim)
 	time.Sleep(spec.Outage)
 	if err := lc.Restart(victim); err != nil {
 		close(windowStop)
 		<-windowDone
+		scraper.finish()
 		haltAll(workers)
-		return ChurnRun{}, "", err
+		return ChurnRun{}, nil, "", err
 	}
 	recoveredAt := time.Now()
 	restartMode := "empty engine"
@@ -553,6 +592,7 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 	<-windowDone
 	snap := tally.snapshot()
 	elapsed := time.Since(measureStart)
+	series := scraper.finish()
 	haltAll(workers)
 
 	run := ChurnRun{Policy: arm.name, Windows: windows}
@@ -620,5 +660,5 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 		}
 		run.Groups = append(run.Groups, cg)
 	}
-	return run, string(victim), nil
+	return run, series, string(victim), nil
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"harmony/internal/bench"
+	"harmony/internal/obs"
 	"harmony/internal/repair"
 	"harmony/internal/storage"
 	"harmony/internal/wire"
@@ -84,6 +85,42 @@ func EngineGet(b *testing.B) {
 	})
 }
 
+// EngineApplyObserved is EngineApply with the observability tax included:
+// every write also records into a per-level latency histogram, exactly as a
+// server node with metrics enabled does. The delta against engine/apply-8g
+// is the price of observation; the tracked allocs/op pins it at zero.
+func EngineApplyObserved(b *testing.B) {
+	e := storage.NewEngine(storage.Options{})
+	hist := obs.NewOpLevelHist()
+	ks := keys(4096)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	fan(b, func(w, i int) {
+		start := time.Now()
+		e.Apply(ks[(i*goroutines+w)%len(ks)], wire.Value{Data: payload, Timestamp: int64(i + 1)})
+		hist.Record(obs.OpWrite, wire.One, time.Since(start))
+	})
+}
+
+// EngineGetObserved is EngineGet with per-level histogram recording on every
+// read (see EngineApplyObserved).
+func EngineGetObserved(b *testing.B) {
+	e := storage.NewEngine(storage.Options{})
+	hist := obs.NewOpLevelHist()
+	ks := keys(4096)
+	for i, k := range ks {
+		e.Apply(k, wire.Value{Data: []byte("payload-0123456789abcdef"), Timestamp: int64(i + 1)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fan(b, func(w, i int) {
+		start := time.Now()
+		e.Get(ks[i%len(ks)])
+		hist.Record(obs.OpRead, wire.One, time.Since(start))
+	})
+}
+
 // EngineScan measures a full ordered scan over 4096 keys spread across
 // memtable and flushed tables (the k-way shard merge).
 func EngineScan(b *testing.B) {
@@ -140,6 +177,26 @@ func PersistApply(b *testing.B) {
 	b.ResetTimer()
 	fan(b, func(w, i int) {
 		e.Apply(ks[(i*goroutines+w)%len(ks)], wire.Value{Data: payload, Timestamp: int64(len(ks) + i + 1)})
+	})
+}
+
+// PersistApplyObserved is PersistApply with per-level histogram recording on
+// every durable write (see EngineApplyObserved). The tracked allocs/op pins
+// the observed durable write path at <= 2 allocations.
+func PersistApplyObserved(b *testing.B) {
+	e := persistFixture(b)
+	hist := obs.NewOpLevelHist()
+	ks := keys(4096)
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	for i, k := range ks {
+		e.Apply(k, wire.Value{Data: payload, Timestamp: int64(i + 1)})
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fan(b, func(w, i int) {
+		start := time.Now()
+		e.Apply(ks[(i*goroutines+w)%len(ks)], wire.Value{Data: payload, Timestamp: int64(len(ks) + i + 1)})
+		hist.Record(obs.OpWrite, wire.Quorum, time.Since(start))
 	})
 }
 

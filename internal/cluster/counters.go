@@ -1,6 +1,10 @@
 package cluster
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"harmony/internal/wire"
+)
 
 // nodeCounters are the node's live per-operation tallies as lock-free
 // atomics. The node used to guard a Metrics struct with a mutex, which put
@@ -35,6 +39,7 @@ type nodeCounters struct {
 	sessionUpgrades atomic.Uint64
 	sessionRepolls  atomic.Uint64
 	levelUse        [8]atomic.Uint64
+	hintDepth       atomic.Int64 // live hint-queue depth (mirrors hintCount)
 	groups          atomic.Pointer[groupTallies]
 }
 
@@ -52,6 +57,10 @@ type groupTallies struct {
 	shadowStale   []atomic.Uint64
 	repairRows    []atomic.Uint64
 	repairAgeMs   []atomic.Uint64
+	// levelUse is the per-group consistency-level tally, flattened as
+	// group*8 + level (the observability layer's "which level did each
+	// group's traffic actually run at" gauge).
+	levelUse []atomic.Uint64
 }
 
 func newGroupTallies(epoch uint64, groups int) *groupTallies {
@@ -64,6 +73,15 @@ func newGroupTallies(epoch uint64, groups int) *groupTallies {
 		shadowStale:   make([]atomic.Uint64, groups),
 		repairRows:    make([]atomic.Uint64, groups),
 		repairAgeMs:   make([]atomic.Uint64, groups),
+		levelUse:      make([]atomic.Uint64, groups*8),
+	}
+}
+
+// bumpLevelUse tallies one coordinated operation for (group, level). The
+// caller has already range-checked level against [1, 8).
+func (t *groupTallies) bumpLevelUse(group int, level wire.ConsistencyLevel) {
+	if idx := group*8 + int(level); idx >= 0 && idx < len(t.levelUse) {
+		t.levelUse[idx].Add(1)
 	}
 }
 
@@ -102,6 +120,14 @@ func (c *nodeCounters) snapshot() Metrics {
 	}
 	t := c.groups.Load()
 	m.GroupEpoch = t.epoch
+	if groups := len(t.reads); groups > 0 && len(t.levelUse) == groups*8 {
+		m.GroupLevelUse = make([][8]uint64, groups)
+		for g := 0; g < groups; g++ {
+			for l := 0; l < 8; l++ {
+				m.GroupLevelUse[g][l] = t.levelUse[g*8+l].Load()
+			}
+		}
+	}
 	m.GroupReads = loadCounters(t.reads)
 	m.GroupWrites = loadCounters(t.writes)
 	m.GroupBytesWritten = loadCounters(t.bytesWritten)

@@ -13,9 +13,11 @@
 package cluster
 
 import (
+	"fmt"
 	"math/rand"
 	"time"
 
+	"harmony/internal/obs"
 	"harmony/internal/repair"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
@@ -96,6 +98,14 @@ type Config struct {
 	// Rand drives the read-repair coin flips; nil seeds a default source.
 	// Only ever used from the node's runtime.
 	Rand *rand.Rand
+	// OpHist, when set, records coordinated read/write latency (request
+	// arrival to client response) keyed by operation kind × achieved
+	// consistency level. Nil keeps the hot paths identical to a node built
+	// without observability.
+	OpHist *obs.OpLevelHist
+	// Trace, when set, receives node-side control events (grouping-epoch
+	// installs). Nil disables tracing.
+	Trace *obs.Trace
 }
 
 // Metrics are a node's cumulative counters. Access through Snapshot.
@@ -155,6 +165,11 @@ type Metrics struct {
 	// replica serves stale.
 	GroupRepairRows  []uint64
 	GroupRepairAgeMs []uint64
+	// GroupLevelUse splits LevelUse by key group (one [8]uint64 per group,
+	// indexed by wire.ConsistencyLevel): which level each group's traffic
+	// actually ran at since the current grouping epoch began. Reads and
+	// writes both tally into it.
+	GroupLevelUse [][8]uint64
 	// GroupEpoch is the grouping epoch the group counters belong to (zero
 	// until the first GroupUpdate applies).
 	GroupEpoch uint64
@@ -191,6 +206,9 @@ type readOp struct {
 	sessDead  int
 	escalated bool
 	repolls   int
+	// start is the coordination start time, set only when the node records
+	// op latency (cfg.OpHist != nil).
+	start time.Time
 }
 
 type writeOp struct {
@@ -204,6 +222,10 @@ type writeOp struct {
 	ts        int64
 	clock     []wire.ClockEntry // stamped on the value; echoed to the client
 	cancel    func()
+	level     wire.ConsistencyLevel
+	// start is the coordination start time, set only when the node records
+	// op latency (cfg.OpHist != nil).
+	start time.Time
 }
 
 // Node is one storage server.
@@ -501,6 +523,9 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		op.sessLive = live
 		op.sessDead = dead
 	}
+	if n.cfg.OpHist != nil {
+		op.start = n.rt.Now()
+	}
 	n.pendingReads[op.id] = op
 	if n.sampler != nil {
 		n.sampler.observe(req.Key, 1, 0)
@@ -510,6 +535,7 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 	tallies.reads[op.group].Add(1)
 	if level >= 1 && int(level) < len(n.counters.levelUse) {
 		n.counters.levelUse[level].Add(1)
+		tallies.bumpLevelUse(op.group, level)
 	}
 	if req.Shadow {
 		n.counters.shadowSamples.Add(1)
@@ -650,6 +676,9 @@ func (n *Node) sendReadResponse(op *readOp, v wire.Value, found bool) {
 	op.responded = true
 	op.respTS = v.Timestamp
 	op.respAt = n.rt.Now().UnixNano()
+	if n.cfg.OpHist != nil && !op.start.IsZero() {
+		n.cfg.OpHist.Record(obs.OpRead, op.level, n.rt.Now().Sub(op.start))
+	}
 	resp := wire.ReadResponse{ID: op.clientID, Found: found && !v.Tombstone, Value: v, Achieved: op.level}
 	n.send.Send(n.cfg.ID, op.client, resp)
 	if op.finished {
@@ -770,6 +799,10 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 		need:     req.Level.BlockFor(len(reps)),
 		ts:       ts,
 		clock:    clock,
+		level:    req.Level,
+	}
+	if n.cfg.OpHist != nil {
+		op.start = n.rt.Now()
 	}
 	n.pendingWrites[op.id] = op
 	group := n.groupOf(req.Key)
@@ -781,6 +814,9 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 	tallies := n.counters.groups.Load()
 	tallies.writes[group].Add(1)
 	tallies.bytesWritten[group].Add(uint64(len(req.Value)))
+	if req.Level >= 1 && int(req.Level) < len(n.counters.levelUse) {
+		tallies.bumpLevelUse(group, req.Level)
+	}
 	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
 	mut := wire.Mutation{ID: op.id, Key: req.Key, Value: v}
 	for _, r := range reps {
@@ -833,6 +869,9 @@ func (n *Node) onMutationAck(from ring.NodeID, ack wire.MutationAck) {
 	op.acks++
 	if !op.responded && op.acks >= op.need {
 		op.responded = true
+		if n.cfg.OpHist != nil && !op.start.IsZero() {
+			n.cfg.OpHist.Record(obs.OpWrite, op.level, n.rt.Now().Sub(op.start))
+		}
 		n.send.Send(n.cfg.ID, op.client, wire.WriteResponse{ID: op.clientID, OK: true, Timestamp: op.ts, Clock: op.clock})
 	}
 	if op.acks >= op.total {
@@ -874,6 +913,7 @@ func (n *Node) queueHint(target ring.NodeID, mut wire.Mutation) {
 	mut.ID = n.opID() // hints get their own ack namespace
 	n.hints[target] = append(n.hints[target], mut)
 	n.hintCount++
+	n.counters.hintDepth.Store(int64(n.hintCount))
 	n.counters.hintsQueued.Add(1)
 }
 
@@ -902,6 +942,7 @@ func (n *Node) clearHintAck(from ring.NodeID, id uint64) bool {
 				delete(n.hints, from)
 			}
 			n.hintCount--
+			n.counters.hintDepth.Store(int64(n.hintCount))
 			return true
 		}
 	}
@@ -917,6 +958,10 @@ func (n *Node) PendingHints() int {
 	return total
 }
 
+// HintDepth reports the hint-queue depth. Unlike PendingHints it is safe
+// from any goroutine — the admin scrape path's gauge.
+func (n *Node) HintDepth() int { return int(n.counters.hintDepth.Load()) }
+
 // DropHints discards every queued hint — the failure-injection stand-in for
 // a coordinator crash losing its (memory- or disk-bounded) hint queues.
 // Returns how many mutations were lost. Must run on the node's runtime.
@@ -924,6 +969,7 @@ func (n *Node) DropHints() int {
 	dropped := n.hintCount
 	n.hints = make(map[ring.NodeID][]wire.Mutation)
 	n.hintCount = 0
+	n.counters.hintDepth.Store(0)
 	if dropped > 0 {
 		n.counters.hintsDropped.Add(uint64(dropped))
 	}
@@ -1007,6 +1053,13 @@ func (n *Node) applyGroupUpdate(u wire.GroupUpdate) {
 	// loaded the old tallies keep incrementing the retired epoch's slices,
 	// which snapshots no longer observe.
 	n.counters.groups.Store(newGroupTallies(u.Epoch, groups))
+	n.cfg.Trace.Add(obs.Event{
+		Kind:   obs.EventGroupUpdate,
+		Node:   string(n.cfg.ID),
+		Group:  -1,
+		Epoch:  u.Epoch,
+		Detail: fmt.Sprintf("installed %d groups (%d pinned keys)", groups, len(u.Entries)),
+	})
 }
 
 var _ transport.Handler = (*Node)(nil)

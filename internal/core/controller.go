@@ -1,10 +1,13 @@
 package core
 
 import (
+	"fmt"
 	"math"
 	"sync"
 	"time"
 
+	// Aliased: Observe's parameter is conventionally named obs.
+	obspkg "harmony/internal/obs"
 	"harmony/internal/wire"
 )
 
@@ -43,6 +46,11 @@ type Decision struct {
 	// as ONE.
 	WriteLevel wire.ConsistencyLevel
 	Model      Model
+	// DivergenceHold reports that the quorum floor was forced because
+	// unrepaired divergence alone breached the tolerance (see
+	// ControllerConfig.DivergenceSensitivity) — the stream stays held until
+	// anti-entropy converges.
+	DivergenceHold bool
 }
 
 // ControllerConfig configures the adaptive-consistency module.
@@ -91,6 +99,12 @@ type ControllerConfig struct {
 	DivergenceSensitivity float64
 	// OnDecision, when set, observes every decision (for tracing/benches).
 	OnDecision func(Decision)
+	// Trace, when set, receives structured control-loop events: per-group
+	// level changes, divergence hold/release transitions, SESSION-tier
+	// overrides, and regroups — each stamped with the observation that
+	// triggered it. Nil disables tracing; emission happens outside the
+	// controller's lock.
+	Trace *obspkg.Trace
 
 	// Groups turns the controller into a multi-model controller: one
 	// estimator model and decision stream per key group, fed by the
@@ -273,6 +287,12 @@ func (c *Controller) Regroup(epoch uint64, groupFn func(key []byte) int, toleran
 	// Session flags name groups of the retired epoch; the new epoch's groups
 	// start unflagged until SetSessionGroups re-arms them.
 	c.sess = nil
+	c.cfg.Trace.Add(obspkg.Event{
+		Kind:   obspkg.EventRegroup,
+		Group:  -1,
+		Epoch:  epoch,
+		Detail: fmt.Sprintf("controller installed epoch %d: %d groups (%d inherited streams)", epoch, n, len(parents)),
+	})
 }
 
 // SetSessionGroups installs per-group session flags for the current grouping
@@ -440,6 +460,7 @@ func (c *Controller) decide(at time.Time, model Model, tolerated, pd float64) De
 		if pd > tolerated {
 			// Divergence alone breaches the tolerance: hold at least quorum
 			// until anti-entropy converges (see DivergenceSensitivity).
+			d.DivergenceHold = true
 			if q := c.cfg.N/2 + 1; d.Xn < q {
 				d.Xn = q
 			}
@@ -500,6 +521,7 @@ func (c *Controller) Observe(obs Observation) {
 	// strict generalization of the global controller.
 	aligned := len(obs.Groups) == len(c.groups) && obs.Epoch == c.epoch
 	groupDs := make([]Decision, len(c.groups))
+	var events []obspkg.Event
 	for g := range c.groups {
 		model := Model{N: c.cfg.N, LambdaR: obs.ReadRate, LambdaW: obs.WriteInterval, Tp: tp}
 		div := obs.Divergence
@@ -513,7 +535,9 @@ func (c *Controller) Observe(obs Observation) {
 				model.Tp = c.propagationWith(obs, gw)
 			}
 		}
-		groupDs[g] = c.decide(obs.At, model, c.groupToleranceLocked(g), c.divergenceStaleness(div))
+		tol := c.groupToleranceLocked(g)
+		groupDs[g] = c.decide(obs.At, model, tol, c.divergenceStaleness(div))
+		demanded := groupDs[g].Level
 		if c.sessionOKLocked(g) && groupDs[g].Level != wire.One {
 			// Session-flagged group: any tighter-than-ONE demand is served by
 			// the SESSION tier instead — token-checked reads block for one
@@ -523,6 +547,42 @@ func (c *Controller) Observe(obs Observation) {
 			groupDs[g].Xn = 1
 			groupDs[g].Level = wire.Session
 			groupDs[g].WriteLevel = wire.One
+		}
+		// Trace transitions against the still-uncommitted previous state;
+		// events are appended outside the lock below.
+		if c.cfg.Trace != nil {
+			old := &c.groups[g]
+			nd := groupDs[g]
+			base := obspkg.Event{
+				Group: g, Epoch: c.epoch,
+				Estimate: nd.Estimate, Tolerance: tol, Xn: nd.Xn, Divergence: div,
+			}
+			if nd.Level != old.level {
+				e := base
+				e.Kind = obspkg.EventLevel
+				e.From = old.level.String()
+				e.To = nd.Level.String()
+				events = append(events, e)
+			}
+			if nd.Level == wire.Session && demanded != wire.Session && old.level != wire.Session {
+				e := base
+				e.Kind = obspkg.EventSession
+				e.From = demanded.String()
+				e.To = wire.Session.String()
+				e.Detail = "session-flagged group served at SESSION instead of demanded level"
+				events = append(events, e)
+			}
+			if nd.DivergenceHold != old.last.DivergenceHold {
+				e := base
+				if nd.DivergenceHold {
+					e.Kind = obspkg.EventDivergenceHold
+					e.To = nd.Level.String()
+				} else {
+					e.Kind = obspkg.EventDivergenceRelease
+					e.To = nd.Level.String()
+				}
+				events = append(events, e)
+			}
 		}
 	}
 
@@ -536,6 +596,9 @@ func (c *Controller) Observe(obs Observation) {
 	}
 	cb, gcb := c.cfg.OnDecision, c.cfg.OnGroupDecision
 	c.mu.Unlock()
+	for _, e := range events {
+		c.cfg.Trace.Add(e)
+	}
 	if cb != nil {
 		cb(global)
 	}

@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"harmony/internal/obs"
+	"harmony/internal/wire"
+)
+
+// One controller driven through a flip-inducing sequence must leave a trace
+// whose level events exactly reconstruct the group's level trajectory.
+func TestControllerTraceAccountsForLevelChanges(t *testing.T) {
+	tr := obs.NewTrace(256)
+	ctl := NewController(ControllerConfig{
+		Policy: Policy{ToleratedStaleRate: 0.10},
+		N:      5,
+		Trace:  tr,
+	})
+
+	// ONE → quorum hold (divergence) → release back to ONE.
+	ctl.Observe(obsWith(0, nil))
+	ctl.Observe(obsWith(2.0, nil))
+	ctl.Observe(obsWith(2.0, nil)) // steady: no new transition
+	ctl.Observe(obsWith(0, nil))
+
+	var levels, holds, releases []obs.Event
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case obs.EventLevel:
+			levels = append(levels, e)
+		case obs.EventDivergenceHold:
+			holds = append(holds, e)
+		case obs.EventDivergenceRelease:
+			releases = append(releases, e)
+		}
+	}
+	if len(levels) != 2 {
+		t.Fatalf("level events = %d (%v), want 2 (tighten + relax)", len(levels), levels)
+	}
+	if levels[0].From != "ONE" || levels[0].To == "ONE" {
+		t.Fatalf("tighten event = %+v", levels[0])
+	}
+	if levels[1].To != "ONE" || levels[1].From != levels[0].To {
+		t.Fatalf("relax event %+v does not mirror tighten %+v", levels[1], levels[0])
+	}
+	if levels[0].Estimate <= levels[0].Tolerance {
+		t.Fatalf("tighten event estimate %.3f <= tolerance %.3f — no trigger recorded",
+			levels[0].Estimate, levels[0].Tolerance)
+	}
+	if levels[0].Divergence != 2.0 {
+		t.Fatalf("tighten event divergence = %v, want 2.0", levels[0].Divergence)
+	}
+	if len(holds) != 1 || len(releases) != 1 {
+		t.Fatalf("hold/release events = %d/%d, want 1/1", len(holds), len(releases))
+	}
+	if holds[0].Seq >= releases[0].Seq {
+		t.Fatalf("hold seq %d not before release seq %d", holds[0].Seq, releases[0].Seq)
+	}
+}
+
+func TestControllerTraceSessionOverride(t *testing.T) {
+	tr := obs.NewTrace(64)
+	ctl := NewController(ControllerConfig{
+		Policy:        Policy{ToleratedStaleRate: 0.10},
+		N:             3,
+		Trace:         tr,
+		SessionGroups: []bool{true},
+	})
+	ctl.Observe(obsWith(0, nil))
+	ctl.Observe(obsWith(2.0, nil))
+
+	var sess []obs.Event
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EventSession {
+			sess = append(sess, e)
+		}
+	}
+	if len(sess) != 1 {
+		t.Fatalf("session events = %d, want 1", len(sess))
+	}
+	if sess[0].To != "SESSION" || sess[0].From == "SESSION" || sess[0].From == "ONE" {
+		t.Fatalf("session event = %+v, want demanded level -> SESSION", sess[0])
+	}
+	if got := ctl.GroupLast(0).Level; got != wire.Session {
+		t.Fatalf("group level = %v, want SESSION", got)
+	}
+}
+
+// Concurrent controller ticks racing a trace reader across ring wraparound:
+// run with -race. Sequences must stay strictly ascending per reader poll.
+func TestControllerTraceConcurrentTicks(t *testing.T) {
+	tr := obs.NewTrace(16) // tiny ring: guaranteed wraparound
+	ctl := NewController(ControllerConfig{
+		Policy: Policy{ToleratedStaleRate: 0.10},
+		N:      5,
+		Groups: 4,
+		Trace:  tr,
+	})
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			evs := tr.Since(last)
+			for i := 1; i < len(evs); i++ {
+				if evs[i].Seq != evs[i-1].Seq+1 {
+					t.Errorf("non-contiguous seqs %d -> %d", evs[i-1].Seq, evs[i].Seq)
+					return
+				}
+			}
+			if len(evs) > 0 {
+				last = evs[len(evs)-1].Seq
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				div := 0.0
+				if (i+w)%2 == 0 {
+					div = 2.0 // flip every other tick: constant transitions
+				}
+				ctl.Observe(obsWith(div, nil))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	readerWG.Wait()
+
+	if tr.Len() == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	if tr.Dropped() == 0 {
+		t.Fatal("expected ring wraparound under 800 flip-heavy ticks")
+	}
+	for _, e := range tr.Events() {
+		if e.Kind == obs.EventLevel && (e.From == "" || e.To == "") {
+			t.Fatalf("malformed level event %+v", e)
+		}
+	}
+}

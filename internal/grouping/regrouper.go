@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"harmony/internal/core"
+	"harmony/internal/obs"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/transport"
@@ -66,6 +67,10 @@ type Config struct {
 	Initial *Assignment
 	// OnRegroup observes every applied assignment (after broadcast).
 	OnRegroup func(*Assignment)
+	// Trace, when set, receives one structured event per applied epoch
+	// (broadcast-side; the controller and nodes emit their own install
+	// events). Nil disables tracing.
+	Trace *obs.Trace
 }
 
 // Regrouper runs the monitor-side half of the online grouping loop. Wire
@@ -313,6 +318,13 @@ func (r *Regrouper) RegroupNow() bool {
 	for _, n := range r.cfg.Nodes {
 		r.send.Send(r.cfg.Self, n, update)
 	}
+	r.cfg.Trace.Add(obs.Event{
+		Kind:  obs.EventRegroup,
+		Group: -1,
+		Epoch: candidate.Epoch(),
+		Detail: fmt.Sprintf("broadcast epoch %d: %d groups, %d pinned keys, %d nodes",
+			candidate.Epoch(), candidate.Groups(), len(assign), len(r.cfg.Nodes)),
+	})
 	if r.cfg.Controller != nil {
 		r.cfg.Controller.Regroup(candidate.Epoch(), candidate.GroupOf, candidate.Tolerances(), parents)
 	}

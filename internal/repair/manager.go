@@ -2,6 +2,7 @@ package repair
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"harmony/internal/ring"
@@ -91,10 +92,15 @@ type Manager struct {
 	triggered []ring.NodeID
 	active    map[uint64]*session // initiator sessions by id
 	byPeer    map[ring.NodeID]uint64
+	activeN   atomic.Int64 // len(active), readable off the actor goroutine
 
 	mu    sync.Mutex
 	stats Stats
 }
+
+// ActiveSessions reports how many initiator sessions are currently in
+// flight. Safe from any goroutine (the session map itself is actor-owned).
+func (m *Manager) ActiveSessions() int { return int(m.activeN.Load()) }
 
 // session is the initiator-side state of one pairwise exchange.
 type session struct {
@@ -259,6 +265,7 @@ func (m *Manager) startSession(peer ring.NodeID) {
 		s.mine[t.Range] = t
 	}
 	m.active[s.id] = s
+	m.activeN.Store(int64(len(m.active)))
 	m.byPeer[peer] = s.id
 	m.bump(func(st *Stats) { st.SessionsStarted++ })
 	s.cancel = m.rt.After(m.opts.SessionTimeout, func() {
@@ -275,6 +282,7 @@ func (m *Manager) finish(s *session) {
 		s.cancel()
 	}
 	delete(m.active, s.id)
+	m.activeN.Store(int64(len(m.active)))
 	if m.byPeer[s.peer] == s.id {
 		delete(m.byPeer, s.peer)
 	}

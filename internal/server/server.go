@@ -10,7 +10,6 @@ import (
 	"flag"
 	"fmt"
 	"io"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -20,6 +19,7 @@ import (
 
 	"harmony/internal/cluster"
 	"harmony/internal/gossip"
+	"harmony/internal/obs"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
 	"harmony/internal/storage"
@@ -130,7 +130,16 @@ type Config struct {
 	HotKeys int64
 	// KeySampleLimit enables per-key access sampling (regrouping input).
 	KeySampleLimit int
-	// Logf receives diagnostics; nil uses log.Printf.
+	// AdminAddr, when non-empty, serves the admin HTTP endpoint on this
+	// address: /metrics (Prometheus text), /status (JSON snapshot),
+	// /trace (control-loop + node event JSONL), /debug/pprof/* and
+	// /debug/vars. Use ":0" for an ephemeral port (see Server.AdminAddr).
+	AdminAddr string
+	// LogLevel filters node diagnostics: "debug", "info" (default),
+	// "warn", "error". An unknown value is a construction error.
+	LogLevel string
+	// Logf overrides the diagnostic sink (tests); nil emits through the
+	// node's leveled logger at info level.
 	Logf func(string, ...any)
 }
 
@@ -143,13 +152,22 @@ type Server struct {
 	node      *cluster.Node
 	commitLog io.Closer
 	dataDir   *storage.DataDir // owned by the engine once the node exists
+	logger    *obs.Logger
+	opHist    *obs.OpLevelHist
+	trace     *obs.Trace
+	admin     *obs.Admin
 }
 
 // New builds and starts a node: listening, gossiping, serving.
 func New(cfg Config) (*Server, error) {
+	lvl, err := obs.ParseLogLevel(cfg.LogLevel)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	logger := obs.NewLogger(nil, string(cfg.ID), lvl)
 	logf := cfg.Logf
 	if logf == nil {
-		logf = log.Printf
+		logf = logger.Logf()
 	}
 	var infos []ring.NodeInfo
 	peers := map[ring.NodeID]string{}
@@ -188,7 +206,13 @@ func New(cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: ring: %w", err)
 	}
 
-	s := &Server{cfg: cfg, rt: sim.NewRealRuntime()}
+	s := &Server{
+		cfg:    cfg,
+		rt:     sim.NewRealRuntime(),
+		logger: logger,
+		opHist: obs.NewOpLevelHist(),
+		trace:  obs.NewTrace(1024),
+	}
 
 	var engineOpts storage.Options
 	if cfg.CommitLog != "" && cfg.DataDir != "" {
@@ -264,6 +288,8 @@ func New(cfg Config) (*Server, error) {
 		Engine:           engineOpts,
 		KeySampleLimit:   cfg.KeySampleLimit,
 		Alive:            s.gossiper.Alive,
+		OpHist:           s.opHist,
+		Trace:            s.trace,
 	}
 	if cfg.Repair {
 		ccfg.Repair.Enabled = true
@@ -278,7 +304,7 @@ func New(cfg Config) (*Server, error) {
 	if cfg.DataDir != "" {
 		// Recovery already ran inside cluster.New → storage.Open: the keydir
 		// was rebuilt from hint files + tail replay before this line.
-		logf("harmony-server %s: recovered %d rows from %s", cfg.ID, s.node.Engine().Recovered(), cfg.DataDir)
+		logf("recovered %d rows from %s", s.node.Engine().Recovered(), cfg.DataDir)
 	}
 
 	// Replay the durability log into the engine before serving traffic.
@@ -293,13 +319,27 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("server: replay: %w", err)
 		}
 		if replayed > 0 {
-			logf("harmony-server %s: replayed %d commit-log records", cfg.ID, replayed)
+			logf("replayed %d commit-log records", replayed)
 		}
 	}
 
 	tcp.SetHandler(gossip.Mux{Gossip: s.gossiper, Rest: s.node})
 	s.node.Start()
 	s.gossiper.Start()
+
+	if cfg.AdminAddr != "" {
+		admin, err := obs.StartAdmin(cfg.AdminAddr, obs.AdminConfig{
+			Registry: s.buildRegistry(),
+			Trace:    s.trace,
+			Status:   func() any { return s.status() },
+		})
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		s.admin = admin
+		logger.Infof("admin endpoint on http://%s (/metrics /status /trace /debug/pprof)", admin.Addr())
+	}
 	return s, nil
 }
 
@@ -325,8 +365,27 @@ func (s *Server) Node() *cluster.Node { return s.node }
 // Transport exposes the TCP endpoint (stats).
 func (s *Server) Transport() *transport.TCPNode { return s.tcp }
 
-// Close stops serving: gossip, node, transport, runtime, commit log.
+// AdminAddr is the admin endpoint's bound address ("" when disabled) —
+// useful with Config.AdminAddr ":0".
+func (s *Server) AdminAddr() string {
+	if s.admin == nil {
+		return ""
+	}
+	return s.admin.Addr()
+}
+
+// Trace exposes the node's event ring (tests, embedders).
+func (s *Server) Trace() *obs.Trace { return s.trace }
+
+// Logger exposes the node's leveled logger.
+func (s *Server) Logger() *obs.Logger { return s.logger }
+
+// Close stops serving: admin, gossip, node, transport, runtime, commit log.
 func (s *Server) Close() {
+	if s.admin != nil {
+		_ = s.admin.Close()
+		s.admin = nil
+	}
 	if s.gossiper != nil {
 		s.gossiper.Stop()
 	}
@@ -378,6 +437,8 @@ func Main(args []string) int {
 		repairEvery = fs.Duration("repair-interval", time.Second, "anti-entropy scheduler cadence")
 		hotKeys     = fs.Int64("hot-keys", 0, "two-group telemetry split: YCSB key index < hot-keys is group 0")
 		sampleLimit = fs.Int("key-sample-limit", 0, "per-key access samples on stats responses (0 disables)")
+		adminAddr   = fs.String("admin-addr", "", "admin HTTP endpoint (/metrics /status /trace /debug/pprof); empty disables")
+		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
 	_ = fs.Parse(args)
 	if *id == "" || *clusterSpec == "" {
@@ -385,9 +446,15 @@ func Main(args []string) int {
 		fs.Usage()
 		return 2
 	}
+	lvl, err := obs.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "harmony-server: -log-level: %v\n", err)
+		return 2
+	}
+	logger := obs.NewLogger(nil, *id, lvl)
 	members, err := ParseCluster(*clusterSpec)
 	if err != nil {
-		log.Printf("harmony-server: -cluster: %v", err)
+		logger.Errorf("-cluster: %v", err)
 		return 1
 	}
 	s, err := New(Config{
@@ -409,16 +476,18 @@ func Main(args []string) int {
 		RepairInterval:   *repairEvery,
 		HotKeys:          *hotKeys,
 		KeySampleLimit:   *sampleLimit,
+		AdminAddr:        *adminAddr,
+		LogLevel:         *logLevel,
 	})
 	if err != nil {
-		log.Printf("harmony-server: %v", err)
+		logger.Errorf("%v", err)
 		return 1
 	}
-	log.Printf("harmony-server %s: serving on %s (rf=%d, %d members)", *id, s.Addr(), *rf, len(members))
+	logger.Infof("serving on %s (rf=%d, %d members)", s.Addr(), *rf, len(members))
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGINT, syscall.SIGTERM)
 	<-sigs
-	log.Printf("harmony-server %s: shutting down", *id)
+	logger.Infof("shutting down")
 	s.Close()
 	return 0
 }

@@ -26,9 +26,10 @@ type Histogram struct {
 }
 
 const (
-	// Buckets span 1ns..~17m with 64 buckets per octave... we instead use a
-	// classic sub-bucket scheme: 36 octaves * 16 sub-buckets covers
-	// 1ns..~68s with <= 6.25% relative error per bucket.
+	// Buckets follow the classic HDR-style octave/sub-bucket scheme:
+	// 36 octaves * 16 sub-buckets per octave covers 1ns..~68s (2^36 ns)
+	// with <= 6.25% (1/16) relative error per bucket. Durations beyond the
+	// top octave clamp into the last bucket.
 	subBucketBits = 4
 	subBuckets    = 1 << subBucketBits
 	octaves       = 36

@@ -88,6 +88,74 @@ func TestHistogramMerge(t *testing.T) {
 	}
 }
 
+// TestHistogramMergeEquivalence pins the defining property of Merge: merging
+// the histograms of two sample sets is indistinguishable — bucket counts,
+// totals, extrema, and every quantile — from one histogram of the
+// concatenated samples.
+func TestHistogramMergeEquivalence(t *testing.T) {
+	property := func(seedA, seedB int64, nA, nB uint16) bool {
+		draw := func(seed int64, n int) []time.Duration {
+			r := rand.New(rand.NewSource(seed))
+			out := make([]time.Duration, n)
+			for i := range out {
+				// Spread across many octaves, including sub-octave-4 values
+				// and negatives (clamped to 0 by Record).
+				out[i] = time.Duration(math.Exp(2+7*r.NormFloat64()))*time.Nanosecond - 5
+			}
+			return out
+		}
+		sa := draw(seedA, int(nA%2000))
+		sb := draw(seedB, int(nB%2000))
+
+		var ha, hb, merged, concat Histogram
+		for _, d := range sa {
+			ha.Record(d)
+			concat.Record(d)
+		}
+		for _, d := range sb {
+			hb.Record(d)
+			concat.Record(d)
+		}
+		merged.Merge(&ha)
+		merged.Merge(&hb)
+
+		if merged != concat {
+			t.Logf("merged != concat: %v vs %v", merged.String(), concat.String())
+			return false
+		}
+		for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+			if merged.Quantile(q) != concat.Quantile(q) {
+				t.Logf("q=%v: merged %v vs concat %v", q, merged.Quantile(q), concat.Quantile(q))
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramMergeCommutes: a.Merge(b) and b.Merge(a) yield the same
+// distribution (order of merging must not matter).
+func TestHistogramMergeCommutes(t *testing.T) {
+	var a1, b1, a2, b2 Histogram
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		da := time.Duration(r.Int63n(int64(10 * time.Second)))
+		db := time.Duration(r.Int63n(int64(time.Millisecond)))
+		a1.Record(da)
+		a2.Record(da)
+		b1.Record(db)
+		b2.Record(db)
+	}
+	a1.Merge(&b1) // a <- b
+	b2.Merge(&a2) // b <- a
+	if a1 != b2 {
+		t.Fatalf("merge not commutative:\n a.Merge(b) = %v\n b.Merge(a) = %v", a1.String(), b2.String())
+	}
+}
+
 func TestHistogramReset(t *testing.T) {
 	var h Histogram
 	h.Record(time.Second)

@@ -248,17 +248,40 @@ type segment struct {
 // under the owning shard's mutex except the dirty flag, which the syncer
 // claims with an atomic swap.
 type diskShard struct {
-	dir       string
-	segs      []*segment // ascending id; the last is the active (append) segment
-	keydir    map[string]*diskEntry
-	scratch   []byte // record encode/pread buffer; grows to the largest record
-	dirty     atomic.Uint32
-	recovered int // keydir entries rebuilt at open
-	hintLoads int // sealed segments restored from hint files (vs scanned)
-	readErrs  uint64
-	segBytes  int64
-	maxSealed int
-	compacted uint64
+	dir         string
+	segs        []*segment // ascending id; the last is the active (append) segment
+	keydir      map[string]*diskEntry
+	scratch     []byte // record encode/pread buffer; grows to the largest record
+	dirty       atomic.Uint32
+	recovered   int // keydir entries rebuilt at open
+	hintLoads   int // sealed segments restored from hint files (vs scanned)
+	readErrs    uint64
+	segBytes    int64
+	maxSealed   int
+	compacted   uint64
+	keydirBytes int64 // estimated resident bytes of the keydir (see keydirEntryBytes)
+}
+
+// keydirEntryBytes estimates the resident heap cost of one keydir entry: the
+// map slot (key string header + bytes, entry pointer), the diskEntry
+// allocation, and its vector-clock slice. The keydir is the durable engine's
+// RAM ceiling, so the estimate is maintained incrementally on every insert
+// and clock change rather than recomputed by walking the map at scrape time.
+func keydirEntryBytes(keyLen int, clock []wire.ClockEntry) int64 {
+	const entryFixed = 64 + // diskEntry: seg ptr, off, size, ts, tomb, clock header
+		16 + // key string header held by the map
+		16 // amortized map bucket share for the key/value slots
+	return entryFixed + int64(keyLen) + clockBytes(clock)
+}
+
+// clockBytes estimates the heap bytes of a vector clock: per entry, the
+// ClockEntry struct (string header + counter) plus the node-id bytes.
+func clockBytes(clock []wire.ClockEntry) int64 {
+	b := int64(0)
+	for i := range clock {
+		b += 24 + int64(len(clock[i].Node))
+	}
+	return b
 }
 
 func segPath(dir string, id uint64) string {
@@ -374,10 +397,12 @@ func (d *diskShard) load(key string, seg *segment, off int64, size uint32, v wir
 	if e, ok := d.keydir[key]; ok {
 		e.seg.dead += int64(e.size)
 		e.seg.live--
+		d.keydirBytes += clockBytes(v.Clock) - clockBytes(e.clock)
 		e.seg, e.off, e.size = seg, off, size
 		e.ts, e.tomb, e.clock = v.Timestamp, v.Tombstone, v.Clock
 	} else {
 		d.keydir[key] = &diskEntry{seg: seg, off: off, size: size, ts: v.Timestamp, tomb: v.Tombstone, clock: v.Clock}
+		d.keydirBytes += keydirEntryBytes(len(key), v.Clock)
 	}
 	seg.live++
 }
@@ -609,10 +634,12 @@ func (d *diskShard) append(key []byte, v wire.Value, ent *diskEntry) error {
 	if ent != nil {
 		ent.seg.dead += int64(ent.size)
 		ent.seg.live--
+		d.keydirBytes += clockBytes(v.Clock) - clockBytes(ent.clock)
 		ent.seg, ent.off, ent.size = active, off, uint32(len(rec))
 		ent.ts, ent.tomb, ent.clock = v.Timestamp, v.Tombstone, v.Clock
 	} else {
 		d.keydir[string(key)] = &diskEntry{seg: active, off: off, size: uint32(len(rec)), ts: v.Timestamp, tomb: v.Tombstone, clock: v.Clock}
+		d.keydirBytes += keydirEntryBytes(len(key), v.Clock)
 	}
 	active.live++
 	d.dirty.Store(1)
@@ -817,12 +844,14 @@ type persistState struct {
 	groupCommit bool
 	failed      atomic.Bool // fast-path flag for the sticky error
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	seq    uint64 // ticket issued per group-commit append
-	synced uint64 // highest ticket covered by a completed fsync round
-	err    error  // sticky first fsync failure
-	closed bool
+	mu       sync.Mutex
+	cond     *sync.Cond
+	seq      uint64 // ticket issued per group-commit append
+	synced   uint64 // highest ticket covered by a completed fsync round
+	fsyncs   uint64 // file fsync calls performed by batch rounds
+	fsyncOps uint64 // tickets (appends) covered by completed rounds
+	err      error  // sticky first fsync failure
+	closed   bool
 
 	stop     chan struct{}
 	done     chan struct{}
@@ -891,6 +920,7 @@ func (p *persistState) syncRound(e *Engine) error {
 	target := p.seq
 	p.mu.Unlock()
 	var firstErr error
+	var roundSyncs uint64
 	for i := range e.shards {
 		s := &e.shards[i]
 		d := s.disk
@@ -900,6 +930,7 @@ func (p *persistState) syncRound(e *Engine) error {
 		s.mu.Lock()
 		f := d.segs[len(d.segs)-1].f
 		s.mu.Unlock()
+		roundSyncs++
 		if err := f.Sync(); err != nil && firstErr == nil {
 			firstErr = err
 		}
@@ -909,7 +940,9 @@ func (p *persistState) syncRound(e *Engine) error {
 		p.err = fmt.Errorf("storage: fsync: %w", firstErr)
 		p.failed.Store(true)
 	}
+	p.fsyncs += roundSyncs
 	if target > p.synced {
+		p.fsyncOps += target - p.synced
 		p.synced = target
 	}
 	err := p.err

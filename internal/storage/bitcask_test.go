@@ -584,3 +584,65 @@ func TestScanReentrancy(t *testing.T) {
 		}
 	}
 }
+
+// The keydir byte estimate must grow with inserts, stay flat on plain
+// overwrites, track clock growth, and survive reopen; the fsync-batch
+// counters must cover every group-committed append.
+func TestPersistKeydirBytesAndFsyncStats(t *testing.T) {
+	dir := t.TempDir()
+	e := mustOpen(t, Options{Shards: 2, Persist: &PersistOptions{Path: dir}}) // group commit
+
+	if got := e.Stats().KeydirBytes; got != 0 {
+		t.Fatalf("empty keydir bytes = %d", got)
+	}
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		if _, err := e.Apply([]byte(k), wire.Value{Data: []byte("v"), Timestamp: int64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := e.Stats()
+	afterInsert := st.KeydirBytes
+	// 100 entries × (fixed overhead + 8-byte key): at minimum 100 × key
+	// bytes, at most a few hundred bytes per entry.
+	if afterInsert < 100*8 || afterInsert > 100*512 {
+		t.Fatalf("keydir bytes after 100 inserts = %d, implausible", afterInsert)
+	}
+	if st.Fsyncs == 0 {
+		t.Fatalf("no fsync rounds recorded: %+v", st)
+	}
+	if st.FsyncBatchedOps < 100 {
+		t.Fatalf("fsync-batched ops = %d, want >= 100", st.FsyncBatchedOps)
+	}
+
+	// Clock-free overwrites relocate records but add no keydir residency.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("key-%04d", i)
+		if _, err := e.Apply([]byte(k), wire.Value{Data: []byte("v2"), Timestamp: int64(1000 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := e.Stats().KeydirBytes; got != afterInsert {
+		t.Fatalf("keydir bytes after overwrite = %d, want %d", got, afterInsert)
+	}
+
+	// A vector clock appearing on a key grows the estimate.
+	v := wire.Value{Data: []byte("v3"), Timestamp: 5000,
+		Clock: []wire.ClockEntry{{Node: "n1", Counter: 1}, {Node: "n2", Counter: 2}}}
+	if _, err := e.Apply([]byte("key-0000"), v); err != nil {
+		t.Fatal(err)
+	}
+	withClock := e.Stats().KeydirBytes
+	if withClock <= afterInsert {
+		t.Fatalf("keydir bytes with clock = %d, want > %d", withClock, afterInsert)
+	}
+
+	if err := e.Close(); err != nil {
+		t.Fatal(err)
+	}
+	e2 := mustOpen(t, Options{Shards: 2, Persist: &PersistOptions{Path: dir}})
+	defer e2.Close()
+	if got := e2.Stats().KeydirBytes; got != withClock {
+		t.Fatalf("keydir bytes after reopen = %d, want %d", got, withClock)
+	}
+}

@@ -818,6 +818,12 @@ type Stats struct {
 	DiskDeadBytes int64  // bytes owned by overwritten records (compaction reclaims)
 	RecoveredRows int    // keydir entries rebuilt from disk at Open
 	ReadErrors    uint64 // records that failed CRC/pread after recovery
+	KeydirBytes   int64  // estimated resident bytes of the keydirs (the RAM ceiling)
+	// Fsync-batch stats: fsync calls issued by batch rounds, and the
+	// appends those rounds covered — FsyncBatchedOps/Fsyncs is the group-
+	// commit amortization factor.
+	Fsyncs          uint64
+	FsyncBatchedOps uint64
 }
 
 // Stats returns a snapshot of the engine's counters, aggregated over
@@ -843,6 +849,7 @@ func (e *Engine) Stats() Stats {
 			}
 			st.RecoveredRows += d.recovered
 			st.ReadErrors += d.readErrs
+			st.KeydirBytes += d.keydirBytes
 			s.mu.Unlock()
 			continue
 		}
@@ -860,6 +867,12 @@ func (e *Engine) Stats() Stats {
 		}
 		st.LiveKeys += len(live)
 		s.mu.Unlock()
+	}
+	if p := e.persist; p != nil {
+		p.mu.Lock()
+		st.Fsyncs = p.fsyncs
+		st.FsyncBatchedOps = p.fsyncOps
+		p.mu.Unlock()
 	}
 	return st
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -120,10 +121,12 @@ type TCPNode struct {
 type peerGroup struct {
 	id ring.NodeID
 
-	mu       sync.Mutex
-	streams  []*stream
-	backoff  time.Duration
-	nextDial time.Time
+	mu        sync.Mutex
+	streams   []*stream
+	backoff   time.Duration
+	nextDial  time.Time
+	dials     uint64 // successful dials to this peer (redials after the first)
+	dialFails uint64 // failed dial attempts to this peer
 }
 
 // stream is one TCP connection: a pending write buffer drained by a flusher
@@ -233,6 +236,43 @@ func (n *TCPNode) Stats() TCPStats {
 		Dials:          n.dials.Load(),
 		DialFailures:   n.dialFailures.Load(),
 	}
+}
+
+// PeerStat is one peer's live send-side state: pool size, queued (unflushed)
+// bytes across the pool's pending buffers, and this peer's dial history.
+type PeerStat struct {
+	Peer         ring.NodeID
+	Streams      int
+	PendingBytes int
+	Dials        uint64
+	DialFailures uint64
+}
+
+// PeerStats snapshots per-peer send-queue depth, sorted by peer id. The
+// pending-byte reads take each stream's lock briefly; queue depth is the
+// backpressure gauge (bytes appended but not yet handed to the kernel).
+func (n *TCPNode) PeerStats() []PeerStat {
+	n.mu.Lock()
+	groups := make([]*peerGroup, 0, len(n.groups))
+	for _, g := range n.groups {
+		groups = append(groups, g)
+	}
+	n.mu.Unlock()
+	out := make([]PeerStat, 0, len(groups))
+	for _, g := range groups {
+		g.mu.Lock()
+		ps := PeerStat{Peer: g.id, Streams: len(g.streams), Dials: g.dials, DialFailures: g.dialFails}
+		streams := append([]*stream(nil), g.streams...)
+		g.mu.Unlock()
+		for _, st := range streams {
+			st.mu.Lock()
+			ps.PendingBytes += len(st.pending)
+			st.mu.Unlock()
+		}
+		out = append(out, ps)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Peer < out[j].Peer })
+	return out
 }
 
 func (n *TCPNode) acceptLoop() {
@@ -392,6 +432,7 @@ func (n *TCPNode) streamTo(to ring.NodeID) (*stream, error) {
 		st, err := n.dial(to, addr)
 		if err != nil {
 			n.dialFailures.Add(1)
+			g.dialFails++
 			if g.backoff <= 0 {
 				g.backoff = n.backoffMin
 			} else if g.backoff < n.backoffMax {
@@ -403,6 +444,7 @@ func (n *TCPNode) streamTo(to ring.NodeID) (*stream, error) {
 			}
 		} else {
 			n.dials.Add(1)
+			g.dials++
 			g.backoff = 0
 			g.nextDial = time.Time{}
 			g.streams = append(g.streams, st)

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Live admin-endpoint smoke: boot a real single-node harmony-server with
+# -admin-addr, then exercise the observability surfaces a scraper depends
+# on — /metrics, /status, and a short CPU profile — failing on any non-200
+# response or empty body. CI runs this so a broken admin mux can't land
+# silently; locally: make admin-smoke.
+set -euo pipefail
+
+GO=${GO:-go}
+workdir=$(mktemp -d)
+serverlog="$workdir/server.log"
+pid=""
+
+cleanup() {
+  [ -n "$pid" ] && kill "$pid" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+$GO build -o "$workdir/harmony-server" ./cmd/harmony-server
+
+# Reserve an ephemeral transport port (bind-and-release, the same trick the
+# live bench uses); the admin endpoint binds :0 and logs its address.
+port=$($GO run ./scripts/freeport.go)
+
+"$workdir/harmony-server" \
+  -id n1 -listen "127.0.0.1:$port" -cluster "n1=127.0.0.1:$port/dc1/r1" -rf 1 \
+  -admin-addr 127.0.0.1:0 >"$serverlog" 2>&1 &
+pid=$!
+
+# The server logs the admin endpoint's bound address once it is listening.
+admin=""
+for _ in $(seq 1 50); do
+  admin=$(sed -n 's#.*admin endpoint on http://\([^ ]*\).*#\1#p' "$serverlog" | head -1)
+  [ -n "$admin" ] && break
+  if ! kill -0 "$pid" 2>/dev/null; then
+    echo "admin-smoke: server exited early:" >&2
+    cat "$serverlog" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+if [ -z "$admin" ]; then
+  echo "admin-smoke: admin endpoint never came up:" >&2
+  cat "$serverlog" >&2
+  exit 1
+fi
+echo "admin-smoke: admin endpoint at $admin"
+
+# fetch URL MIN_BYTES: 200 status and a body of at least MIN_BYTES, or die.
+fetch() {
+  url=$1 min=$2 out="$workdir/body"
+  code=$(curl -sS -o "$out" -w '%{http_code}' "$url")
+  size=$(wc -c <"$out")
+  if [ "$code" != 200 ] || [ "$size" -lt "$min" ]; then
+    echo "admin-smoke: GET $url -> status $code, $size bytes (want 200, >= $min)" >&2
+    exit 1
+  fi
+  echo "admin-smoke: GET $url -> 200, $size bytes"
+}
+
+fetch "http://$admin/metrics" 100
+grep -q '^harmony_reads_total' "$workdir/body" ||
+  { echo "admin-smoke: /metrics missing harmony_reads_total" >&2; exit 1; }
+fetch "http://$admin/status" 50
+grep -q '"node"' "$workdir/body" ||
+  { echo "admin-smoke: /status missing node field" >&2; exit 1; }
+fetch "http://$admin/trace" 0
+fetch "http://$admin/debug/vars" 10
+# A 1s CPU profile exercises the pprof mux end-to-end; the pb.gz payload of
+# an idle server is small but never empty.
+fetch "http://$admin/debug/pprof/profile?seconds=1" 50
+
+echo "admin-smoke: ok"

@@ -1,0 +1,22 @@
+//go:build ignore
+
+// Prints one free loopback TCP port (bind-and-release). Used by
+// scripts/admin_smoke.sh to pre-agree the server's transport address.
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+)
+
+func main() {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	port := ln.Addr().(*net.TCPAddr).Port
+	ln.Close()
+	fmt.Println(port)
+}
