@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test test-race repair-test storage-test admin-smoke bench bench-micro bench-smoke lint api-check api-baseline ci
+.PHONY: build test test-race repair-test storage-test admin-smoke bench bench-micro bench-smoke chaos-smoke lint api-check api-baseline ci
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,21 @@ bench-smoke: bench-micro
 	$(GO) run ./cmd/harmony-bench -backend live -experiment hotcold -procs 3 -live-measure 3s -live-keys 1500 -json out/live.json
 	$(GO) run ./cmd/harmony-bench -backend live -experiment churn -procs 3 -live-outage 1500ms -live-postwatch 4s -live-keys 900 -json out/churn.json
 
+# Chaos smoke: the network-partition experiment on both backends, each run
+# self-checking its contract (majority availability >= 80% of pre-cut,
+# minority CL=ONE still served while quorum work there refuses fail-fast
+# inside the op deadline, post-heal re-convergence of every staleness
+# group). The sim variant runs the 6-node RF=5 cluster under virtual time;
+# the live variant spawns 3 real server processes, installs the cut at
+# runtime through each member's admin /faults endpoint, lets gossip do the
+# detection, and heals the same way. Any contract violation exits nonzero
+# AFTER out/partition*.json are written, so a failed run still uploads an
+# inspectable artifact.
+chaos-smoke:
+	@mkdir -p out
+	$(GO) run ./cmd/harmony-bench -experiment partition -quiet -json out/partition-sim.json
+	$(GO) run ./cmd/harmony-bench -backend live -experiment partition -procs 3 -live-outage 5s -live-postwatch 6s -live-keys 1500 -json out/partition.json
+
 lint:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; echo 'gofmt: files above need formatting'; exit 1; }
 	$(GO) vet ./...
@@ -86,4 +101,4 @@ api-check:
 api-baseline:
 	$(GO) run ./cmd/apicheck > api/exported.txt
 
-ci: lint build api-check test-race admin-smoke bench-smoke
+ci: lint build api-check test-race admin-smoke bench-smoke chaos-smoke

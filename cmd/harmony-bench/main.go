@@ -14,14 +14,16 @@
 //	harmony-bench -backend live -experiment hotcold -procs 5 -json out/live.json
 //
 // Experiments: fig4a fig4b fig5 fig6 headline ablations hotcold regroup lag
-// all. fig5 and fig6 derive from the same measurement grid; requesting
-// either runs the grid for the selected scenario(s). hotcold compares the
-// per-group multi-model controller against the global controller on a
-// hot/cold key split; regroup compares learned online regrouping against
-// build-time-pinned groups under a migrating hotspot; lag measures
-// time-from-regime-change-to-stable-level on the drifting scenario; -json
-// writes results (plus any figures) as machine-readable JSON for CI
-// artifacts.
+// churn partition all. fig5 and fig6 derive from the same measurement grid;
+// requesting either runs the grid for the selected scenario(s). hotcold
+// compares the per-group multi-model controller against the global
+// controller on a hot/cold key split; regroup compares learned online
+// regrouping against build-time-pinned groups under a migrating hotspot;
+// lag measures time-from-regime-change-to-stable-level on the drifting
+// scenario; partition splits the cluster majority/minority under load and
+// enforces the availability/fail-fast/re-convergence contract (nonzero exit
+// on violation); -json writes results (plus any figures) as
+// machine-readable JSON for CI artifacts.
 //
 // -backend live replaces the simulated cluster with a spawned cluster of
 // real server processes (re-executions of this binary dispatching into
@@ -51,7 +53,7 @@ func main() {
 		os.Exit(server.Main(os.Args[1:]))
 	}
 	var (
-		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|churn|all")
+		experiment = flag.String("experiment", "all", "fig4a|fig4b|fig5|fig6|headline|ablations|hotcold|regroup|lag|churn|partition|all")
 		scenario   = flag.String("scenario", "both", "a scenario name (grid5000, ec2, wan-heavytail, degraded, congested-bimodal, drifting), 'both' paper testbeds, or 'all'")
 		ops        = flag.Int64("ops", 30000, "operations per measurement point")
 		seed       = flag.Int64("seed", 1, "root random seed")
@@ -64,8 +66,8 @@ func main() {
 		backend     = flag.String("backend", "sim", "sim|live: simulated cluster or spawned server processes")
 		procs       = flag.Int("procs", 0, "live: cluster size (0 = experiment default)")
 		liveMeasure = flag.Duration("live-measure", 0, "live hotcold: measured duration override")
-		liveOutage  = flag.Duration("live-outage", 0, "live churn: outage duration override")
-		livePost    = flag.Duration("live-postwatch", 0, "live churn: post-recovery watch override")
+		liveOutage  = flag.Duration("live-outage", 0, "live churn/partition: outage (cut) duration override")
+		livePost    = flag.Duration("live-postwatch", 0, "live churn/partition: post-recovery watch override")
 		liveKeys    = flag.Int64("live-keys", 0, "live: total keyspace override (hot range scales with it)")
 		liveLogs    = flag.String("live-logs", "", "live: directory for member process logs (default: temp)")
 	)
@@ -104,6 +106,8 @@ func main() {
 	var regroups []bench.RegroupResult
 	var lags []bench.LagResult
 	var churns []bench.ChurnResult
+	var partitions []bench.PartitionResult
+	var violations []string
 
 	runGridFigures := func() {
 		ids := map[string][2]string{
@@ -132,7 +136,8 @@ func main() {
 	case wants(*experiment, "fig5"), wants(*experiment, "fig6"),
 		wants(*experiment, "headline"), wants(*experiment, "ablations"),
 		wants(*experiment, "hotcold"), wants(*experiment, "regroup"),
-		wants(*experiment, "lag"), wants(*experiment, "churn"):
+		wants(*experiment, "lag"), wants(*experiment, "churn"),
+		wants(*experiment, "partition"):
 	default:
 		fatalf("unknown experiment %q", *experiment)
 	}
@@ -211,9 +216,21 @@ func main() {
 		fmt.Println(res.Format())
 		churns = append(churns, res)
 	}
+	if wants(*experiment, "partition") {
+		// The partition experiment runs on its purpose-built small cluster
+		// and checks its own availability/fail-fast/re-convergence contract;
+		// violations fail the invocation after results are written.
+		res, err := bench.Partition(bench.DefaultPartitionSpec(), opts)
+		if err != nil {
+			fatalf("partition: %v", err)
+		}
+		fmt.Println(res.Format())
+		partitions = append(partitions, res)
+		violations = append(violations, bench.CheckPartition(res)...)
+	}
 
 	if *jsonPath != "" {
-		writeJSON(*jsonPath, figures, hotcolds, regroups, lags, churns)
+		writeJSON(*jsonPath, figures, hotcolds, regroups, lags, churns, partitions)
 	}
 
 	for _, f := range figures {
@@ -230,6 +247,20 @@ func main() {
 		}
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	failOnViolations(violations)
+}
+
+// failOnViolations exits nonzero when a checked experiment's contract was
+// violated — after results and artifacts are already written, so the failed
+// run is still inspectable.
+func failOnViolations(violations []string) {
+	if len(violations) == 0 {
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintln(os.Stderr, "harmony-bench: partition contract: "+v)
+	}
+	os.Exit(1)
 }
 
 // liveOverrides carries the CLI knobs that shrink (or grow) the live
@@ -246,12 +277,14 @@ type liveOverrides struct {
 // runLiveBackend executes the live-cluster experiments and writes their own
 // JSON document (the out/live.json CI artifact).
 func runLiveBackend(experiment string, opts bench.Options, jsonPath string, ov liveOverrides) {
-	if !wants(experiment, "hotcold") && !wants(experiment, "churn") {
-		fatalf("backend live supports -experiment hotcold, churn, or all (got %q)", experiment)
+	if !wants(experiment, "hotcold") && !wants(experiment, "churn") && !wants(experiment, "partition") {
+		fatalf("backend live supports -experiment hotcold, churn, partition, or all (got %q)", experiment)
 	}
 	start := time.Now()
 	var hots []bench.LiveHotColdResult
 	var churns []bench.LiveChurnResult
+	var partitions []bench.PartitionResult
+	var violations []string
 	if wants(experiment, "hotcold") {
 		spec := bench.DefaultLiveHotColdSpec()
 		if ov.procs > 0 {
@@ -297,11 +330,38 @@ func runLiveBackend(experiment string, opts bench.Options, jsonPath string, ov l
 		fmt.Println(res.Format())
 		churns = append(churns, res)
 	}
+	if wants(experiment, "partition") {
+		spec := bench.DefaultLivePartitionSpec()
+		if ov.procs > 0 {
+			spec.Procs = ov.procs
+			// Keep a strict majority: the small side is at most half minus one.
+			spec.MinorityNodes = max((ov.procs-1)/2, 1)
+		}
+		if ov.outage > 0 {
+			spec.Cut = ov.outage
+		}
+		if ov.postWatch > 0 {
+			spec.PostWatch = ov.postWatch
+		}
+		if ov.totalKeys > 0 {
+			spec.TotalKeys = ov.totalKeys
+			spec.HotKeys = max(ov.totalKeys/15, 1)
+		}
+		spec.LogDir = ov.logDir
+		res, err := bench.LivePartition(spec, opts)
+		if err != nil {
+			fatalf("live partition: %v", err)
+		}
+		fmt.Println(res.Format())
+		partitions = append(partitions, res)
+		violations = append(violations, bench.CheckPartition(res)...)
+	}
 	if jsonPath != "" {
 		doc := struct {
-			LiveHotCold []bench.LiveHotColdResult `json:"live_hotcold,omitempty"`
-			LiveChurn   []bench.LiveChurnResult   `json:"live_churn,omitempty"`
-		}{LiveHotCold: hots, LiveChurn: churns}
+			LiveHotCold   []bench.LiveHotColdResult `json:"live_hotcold,omitempty"`
+			LiveChurn     []bench.LiveChurnResult   `json:"live_churn,omitempty"`
+			LivePartition []bench.PartitionResult   `json:"live_partition,omitempty"`
+		}{LiveHotCold: hots, LiveChurn: churns, LivePartition: partitions}
 		b, err := json.MarshalIndent(doc, "", "  ")
 		if err != nil {
 			fatalf("marshal live json: %v", err)
@@ -317,6 +377,7 @@ func runLiveBackend(experiment string, opts bench.Options, jsonPath string, ov l
 		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonPath)
 	}
 	fmt.Fprintf(os.Stderr, "done in %v\n", time.Since(start).Round(time.Millisecond))
+	failOnViolations(violations)
 }
 
 func runAblations(opts bench.Options, figures *[]bench.Figure) {
@@ -350,14 +411,17 @@ func runAblations(opts bench.Options, figures *[]bench.Figure) {
 // writeJSON persists every result of the invocation as one machine-readable
 // document (the CI artifact format).
 func writeJSON(path string, figures []bench.Figure, hotcolds []bench.HotColdResult,
-	regroups []bench.RegroupResult, lags []bench.LagResult, churns []bench.ChurnResult) {
+	regroups []bench.RegroupResult, lags []bench.LagResult, churns []bench.ChurnResult,
+	partitions []bench.PartitionResult) {
 	doc := struct {
-		Figures []bench.Figure        `json:"figures,omitempty"`
-		HotCold []bench.HotColdResult `json:"hotcold,omitempty"`
-		Regroup []bench.RegroupResult `json:"regroup,omitempty"`
-		Lag     []bench.LagResult     `json:"lag,omitempty"`
-		Churn   []bench.ChurnResult   `json:"churn,omitempty"`
-	}{Figures: figures, HotCold: hotcolds, Regroup: regroups, Lag: lags, Churn: churns}
+		Figures   []bench.Figure          `json:"figures,omitempty"`
+		HotCold   []bench.HotColdResult   `json:"hotcold,omitempty"`
+		Regroup   []bench.RegroupResult   `json:"regroup,omitempty"`
+		Lag       []bench.LagResult       `json:"lag,omitempty"`
+		Churn     []bench.ChurnResult     `json:"churn,omitempty"`
+		Partition []bench.PartitionResult `json:"partition,omitempty"`
+	}{Figures: figures, HotCold: hotcolds, Regroup: regroups, Lag: lags, Churn: churns,
+		Partition: partitions}
 	b, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		fatalf("marshal json: %v", err)

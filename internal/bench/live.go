@@ -433,6 +433,12 @@ type liveWorkerConfig struct {
 	verifyEvery int
 	groupFn     func([]byte) int
 	seed        int64
+
+	// maxAttempts / hedge arm the hardened request path: attempt-scoped
+	// retries with coordinator failover, and hedged reads. Zero keeps the
+	// single-attempt client.
+	maxAttempts int
+	hedge       time.Duration
 }
 
 // liveWorker is one closed-loop client: its own runtime (drivers are
@@ -479,6 +485,8 @@ func newLiveWorker(cfg liveWorkerConfig, tally *liveTally) (*liveWorker, error) 
 		Coordinators: cfg.coords,
 		Policy:       cfg.policy,
 		Timeout:      cfg.timeout,
+		MaxAttempts:  cfg.maxAttempts,
+		Hedge:        cfg.hedge,
 	}, w.rt, tcp)
 	if err != nil {
 		tcp.Close()
@@ -522,7 +530,7 @@ func (w *liveWorker) step() {
 					w.step()
 					return
 				}
-				w.drv.ReadAt(key, wire.All, func(strong client.ReadResult) {
+				w.drv.ReadAtOnce(key, wire.All, func(strong client.ReadResult) {
 					stale := strong.Err == nil && strong.Found &&
 						strong.Ts > primary.Ts && strong.Ts <= issuedAt
 					w.tally.read(g, time.Since(start), nil, true, stale)
@@ -673,6 +681,22 @@ func startLiveMonitor(lc *LiveCluster, ctl *core.Controller, interval time.Durat
 	tcp.SetHandler(m.mon)
 	m.mon.Start()
 	return m, nil
+}
+
+// maxAliveOf returns the largest failure-detector alive count any of the
+// given members reported in its latest stats, or 0 before any report. The
+// max is the view of the best-connected member, so waiting for it to drop
+// means every listed member has convicted at least one peer.
+func (m *liveMonitor) maxAliveOf(ids []ring.NodeID) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	best := 0
+	for _, id := range ids {
+		if s, ok := m.stats[id]; ok && int(s.AliveMembers) > best {
+			best = int(s.AliveMembers)
+		}
+	}
+	return best
 }
 
 // nodeStats sums a counter over every member's latest report.

@@ -10,6 +10,7 @@ import (
 	"harmony/internal/core"
 	"harmony/internal/dist"
 	"harmony/internal/obs"
+	"harmony/internal/ring"
 	"harmony/internal/wire"
 )
 
@@ -161,9 +162,15 @@ func liveController(spec LiveHotColdSpec, perGroup bool, trace *obs.Trace) *core
 }
 
 // liveWorkerPool builds and starts the hot and cold closed-loop pools.
+// coords restricts the workers' coordinator rotation (nil = every member);
+// the partition experiment pins its load to the majority side with it.
 func liveWorkerPool(spec LiveHotColdSpec, lc *LiveCluster, policy client.ConsistencyPolicy,
-	tally *liveTally, timeout time.Duration, verifyEvery int, seed int64) ([]*liveWorker, error) {
-	peers, coords := lc.Peers(), lc.IDs()
+	tally *liveTally, timeout time.Duration, verifyEvery int, seed int64,
+	coords []ring.NodeID) ([]*liveWorker, error) {
+	peers := lc.Peers()
+	if len(coords) == 0 {
+		coords = lc.IDs()
+	}
 	groupFn := hotColdGroupFn(spec.HotKeys)
 	var workers []*liveWorker
 	mk := func(kind string, i int, readProp float64, chooser dist.KeyChooser, off int64) error {
@@ -174,6 +181,11 @@ func liveWorkerPool(spec LiveHotColdSpec, lc *LiveCluster, policy client.Consist
 			readProp: readProp, chooser: chooser,
 			valueBytes: spec.ValueBytes, verifyEvery: verifyEvery,
 			groupFn: groupFn, seed: seed + off,
+			// The hardened request path: a replica that died (or got cut
+			// off) mid-conviction stalls one attempt, not the whole op —
+			// the retry fails over with fresh replica choices once the
+			// detector convicts the peer.
+			maxAttempts: 2,
 		}, tally)
 		if err != nil {
 			return err
@@ -237,7 +249,7 @@ func runLiveHotCold(spec LiveHotColdSpec, opts Options, perGroup bool) (HotColdR
 	defer mon.close()
 
 	tally := &liveTally{}
-	workers, err := liveWorkerPool(spec, lc, ctl, tally, 2*time.Second, spec.VerifyEvery, opts.Seed)
+	workers, err := liveWorkerPool(spec, lc, ctl, tally, 2*time.Second, spec.VerifyEvery, opts.Seed, nil)
 	if err != nil {
 		return HotColdRun{}, nil, err
 	}
@@ -518,7 +530,7 @@ func runLiveChurn(spec LiveChurnSpec, opts Options, arm liveChurnArm) (ChurnRun,
 		ValueBytes:    spec.ValueBytes,
 		ClientStreams: spec.ClientStreams,
 	}
-	workers, err := liveWorkerPool(hcSpec, lc, ctl, tally, spec.OpTimeout, spec.VerifyEvery, opts.Seed)
+	workers, err := liveWorkerPool(hcSpec, lc, ctl, tally, spec.OpTimeout, spec.VerifyEvery, opts.Seed, nil)
 	if err != nil {
 		return ChurnRun{}, nil, "", err
 	}

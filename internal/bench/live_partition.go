@@ -1,0 +1,487 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+
+	"harmony/internal/client"
+	"harmony/internal/core"
+	"harmony/internal/faults"
+	"harmony/internal/obs"
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+	"harmony/internal/ycsb"
+)
+
+// The live partition experiment runs the same contract as the simulated one
+// against spawned server processes: the cut is installed at runtime by
+// POSTing the same faults.Update JSON the admin endpoint accepts to every
+// member's /faults, gossip does the failure detection for real (no injected
+// liveness view), and the heal is another POST. Full replication (RF =
+// Procs) keeps the availability argument constructive: every key has a
+// replica on both sides of any split, so CL=ONE stays answerable from the
+// minority while quorum work there must refuse.
+
+// LivePartitionSpec parameterizes the live partition experiment.
+type LivePartitionSpec struct {
+	Procs int
+	// RF of 0 means full replication (RF = Procs), which the availability
+	// pins assume.
+	RF int
+	// MinorityNodes land on the small side of the cut.
+	MinorityNodes int
+	// HotKeys / TotalKeys split the keyspace as in hotcold.
+	HotKeys   int64
+	TotalKeys int64
+	// HotWorkers / ColdWorkers size the majority-side closed-loop pools.
+	HotWorkers, ColdWorkers int
+	// HotTolerance / ColdTolerance are the per-group stale targets.
+	HotTolerance, ColdTolerance float64
+	ValueBytes                  int
+	// VerifyEvery probes every k-th read (staleness windows need density).
+	VerifyEvery int
+	// OpTimeout bounds every client operation (the fail-fast pin).
+	OpTimeout time.Duration
+	// ProbeInterval is the minority prober's cadence.
+	ProbeInterval time.Duration
+	// ControllerBandwidth: see LiveHotColdSpec.
+	ControllerBandwidth float64
+	MonitorInterval     time.Duration
+	// GossipInterval tunes detection speed: the minority must convict the
+	// majority (and vice versa) well inside the cut.
+	GossipInterval time.Duration
+	// DetectTimeout bounds how long the experiment waits for the majority's
+	// detectors to convict the cut before starting the cut measurement; it
+	// doubles as the contract's DetectBoundMs pin on the blind window.
+	DetectTimeout time.Duration
+	// Warmup precedes measurement; Baseline is watched before the cut, Cut
+	// is how long the partition holds, PostWatch the re-convergence watch.
+	Warmup, Baseline, Cut, PostWatch time.Duration
+	WindowLen                        time.Duration
+	RecoverWindows                   int
+	HintQueueLimit                   int
+	RepairInterval                   time.Duration
+	ClientStreams                    int
+	ServerStreams                    int
+	LogDir                           string
+}
+
+// DefaultLivePartitionSpec returns the standard live schedule: a 5-process
+// fully replicated cluster split 3/2 for 6 seconds.
+func DefaultLivePartitionSpec() LivePartitionSpec {
+	return LivePartitionSpec{
+		Procs:               5,
+		MinorityNodes:       2,
+		HotKeys:             200,
+		TotalKeys:           3000,
+		HotWorkers:          4,
+		ColdWorkers:         8,
+		HotTolerance:        0.05,
+		ColdTolerance:       0.50,
+		ValueBytes:          256,
+		VerifyEvery:         2,
+		OpTimeout:           750 * time.Millisecond,
+		ProbeInterval:       100 * time.Millisecond,
+		ControllerBandwidth: 1 << 20,
+		MonitorInterval:     400 * time.Millisecond,
+		GossipInterval:      150 * time.Millisecond,
+		DetectTimeout:       5 * time.Second,
+		Warmup:              2 * time.Second,
+		Baseline:            2 * time.Second,
+		Cut:                 6 * time.Second,
+		PostWatch:           8 * time.Second,
+		WindowLen:           500 * time.Millisecond,
+		RecoverWindows:      4,
+		HintQueueLimit:      2_000,
+		RepairInterval:      500 * time.Millisecond,
+		ClientStreams:       2,
+		ServerStreams:       2,
+	}
+}
+
+// postFaults ships an Update to one member's admin /faults endpoint.
+func postFaults(admin string, upd faults.Update) error {
+	body, err := json.Marshal(upd)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+admin+"/faults", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("POST %s/faults: %d %s", admin, resp.StatusCode, msg)
+	}
+	return nil
+}
+
+// postFaultsAll ships the same Update to every member. The cut is only as
+// atomic as a loop of HTTP posts — exactly like a real operator's chaos
+// tooling — so the schedule leaves detection-delay slack around each phase.
+func postFaultsAll(lc *LiveCluster, upd faults.Update) error {
+	for id, admin := range lc.AdminAddrs() {
+		if err := postFaults(admin, upd); err != nil {
+			return fmt.Errorf("member %s: %w", id, err)
+		}
+	}
+	return nil
+}
+
+// LivePartition runs the partition experiment over a spawned cluster and
+// returns the shared PartitionResult (Backend "live").
+func LivePartition(spec LivePartitionSpec, opts Options) (PartitionResult, error) {
+	opts = opts.withDefaults()
+	if spec.HotKeys <= 0 || spec.TotalKeys <= spec.HotKeys {
+		return PartitionResult{}, fmt.Errorf("bench: live partition needs 0 < HotKeys < TotalKeys, got %d/%d", spec.HotKeys, spec.TotalKeys)
+	}
+	if spec.MinorityNodes <= 0 || spec.MinorityNodes >= spec.Procs-spec.MinorityNodes {
+		return PartitionResult{}, fmt.Errorf("bench: live partition needs 0 < MinorityNodes < Procs/2, got %d/%d", spec.MinorityNodes, spec.Procs)
+	}
+	rf := spec.RF
+	if rf <= 0 {
+		rf = spec.Procs
+	}
+	lc, err := StartLiveCluster(LiveClusterConfig{
+		Procs: spec.Procs, RF: rf,
+		GossipInterval: spec.GossipInterval,
+		Repair:         true, RepairInterval: spec.RepairInterval,
+		HotKeys: spec.HotKeys, HintQueueLimit: spec.HintQueueLimit,
+		Streams: spec.ServerStreams,
+		LogDir:  spec.LogDir,
+	})
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	defer lc.Close()
+	ids := lc.IDs()
+	majority := ids[:len(ids)-spec.MinorityNodes]
+	minority := ids[len(ids)-spec.MinorityNodes:]
+	majStrs := make([]string, len(majority))
+	minStrs := make([]string, len(minority))
+	for i, id := range majority {
+		majStrs[i] = string(id)
+	}
+	for i, id := range minority {
+		minStrs[i] = string(id)
+	}
+	opts.progress("live partition: %d procs up (rf=%d), preloading %d keys", spec.Procs, rf, spec.TotalKeys)
+	if err := livePreload(lc.Peers(), lc.IDs(), spec.TotalKeys, spec.ValueBytes); err != nil {
+		return PartitionResult{}, err
+	}
+
+	tols := []float64{spec.HotTolerance, spec.ColdTolerance}
+	trace := obs.NewTrace(4096)
+	ctl := core.NewController(core.ControllerConfig{
+		Policy: core.Policy{
+			Name:               "live-partition",
+			ToleratedStaleRate: spec.HotTolerance,
+		},
+		N:                    rf,
+		BandwidthBytesPerSec: spec.ControllerBandwidth,
+		Groups:               2,
+		GroupFn:              hotColdGroupFn(spec.HotKeys),
+		GroupTolerances:      tols,
+		Trace:                trace,
+	})
+	mon, err := startLiveMonitor(lc, ctl, spec.MonitorInterval)
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	defer mon.close()
+
+	tally := &liveTally{}
+	hcSpec := LiveHotColdSpec{
+		Procs: spec.Procs, RF: rf,
+		HotKeys: spec.HotKeys, TotalKeys: spec.TotalKeys,
+		HotWorkers: spec.HotWorkers, ColdWorkers: spec.ColdWorkers,
+		ValueBytes:    spec.ValueBytes,
+		ClientStreams: spec.ClientStreams,
+	}
+	workers, err := liveWorkerPool(hcSpec, lc, ctl, tally, spec.OpTimeout, spec.VerifyEvery, opts.Seed, majority)
+	if err != nil {
+		return PartitionResult{}, err
+	}
+	prb, err := newLiveProber(lc, minority, spec.OpTimeout, spec.TotalKeys, spec.ProbeInterval, opts.Seed)
+	if err != nil {
+		haltAll(workers)
+		return PartitionResult{}, err
+	}
+
+	time.Sleep(spec.Warmup)
+	tally.reset()
+	scraper := startLiveScraper(lc, tally, liveLevels(ctl, true), trace, time.Second)
+
+	// Staleness windows: cumulative probe counters on a real ticker.
+	tickerStart := time.Now()
+	prevSamples, prevStale := tally.probes()
+	var windows []ChurnWindow
+	windowDone := make(chan struct{})
+	windowStop := make(chan struct{})
+	go func() {
+		defer close(windowDone)
+		tick := time.NewTicker(spec.WindowLen)
+		defer tick.Stop()
+		for {
+			select {
+			case <-windowStop:
+				return
+			case <-tick.C:
+				curSamples, curStale := tally.probes()
+				w := ChurnWindow{}
+				for g := 0; g < 2; g++ {
+					samples := curSamples[g] - prevSamples[g]
+					stale := curStale[g] - prevStale[g]
+					frac := 0.0
+					if samples > 0 {
+						frac = float64(stale) / float64(samples)
+					}
+					w.Samples = append(w.Samples, samples)
+					w.Stale = append(w.Stale, stale)
+					w.Fraction = append(w.Fraction, frac)
+				}
+				prevSamples, prevStale = curSamples, curStale
+				windows = append(windows, w)
+			}
+		}
+	}()
+	finish := func() {
+		close(windowStop)
+		<-windowDone
+		scraper.finish()
+		prb.halt()
+		haltAll(workers)
+	}
+
+	// Baseline.
+	prb.setPhase(&prb.base)
+	baseStart := time.Now()
+	time.Sleep(spec.Baseline)
+	baseSnap := tally.snapshot()
+	baselineTput := goodput(baseSnap.ops, baseSnap.errors, time.Since(baseStart))
+
+	// The cut: POST the partition to every member. Gossip convicts the far
+	// side on its own — there is no injected liveness here. Until it does,
+	// any operation whose replica choice touches a cut peer burns its full
+	// deadline: that blind window is phi-accrual physics, so the cut
+	// measurement starts only once every majority member reports a
+	// shrunken alive count (observed through the monitor's stats, which
+	// now carry each detector's view), and the window's length is pinned
+	// separately through DetectMs. Probes during the wait book into the
+	// discard phase: a quorum probe straddling the POST loop may still
+	// legitimately succeed, and must not book into the cut tally where any
+	// success is scored as split brain.
+	prb.setPhase(&prb.discard)
+	if err := postFaultsAll(lc, faults.Update{Partition: &faults.PartitionSpec{A: majStrs, B: minStrs}}); err != nil {
+		finish()
+		return PartitionResult{}, err
+	}
+	opts.progress("live partition: cut %v | %v", majStrs, minStrs)
+	cutInstalled := time.Now()
+	detectMs := -1.0
+	for time.Since(cutInstalled) < spec.DetectTimeout {
+		if a := mon.maxAliveOf(majority); a > 0 && a <= len(majority) {
+			detectMs = durMs(time.Since(cutInstalled))
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if detectMs >= 0 {
+		opts.progress("live partition: majority convicted the cut in %.0fms", detectMs)
+	} else {
+		opts.progress("live partition: majority never convicted the cut within %v", spec.DetectTimeout)
+	}
+	time.Sleep(spec.OpTimeout) // drain ops issued against the pre-conviction view
+	prb.setPhase(&prb.cut)
+	tally.reset()
+	cutStart := time.Now()
+	time.Sleep(spec.Cut)
+	cutSnap := tally.snapshot()
+	cutTput := goodput(cutSnap.ops, cutSnap.errors, time.Since(cutStart))
+
+	// Heal and watch re-convergence (gossip recovery triggers anti-entropy
+	// across the former cut).
+	prb.setPhase(&prb.discard)
+	if err := postFaultsAll(lc, faults.Update{Heal: true}); err != nil {
+		finish()
+		return PartitionResult{}, err
+	}
+	healedAt := time.Now()
+	opts.progress("live partition: healed, watching re-convergence")
+	time.Sleep(spec.PostWatch)
+
+	close(windowStop)
+	<-windowDone
+	series := scraper.finish()
+	prb.halt()
+	haltAll(workers)
+
+	probeBase, probeCut := prb.phases()
+	probeBase.DeadlineMs = durMs(spec.OpTimeout)
+	probeCut.DeadlineMs = durMs(spec.OpTimeout)
+	res := PartitionResult{
+		Backend:         "live",
+		Scenario:        fmt.Sprintf("live-%dproc", spec.Procs),
+		Nodes:           len(ids),
+		RF:              rf,
+		Majority:        majStrs,
+		Minority:        minStrs,
+		CutMs:           durMs(spec.Cut),
+		DetectMs:        detectMs,
+		DetectBoundMs:   durMs(spec.DetectTimeout),
+		BaselineTputOps: baselineTput,
+		CutTputOps:      cutTput,
+		ProbeBaseline:   probeBase,
+		ProbeCut:        probeCut,
+		Windows:         windows,
+		HintsQueued:     mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.HintsQueued }),
+		RowsHealed:      mon.nodeStats(func(s wire.StatsResponse) uint64 { return s.RepairRows }),
+		Trace:           trace.Events(),
+		Holds:           countHolds(trace.Events()),
+		Series:          series,
+	}
+	if baselineTput > 0 {
+		res.AvailabilityRatio = cutTput / baselineTput
+	}
+	res.Groups = assemblePartitionGroups(windows, tickerStart, healedAt, spec.WindowLen, spec.RecoverWindows, tols, ctl)
+	opts.progress("live partition: availability %.2f, minority ONE %.2f, holds %d",
+		res.AvailabilityRatio, probeCut.OneFraction(), res.Holds)
+	return res, nil
+}
+
+// liveProber issues explicit-level probe rounds against minority
+// coordinators over its own endpoint. Callbacks run on its private runtime;
+// the main goroutine swaps phases and reads tallies under the mutex.
+type liveProber struct {
+	rt       *sim.RealRuntime
+	tcp      *transport.TCPNode
+	drv      *client.Driver
+	interval time.Duration
+	keys     int64
+	rng      *rand.Rand
+
+	mu                 sync.Mutex
+	base, cut, discard PartitionProbe
+	phase              *PartitionProbe
+	stopped            bool
+}
+
+func newLiveProber(lc *LiveCluster, coords []ring.NodeID, timeout time.Duration,
+	keys int64, interval time.Duration, seed int64) (*liveProber, error) {
+	p := &liveProber{
+		rt:       sim.NewRealRuntime(),
+		interval: interval,
+		keys:     keys,
+		rng:      rand.New(rand.NewSource(seed ^ 0x9e3779b9)),
+	}
+	p.phase = &p.discard
+	tcp, err := transport.NewTCPNode(transport.TCPConfig{
+		ID: "part-probe", Peers: lc.Peers(),
+		Logf: func(string, ...any) {}, // cross-cut dials failing is the point
+	}, p.rt, nil)
+	if err != nil {
+		p.rt.Stop()
+		return nil, err
+	}
+	p.tcp = tcp
+	drv, err := client.New(client.Options{
+		ID:           "part-probe",
+		Coordinators: coords,
+		Policy:       client.Fixed{Write: wire.Quorum},
+		Timeout:      timeout,
+	}, p.rt, tcp)
+	if err != nil {
+		tcp.Close()
+		p.rt.Stop()
+		return nil, err
+	}
+	p.drv = drv
+	tcp.SetHandler(drv)
+	p.rt.Post(p.round)
+	return p, nil
+}
+
+func (p *liveProber) setPhase(ph *PartitionProbe) {
+	p.mu.Lock()
+	p.phase = ph
+	p.mu.Unlock()
+}
+
+func (p *liveProber) phases() (base, cut PartitionProbe) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.base, p.cut
+}
+
+// round issues one probe triple and reschedules itself. Results book into
+// whichever phase is current when each op COMPLETES.
+func (p *liveProber) round() {
+	p.mu.Lock()
+	stopped := p.stopped
+	p.mu.Unlock()
+	if stopped {
+		return
+	}
+	key := ycsb.Key(p.rng.Int63n(p.keys))
+	start := time.Now()
+	p.drv.ReadAt(key, wire.One, func(r client.ReadResult) {
+		p.mu.Lock()
+		if r.Err != nil {
+			p.phase.OneErr++
+		} else {
+			p.phase.OneOK++
+		}
+		p.mu.Unlock()
+	})
+	p.drv.ReadAt(key, wire.Quorum, func(r client.ReadResult) {
+		p.mu.Lock()
+		if r.Err != nil {
+			p.phase.QuorumErr++
+			p.noteErrLatencyLocked(start)
+		} else {
+			p.phase.QuorumOK++
+		}
+		p.mu.Unlock()
+	})
+	p.drv.Write(key, []byte("probe"), func(r client.WriteResult) {
+		p.mu.Lock()
+		if r.Err != nil {
+			p.phase.WriteErr++
+			p.noteErrLatencyLocked(start)
+		} else {
+			p.phase.WriteOK++
+		}
+		p.mu.Unlock()
+	})
+	p.rt.After(p.interval, p.round)
+}
+
+func (p *liveProber) noteErrLatencyLocked(start time.Time) {
+	if ms := durMs(time.Since(start)); ms > p.phase.WorstQuorumErrMs {
+		p.phase.WorstQuorumErrMs = ms
+	}
+}
+
+// halt stops new rounds, lets in-flight ops drain via driver timeouts, then
+// tears the endpoint down.
+func (p *liveProber) halt() {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return
+	}
+	p.stopped = true
+	p.mu.Unlock()
+	time.Sleep(50 * time.Millisecond)
+	p.tcp.Close()
+	p.rt.Stop()
+}

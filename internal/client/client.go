@@ -13,11 +13,29 @@
 //
 // The driver is event-driven like the rest of the system: operations take a
 // callback and complete on the driver's runtime.
+//
+// # Hardened request path
+//
+// Each application-level operation is a logical op that may span several
+// wire attempts. Options.Timeout is the logical op's overall budget; within
+// it, attempts are bounded by Options.AttemptTimeout and retried — against
+// the next coordinator, after capped exponential backoff with full jitter —
+// when they fail with a retryable error (timeout, unavailable, overloaded).
+// The remaining budget rides on every request (wire DeadlineMs) so
+// coordinators shed work the client has already abandoned. Reads may
+// additionally be hedged: after Options.Hedge with no response, a duplicate
+// read is sent to the next coordinator and the first answer wins (the
+// loser's response is discarded — hedged-read cancellation). Writes stay
+// idempotent across retries: the first attempt stamps the mutation
+// timestamp (wire TsHint) and every retry replays it, so a duplicate
+// application LWW-collapses into the original instead of appearing newer.
 package client
 
 import (
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
 	"time"
 
 	"harmony/internal/ring"
@@ -30,6 +48,7 @@ import (
 var (
 	ErrTimeout     = errors.New("client: operation timed out")
 	ErrUnavailable = errors.New("client: not enough replicas")
+	ErrOverloaded  = errors.New("client: coordinator overloaded")
 	ErrServer      = errors.New("client: server error")
 )
 
@@ -80,13 +99,38 @@ type Options struct {
 	// (read ONE, write ONE — the paper's baseline, "a write of consistency
 	// level one", §II-B).
 	Policy ConsistencyPolicy
-	// Timeout bounds each operation; zero means 2s.
+	// Timeout bounds each logical operation across all its attempts; zero
+	// means 2s.
 	Timeout time.Duration
 	// ShadowEvery requests the dual-read staleness probe (§V-F) on every
 	// k-th read; 0 disables probing, 1 probes every read. Sampling keeps
 	// the measurement from perturbing the run the way the paper's
 	// probe-every-read method admits to doing.
 	ShadowEvery int
+
+	// MaxAttempts is how many wire attempts a logical op may consume when
+	// attempts fail with retryable errors (timeout, unavailable,
+	// overloaded). Each retry goes to the NEXT coordinator (failover) after
+	// capped exponential backoff with full jitter. 0 or 1 disables retry —
+	// the pre-hardening behavior.
+	MaxAttempts int
+	// AttemptTimeout bounds one attempt; zero derives Timeout/MaxAttempts,
+	// so the budget accommodates every attempt without backoff starvation.
+	AttemptTimeout time.Duration
+	// RetryBackoff is the first backoff bound and RetryBackoffMax the cap
+	// it doubles toward; the wait before each retry is uniform in
+	// [0, bound) — "full jitter". Zero means 10ms and 320ms.
+	RetryBackoff    time.Duration
+	RetryBackoffMax time.Duration
+	// Hedge, when positive, arms hedged reads: a read unanswered after
+	// this long sends a duplicate to the next coordinator and the first
+	// response wins. Hedges do not consume retry attempts. Writes are
+	// never hedged (a hedge is a deliberate duplicate; reads are naturally
+	// idempotent, and duplicating writes would double mutation traffic for
+	// no latency win given TsHint replay already exists).
+	Hedge time.Duration
+	// Rand drives retry jitter; nil seeds deterministically from ID.
+	Rand *rand.Rand
 }
 
 // ReadResult is delivered to read callbacks.
@@ -112,16 +156,41 @@ type Driver struct {
 	opts    Options
 	rt      sim.Runtime
 	send    transport.Sender
+	rng     *rand.Rand
 	nextID  uint64
 	nextCo  int
 	reads   uint64
-	pending map[uint64]*pendingOp
+	retries uint64
+	hedges  uint64
+	pending map[uint64]*logicalOp
 }
 
-type pendingOp struct {
+// logicalOp is one application-level operation: up to MaxAttempts wire
+// attempts plus at most one hedge, all sharing the overall deadline. Every
+// outstanding attempt's wire id maps to the op in Driver.pending; the first
+// response (or terminal error) completes the op and orphans the rest.
+type logicalOp struct {
+	isRead bool
+	key    []byte
+	value  []byte
+	del    bool
+	level  wire.ConsistencyLevel
+	token  []wire.ClockEntry
+	shadow bool
+	tsHint int64
+
+	deadline    time.Time
+	attempts    int
+	maxAttempts int           // per-op cap; best-effort reads pin it to 1
+	backoff     time.Duration // next retry's jitter bound
+	done        bool
+	lastErr     error
+
+	cancels     map[uint64]func() // live attempt id -> its timeout timer
+	hedgeCancel func()
+
 	onRead  func(ReadResult)
 	onWrite func(WriteResult)
-	cancel  func()
 }
 
 // New creates a driver and registers nothing: the caller must register the
@@ -136,11 +205,30 @@ func New(opts Options, rt sim.Runtime, send transport.Sender) (*Driver, error) {
 	if opts.Timeout <= 0 {
 		opts.Timeout = 2 * time.Second
 	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 1
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = opts.Timeout / time.Duration(opts.MaxAttempts)
+	}
+	if opts.RetryBackoff <= 0 {
+		opts.RetryBackoff = 10 * time.Millisecond
+	}
+	if opts.RetryBackoffMax <= 0 {
+		opts.RetryBackoffMax = 320 * time.Millisecond
+	}
+	rng := opts.Rand
+	if rng == nil {
+		h := fnv.New64a()
+		h.Write([]byte(opts.ID))
+		rng = rand.New(rand.NewSource(int64(h.Sum64())))
+	}
 	return &Driver{
 		opts:    opts,
 		rt:      rt,
 		send:    send,
-		pending: make(map[uint64]*pendingOp),
+		rng:     rng,
+		pending: make(map[uint64]*logicalOp),
 	}, nil
 }
 
@@ -174,23 +262,44 @@ func (d *Driver) ReadAt(key []byte, level wire.ConsistencyLevel, cb func(ReadRes
 // (Session maintains tokens and calls this); at other levels the token is
 // ignored by the cluster.
 func (d *Driver) ReadToken(key []byte, level wire.ConsistencyLevel, token []wire.ClockEntry, cb func(ReadResult)) {
+	d.readToken(key, level, token, d.opts.MaxAttempts, true, cb)
+}
+
+// ReadAtOnce fetches key at an explicit level with a single attempt and no
+// hedge: a refusal or timeout reports immediately instead of consuming the
+// hardened path's retry budget. Measurement and diagnostic reads (the
+// strong leg of a dual-read staleness probe) use it so the apparatus never
+// amplifies load or burns extra deadlines exactly when the cluster is
+// degraded — a refused ALL read during a partition is deterministic until
+// membership changes, and retrying it buys nothing.
+func (d *Driver) ReadAtOnce(key []byte, level wire.ConsistencyLevel, cb func(ReadResult)) {
+	d.readToken(key, level, nil, 1, false, cb)
+}
+
+func (d *Driver) readToken(key []byte, level wire.ConsistencyLevel, token []wire.ClockEntry, maxAttempts int, hedge bool, cb func(ReadResult)) {
 	if level == 0 {
 		level = wire.One
 	}
-	id := d.newOp()
-	op := &pendingOp{onRead: cb}
-	d.pending[id] = op
-	op.cancel = d.rt.After(d.opts.Timeout, func() {
-		if _, ok := d.pending[id]; ok {
-			delete(d.pending, id)
-			cb(ReadResult{Err: ErrTimeout})
-		}
-	})
+	if maxAttempts < 1 {
+		maxAttempts = 1
+	}
 	d.reads++
-	shadow := d.opts.ShadowEvery > 0 && d.reads%uint64(d.opts.ShadowEvery) == 0
-	d.send.Send(d.opts.ID, d.coordinator(), wire.ReadRequest{
-		ID: id, Key: key, Level: level, Shadow: shadow, Token: token,
-	})
+	op := &logicalOp{
+		isRead:      true,
+		key:         key,
+		level:       level,
+		token:       token,
+		shadow:      d.opts.ShadowEvery > 0 && d.reads%uint64(d.opts.ShadowEvery) == 0,
+		deadline:    d.rt.Now().Add(d.opts.Timeout),
+		maxAttempts: maxAttempts,
+		backoff:     d.opts.RetryBackoff,
+		cancels:     make(map[uint64]func()),
+		onRead:      cb,
+	}
+	d.issue(op)
+	if hedge && d.opts.Hedge > 0 && !op.done {
+		op.hedgeCancel = d.rt.After(d.opts.Hedge, func() { d.hedge(op) })
+	}
 }
 
 // Write stores value under key at the write level the policy chooses.
@@ -204,15 +313,6 @@ func (d *Driver) Delete(key []byte, cb func(WriteResult)) {
 }
 
 func (d *Driver) write(key, value []byte, del bool, cb func(WriteResult)) {
-	id := d.newOp()
-	op := &pendingOp{onWrite: cb}
-	d.pending[id] = op
-	op.cancel = d.rt.After(d.opts.Timeout, func() {
-		if _, ok := d.pending[id]; ok {
-			delete(d.pending, id)
-			cb(WriteResult{Err: ErrTimeout})
-		}
-	})
 	_, level := d.opts.Policy.LevelsFor(key)
 	if level == 0 {
 		level = wire.One
@@ -222,9 +322,147 @@ func (d *Driver) write(key, value []byte, del bool, cb func(WriteResult)) {
 		// ONE (the cheap arm of the tier).
 		level = wire.One
 	}
-	d.send.Send(d.opts.ID, d.coordinator(), wire.WriteRequest{
-		ID: id, Key: key, Value: value, Delete: del, Level: level,
+	op := &logicalOp{
+		key:         key,
+		value:       value,
+		del:         del,
+		level:       level,
+		deadline:    d.rt.Now().Add(d.opts.Timeout),
+		maxAttempts: d.opts.MaxAttempts,
+		backoff:     d.opts.RetryBackoff,
+		cancels:     make(map[uint64]func()),
+		onWrite:     cb,
+	}
+	if d.opts.MaxAttempts > 1 {
+		// Client-stamped timestamp, identical on every attempt, so a retry
+		// that replays an already-applied mutation LWW-collapses into it.
+		// Single-attempt configs keep coordinator stamping (TsHint zero).
+		op.tsHint = d.rt.Now().UnixNano()
+	}
+	d.issue(op)
+}
+
+// issue sends one wire attempt for op to the next coordinator, bounded by
+// the attempt timeout clamped to the remaining overall budget.
+func (d *Driver) issue(op *logicalOp) {
+	remaining := op.deadline.Sub(d.rt.Now())
+	if remaining <= 0 {
+		d.finishErr(op, ErrTimeout, "overall budget exhausted")
+		return
+	}
+	at := d.opts.AttemptTimeout
+	if at > remaining {
+		at = remaining
+	}
+	op.attempts++
+	id := d.newOp()
+	d.pending[id] = op
+	op.cancels[id] = d.rt.After(at, func() { d.attemptFailed(op, id, ErrTimeout, "attempt timed out") })
+	deadlineMs := uint64(remaining / time.Millisecond)
+	if deadlineMs == 0 {
+		deadlineMs = 1
+	}
+	co := d.coordinator()
+	if op.isRead {
+		d.send.Send(d.opts.ID, co, wire.ReadRequest{
+			ID: id, Key: op.key, Level: op.level, Shadow: op.shadow,
+			Token: op.token, DeadlineMs: deadlineMs,
+		})
+	} else {
+		d.send.Send(d.opts.ID, co, wire.WriteRequest{
+			ID: id, Key: op.key, Value: op.value, Delete: op.del,
+			Level: op.level, DeadlineMs: deadlineMs, TsHint: op.tsHint,
+		})
+	}
+}
+
+// hedge fires the read's hedge timer: if no response has arrived, issue a
+// duplicate attempt to the next coordinator. First response wins.
+func (d *Driver) hedge(op *logicalOp) {
+	op.hedgeCancel = nil
+	if op.done || len(op.cancels) == 0 {
+		// Completed, or between retries (backoff); the retry path is
+		// already driving the op.
+		return
+	}
+	d.hedges++
+	d.issue(op)
+}
+
+// attemptFailed handles one attempt's retryable failure: the attempt is
+// forgotten and the op retries, waits for a still-outstanding sibling
+// (hedge), or completes with the error.
+func (d *Driver) attemptFailed(op *logicalOp, id uint64, base error, detail string) {
+	cancel, live := op.cancels[id]
+	if op.done || !live {
+		return
+	}
+	cancel()
+	delete(op.cancels, id)
+	delete(d.pending, id)
+	op.lastErr = d.wrapErr(op, base, detail)
+	if len(op.cancels) > 0 {
+		return // a sibling attempt is still in flight; let it race
+	}
+	if op.attempts >= op.maxAttempts {
+		d.finish(op, ReadResult{Err: op.lastErr}, WriteResult{Err: op.lastErr})
+		return
+	}
+	// Capped exponential backoff, full jitter: uniform in [0, bound).
+	wait := time.Duration(d.rng.Int63n(int64(op.backoff) + 1))
+	op.backoff = min(2*op.backoff, d.opts.RetryBackoffMax)
+	if !d.rt.Now().Add(wait).Before(op.deadline) {
+		d.finish(op, ReadResult{Err: op.lastErr}, WriteResult{Err: op.lastErr})
+		return
+	}
+	d.retries++
+	d.rt.After(wait, func() {
+		if !op.done {
+			d.issue(op)
+		}
 	})
+}
+
+// finish completes op exactly once: every outstanding attempt is orphaned
+// (late responses and timers find nothing) and the callback runs.
+func (d *Driver) finish(op *logicalOp, r ReadResult, w WriteResult) {
+	if op.done {
+		return
+	}
+	op.done = true
+	for id, cancel := range op.cancels {
+		cancel()
+		delete(op.cancels, id)
+		delete(d.pending, id)
+	}
+	if op.hedgeCancel != nil {
+		op.hedgeCancel()
+		op.hedgeCancel = nil
+	}
+	if op.isRead {
+		op.onRead(r)
+	} else {
+		op.onWrite(w)
+	}
+}
+
+func (d *Driver) finishErr(op *logicalOp, base error, detail string) {
+	err := d.wrapErr(op, base, detail)
+	d.finish(op, ReadResult{Err: err}, WriteResult{Err: err})
+}
+
+// wrapErr gives degraded-mode errors enough context to act on: op kind,
+// key, attempted level, and how many attempts were burned.
+func (d *Driver) wrapErr(op *logicalOp, base error, detail string) error {
+	kind := "write"
+	if op.isRead {
+		kind = "read"
+	}
+	if op.del {
+		kind = "delete"
+	}
+	return fmt.Errorf("%w: %s %q at %s (attempt %d/%d): %s",
+		base, kind, op.key, op.level, op.attempts, op.maxAttempts, detail)
 }
 
 // VerifyRead performs the paper's literal dual-read staleness measurement:
@@ -238,55 +476,73 @@ func (d *Driver) VerifyRead(key []byte, cb func(primary ReadResult, stale bool))
 			cb(primary, false)
 			return
 		}
-		d.ReadAt(key, wire.All, func(strong ReadResult) {
+		// Best-effort strong leg: a refused or slow ALL read yields no
+		// verdict, and retrying it would amplify the measurement's load
+		// exactly when the cluster is degraded.
+		d.ReadAtOnce(key, wire.All, func(strong ReadResult) {
 			stale := strong.Err == nil && strong.Found && strong.Ts > primary.Ts
 			cb(primary, stale)
 		})
 	})
 }
 
+// retryable reports whether a server error code may succeed on another
+// coordinator or a later attempt.
+func retryable(code wire.ErrorCode) bool {
+	return code == wire.ErrTimeout || code == wire.ErrUnavailable || code == wire.ErrOverloaded
+}
+
+func baseErr(code wire.ErrorCode) error {
+	switch code {
+	case wire.ErrTimeout:
+		return ErrTimeout
+	case wire.ErrUnavailable:
+		return ErrUnavailable
+	case wire.ErrOverloaded:
+		return ErrOverloaded
+	}
+	return ErrServer
+}
+
 // Deliver implements transport.Handler: correlate responses to callbacks.
 func (d *Driver) Deliver(_ ring.NodeID, m wire.Message) {
 	switch msg := m.(type) {
 	case wire.ReadResponse:
-		if op, ok := d.pending[msg.ID]; ok && op.onRead != nil {
-			delete(d.pending, msg.ID)
-			op.cancel()
-			op.onRead(ReadResult{
+		if op, ok := d.pending[msg.ID]; ok && op.isRead {
+			d.finish(op, ReadResult{
 				Found:    msg.Found,
 				Value:    msg.Value.Data,
 				Ts:       msg.Value.Timestamp,
 				Clock:    msg.Value.Clock,
 				Achieved: msg.Achieved,
-			})
+			}, WriteResult{})
 		}
 	case wire.WriteResponse:
-		if op, ok := d.pending[msg.ID]; ok && op.onWrite != nil {
-			delete(d.pending, msg.ID)
-			op.cancel()
-			op.onWrite(WriteResult{Ts: msg.Timestamp, Clock: msg.Clock})
+		if op, ok := d.pending[msg.ID]; ok && !op.isRead {
+			d.finish(op, ReadResult{}, WriteResult{Ts: msg.Timestamp, Clock: msg.Clock})
 		}
 	case wire.Error:
-		if op, ok := d.pending[msg.ID]; ok {
-			delete(d.pending, msg.ID)
-			op.cancel()
-			err := fmt.Errorf("%w: %s (%s)", ErrServer, msg.Msg, msg.Code)
-			if msg.Code == wire.ErrTimeout {
-				err = fmt.Errorf("%w: %s", ErrTimeout, msg.Msg)
-			}
-			if msg.Code == wire.ErrUnavailable {
-				err = fmt.Errorf("%w: %s", ErrUnavailable, msg.Msg)
-			}
-			if op.onRead != nil {
-				op.onRead(ReadResult{Err: err})
-			} else if op.onWrite != nil {
-				op.onWrite(WriteResult{Err: err})
-			}
+		op, ok := d.pending[msg.ID]
+		if !ok {
+			return
 		}
+		if retryable(msg.Code) {
+			d.attemptFailed(op, msg.ID, baseErr(msg.Code), msg.Msg)
+			return
+		}
+		err := d.wrapErr(op, fmt.Errorf("%w: %s (%s)", ErrServer, msg.Msg, msg.Code), "not retryable")
+		d.finish(op, ReadResult{Err: err}, WriteResult{Err: err})
 	}
 }
 
-// Pending reports in-flight operations (tests).
+// Pending reports in-flight wire attempts (tests).
 func (d *Driver) Pending() int { return len(d.pending) }
+
+// Retries and Hedges report how many retry attempts and hedged reads the
+// driver has issued (tests, bench accounting).
+func (d *Driver) Retries() uint64 { return d.retries }
+
+// Hedges reports issued hedge reads; see Retries.
+func (d *Driver) Hedges() uint64 { return d.hedges }
 
 var _ transport.Handler = (*Driver)(nil)

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"harmony/internal/dist"
+	"harmony/internal/faults"
 	"harmony/internal/repair"
 	"harmony/internal/ring"
 	"harmony/internal/sim"
@@ -65,6 +66,10 @@ type Spec struct {
 	// KeySampleLimit disables sampling.
 	KeySampleLimit int
 	KeyStatsDecay  float64
+	// MaxInFlight bounds each node's in-flight coordinator ops; at the
+	// bound further client requests are shed with wire.ErrOverloaded. Zero
+	// means unlimited (see Config.MaxInFlight).
+	MaxInFlight int
 }
 
 // ServiceProfile gives per-message-class service times for the node queue.
@@ -189,19 +194,105 @@ type Cluster struct {
 	Nodes    []*Node
 	byID     map[ring.NodeID]*Node
 
+	// Faults is the cluster's fault-injection plane: every node's outbound
+	// sends pass through it on their way to the bus, so experiments can
+	// impair or partition node-to-node traffic with the same Updates the
+	// live admin endpoint accepts. Unarmed it is a single atomic load per
+	// send.
+	Faults *faults.Injector
+	// faultsRT is the injector's delay runtime; stopped with the cluster
+	// when it is a dedicated mailbox runtime (BuildReal).
+	faultsRT sim.Runtime
+
 	// Injected liveness (SetDown/SetUp). Every node's failure detector
 	// consults it, so coordinators hint writes for down nodes and skip them
 	// on reads — the same view a converged gossip detector would give.
 	downMu sync.Mutex
 	down   map[ring.NodeID]bool
+	// side, when non-empty, is an injected partition view: nodes on
+	// different sides consider each other down (see SetPartitionView).
+	side map[ring.NodeID]int
 }
 
-// Alive reports whether a node is currently injected as up. It is the
-// Config.Alive the builder wires into every node.
+// Alive reports whether a node is currently injected as up, ignoring any
+// partition view (use AliveFor for the per-observer answer).
 func (c *Cluster) Alive(id ring.NodeID) bool {
 	c.downMu.Lock()
 	defer c.downMu.Unlock()
 	return !c.down[id]
+}
+
+// AliveFor reports whether peer is up from observer's point of view: down
+// nodes are down for everyone, and under an installed partition view nodes
+// on the far side of the cut are down too. It is the Config.Alive the
+// builder wires into every node (each closing over its own identity).
+func (c *Cluster) AliveFor(observer, peer ring.NodeID) bool {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	if c.down[peer] {
+		return false
+	}
+	if len(c.side) == 0 {
+		return true
+	}
+	so, sp := c.side[observer], c.side[peer]
+	return so == 0 || sp == 0 || so == sp
+}
+
+// AliveCountFor reports how many cluster members (including itself, when
+// up) the observer currently believes are alive under the injected
+// liveness and partition view — the sim stand-in for a gossip detector's
+// alive count, wired into each node's Config.AliveCount.
+func (c *Cluster) AliveCountFor(observer ring.NodeID) int {
+	n := 0
+	for _, id := range c.Topo.Nodes() {
+		if c.AliveFor(observer, id) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetPartitionView installs a converged failure-detector view of a network
+// split: every node in a convicts every node in b as DOWN and vice versa —
+// the state a gossip detector reaches once a real partition persists past
+// its conviction window. It changes only what nodes *believe*; pair it with
+// a faults.Injector partition, which changes what the network *delivers*.
+// Nodes in neither slice keep full mutual visibility.
+func (c *Cluster) SetPartitionView(a, b []ring.NodeID) {
+	c.downMu.Lock()
+	defer c.downMu.Unlock()
+	c.side = make(map[ring.NodeID]int, len(a)+len(b))
+	for _, id := range a {
+		c.side[id] = 1
+	}
+	for _, id := range b {
+		c.side[id] = 2
+	}
+}
+
+// ClearPartitionView restores full mutual liveness (detector re-convergence
+// after a heal) and fires the recovery trigger across the former cut: every
+// node schedules a priority anti-entropy session with each peer that was on
+// the other side, mirroring what SetUp does for a single recovered node (and
+// what gossip.Config.OnRecover does live). Queued hints for far-side
+// replicas start replaying as soon as the view clears.
+func (c *Cluster) ClearPartitionView() {
+	c.downMu.Lock()
+	side := c.side
+	c.side = nil
+	c.downMu.Unlock()
+	for _, n := range c.Nodes {
+		s, ok := side[n.ID()]
+		if !ok || n.RepairManager() == nil {
+			continue
+		}
+		for peer, sp := range side {
+			if sp != 0 && sp != s {
+				n.RepairManager().PeerRecovered(peer)
+			}
+		}
+	}
 }
 
 // SetDown injects a node failure: the network isolates the node (in-flight
@@ -334,12 +425,15 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 	}
 	net := simnet.New(topo, spec.Profile, s.NewStream())
 	bus := transport.NewBus(net)
+	injRT := rtFor("faults-injector")
 	c := &Cluster{
 		Topo:     topo,
 		Ring:     rng,
 		Strategy: strat,
 		Net:      net,
 		Bus:      bus,
+		Faults:   faults.New(injRT, s.NewStream().Int63(), bus),
+		faultsRT: injRT,
 		byID:     make(map[ring.NodeID]*Node),
 		down:     make(map[ring.NodeID]bool),
 	}
@@ -349,6 +443,7 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 	}
 	for _, info := range infos {
 		rt := rtFor(info.ID)
+		self := info.ID
 		n := New(Config{
 			ID:               info.ID,
 			Ring:             rng,
@@ -364,9 +459,11 @@ func build(spec Spec, rtFor func(ring.NodeID) sim.Runtime, s *sim.Sim) (*Cluster
 			GroupFn:          spec.GroupFn,
 			KeySampleLimit:   spec.KeySampleLimit,
 			KeyStatsDecay:    spec.KeyStatsDecay,
-			Alive:            c.Alive,
+			MaxInFlight:      spec.MaxInFlight,
+			Alive:            func(peer ring.NodeID) bool { return c.AliveFor(self, peer) },
+			AliveCount:       func() int { return c.AliveCountFor(self) },
 			Rand:             s.NewStream(),
-		}, rt, bus)
+		}, rt, c.Faults)
 		var h transport.Handler = n
 		if !svc.Disabled {
 			h = transport.NewServiceQueue(rt, n, svc.Timer(s.NewStream()))
@@ -414,6 +511,7 @@ func (c *Cluster) AggregateMetrics() Metrics {
 		total.ReadTimeouts += s.ReadTimeouts
 		total.WriteTimeouts += s.WriteTimeouts
 		total.Unavailable += s.Unavailable
+		total.Overloaded += s.Overloaded
 		total.RepairRows += s.RepairRows
 		total.RepairAgeMs += s.RepairAgeMs
 		total.ShadowSamples += s.ShadowSamples
@@ -456,5 +554,8 @@ func (c *Cluster) Stop() {
 		if rr, ok := n.rt.(*sim.RealRuntime); ok {
 			rr.Stop()
 		}
+	}
+	if rr, ok := c.faultsRT.(*sim.RealRuntime); ok {
+		rr.Stop()
 	}
 }

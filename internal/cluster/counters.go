@@ -32,6 +32,7 @@ type nodeCounters struct {
 	readTimeouts    atomic.Uint64
 	writeTimeouts   atomic.Uint64
 	unavailable     atomic.Uint64
+	overloaded      atomic.Uint64
 	repairRows      atomic.Uint64
 	repairAgeMs     atomic.Uint64
 	shadowSamples   atomic.Uint64
@@ -108,6 +109,7 @@ func (c *nodeCounters) snapshot() Metrics {
 		ReadTimeouts:    c.readTimeouts.Load(),
 		WriteTimeouts:   c.writeTimeouts.Load(),
 		Unavailable:     c.unavailable.Load(),
+		Overloaded:      c.overloaded.Load(),
 		RepairRows:      c.repairRows.Load(),
 		RepairAgeMs:     c.repairAgeMs.Load(),
 		ShadowSamples:   c.shadowSamples.Load(),

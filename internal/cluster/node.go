@@ -92,9 +92,22 @@ type Config struct {
 	// weights on every stats poll; outside (0, 1] means 0.5. Lower values
 	// forget migrated-away hotspots faster.
 	KeyStatsDecay float64
+	// MaxInFlight bounds the coordinator ops (reads + writes) this node
+	// holds open at once. At the bound further client requests are shed
+	// immediately with wire.ErrOverloaded instead of queueing work that
+	// would only time out — the fail-fast half of overload protection;
+	// clients treat the error as retryable against another coordinator.
+	// Zero means unlimited.
+	MaxInFlight int
 	// Alive reports whether a peer is believed up; nil means always true.
 	// Wire a gossip.Detector's Alive method here for failure awareness.
 	Alive func(ring.NodeID) bool
+	// AliveCount reports how many cluster members (including this node)
+	// the failure detector currently believes are up. Nil leaves
+	// StatsResponse.AliveMembers zero, which tells the monitor no liveness
+	// signal is available and disables the controller's availability
+	// clamp.
+	AliveCount func() int
 	// Rand drives the read-repair coin flips; nil seeds a default source.
 	// Only ever used from the node's runtime.
 	Rand *rand.Rand
@@ -125,6 +138,7 @@ type Metrics struct {
 	ReadTimeouts  uint64
 	WriteTimeouts uint64
 	Unavailable   uint64 // operations failed fast for lack of live replicas
+	Overloaded    uint64 // operations shed at the MaxInFlight bound
 	// RepairRows / RepairAgeMs are the anti-entropy divergence gauge: rows
 	// a repair session changed on THIS node (it held stale or missing data)
 	// and their summed age at heal time. See wire.StatsResponse.
@@ -462,9 +476,38 @@ func (n *Node) replicasFor(key []byte) []ring.NodeID {
 	return reps
 }
 
+// shedOverload fails a client op fast when the coordinator's in-flight
+// bound is hit; true means the op was shed and must not start.
+func (n *Node) shedOverload(client ring.NodeID, reqID uint64) bool {
+	if n.cfg.MaxInFlight <= 0 || len(n.pendingReads)+len(n.pendingWrites) < n.cfg.MaxInFlight {
+		return false
+	}
+	n.counters.overloaded.Add(1)
+	n.send.Send(n.cfg.ID, client, wire.Error{ID: reqID, Code: wire.ErrOverloaded, Msg: "coordinator at capacity"})
+	return true
+}
+
+// opTimeout clamps a configured coordinator timeout to the client's
+// remaining deadline budget, so work the client has already given up on is
+// shed at its deadline instead of held to the server's larger timeout.
+func opTimeout(configured time.Duration, deadlineMs uint64) time.Duration {
+	// An absurd budget (beyond an hour) is treated as absent rather than
+	// risking Duration overflow in the multiply.
+	if deadlineMs == 0 || deadlineMs > uint64(time.Hour/time.Millisecond) {
+		return configured
+	}
+	if d := time.Duration(deadlineMs) * time.Millisecond; d < configured {
+		return d
+	}
+	return configured
+}
+
 // --- Read path -----------------------------------------------------------
 
 func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
+	if n.shedOverload(client, req.ID) {
+		return
+	}
 	reps := n.replicasFor(req.Key)
 	if len(reps) == 0 {
 		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "no replicas"})
@@ -541,7 +584,7 @@ func (n *Node) coordinateRead(client ring.NodeID, req wire.ReadRequest) {
 		n.counters.shadowSamples.Add(1)
 		tallies.shadowSamples[op.group].Add(1)
 	}
-	op.cancel = n.rt.After(n.cfg.ReadTimeout, func() { n.readTimeout(op.id) })
+	op.cancel = n.rt.After(opTimeout(n.cfg.ReadTimeout, req.DeadlineMs), func() { n.readTimeout(op.id) })
 	for _, r := range targets {
 		n.send.Send(n.cfg.ID, r, wire.ReplicaRead{ID: op.id, Key: req.Key})
 	}
@@ -776,12 +819,25 @@ func (n *Node) readTimeout(id uint64) {
 // --- Write path ----------------------------------------------------------
 
 func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
+	if n.shedOverload(client, req.ID) {
+		return
+	}
 	reps := n.replicasFor(req.Key)
 	if len(reps) == 0 {
 		n.send.Send(n.cfg.ID, client, wire.Error{ID: req.ID, Code: wire.ErrUnavailable, Msg: "no replicas"})
 		return
 	}
-	ts := n.nextTimestamp()
+	ts := req.TsHint
+	if ts == 0 {
+		ts = n.nextTimestamp()
+	} else if ts > n.lastTS {
+		// A client-stamped timestamp (retry idempotence: every attempt of
+		// one logical write carries the identical hint, so a replayed
+		// mutation LWW-collapses into the original instead of appearing as
+		// a newer second write). Fold it into the monotonic counter so this
+		// coordinator's own subsequent stamps stay strictly increasing.
+		n.lastTS = ts
+	}
 	// Stamp the value's vector clock: the local copy's history (when this
 	// coordinator is a replica of the key) merged with this write. The clock
 	// is fixed here and replicated verbatim, so replicas never disagree on a
@@ -817,7 +873,7 @@ func (n *Node) coordinateWrite(client ring.NodeID, req wire.WriteRequest) {
 	if req.Level >= 1 && int(req.Level) < len(n.counters.levelUse) {
 		tallies.bumpLevelUse(group, req.Level)
 	}
-	op.cancel = n.rt.After(n.cfg.WriteTimeout, func() { n.writeTimeout(op.id) })
+	op.cancel = n.rt.After(opTimeout(n.cfg.WriteTimeout, req.DeadlineMs), func() { n.writeTimeout(op.id) })
 	mut := wire.Mutation{ID: op.id, Key: req.Key, Value: v}
 	for _, r := range reps {
 		if !n.cfg.Alive(r) {
@@ -997,6 +1053,11 @@ func (n *Node) serveStats(from ring.NodeID, req wire.StatsRequest) {
 		// with RepairRows to split "recovered locally" from "healed by
 		// anti-entropy" after a restart.
 		RecoveredRows: uint64(n.engine.Recovered()),
+	}
+	if n.cfg.AliveCount != nil {
+		if alive := n.cfg.AliveCount(); alive > 0 {
+			resp.AliveMembers = uint64(alive)
+		}
 	}
 	// A single implicit group carries no extra signal; keep the frame lean.
 	if n.groups > 1 {

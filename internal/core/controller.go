@@ -51,6 +51,15 @@ type Decision struct {
 	// ControllerConfig.DivergenceSensitivity) — the stream stays held until
 	// anti-entropy converges.
 	DivergenceHold bool
+	// AvailabilityClamp reports that the commanded level was lowered
+	// because the cluster's failure detectors see too few live members to
+	// serve the demanded level: a level blocking for more replicas than
+	// remain reachable cannot succeed, it can only turn every operation
+	// into a deadline-length failure. During a partition the clamp keeps
+	// the majority side available at the strongest level it can actually
+	// serve; the staleness estimate is still reported so consumers can see
+	// the tolerance is (unavoidably) breached while the cut lasts.
+	AvailabilityClamp bool
 }
 
 // ControllerConfig configures the adaptive-consistency module.
@@ -444,7 +453,7 @@ func (c *Controller) divergenceStaleness(divergence float64) float64 {
 // tolerance, treating unrepaired divergence (extra stale probability pd, 0
 // when repair is converged or disabled) as staleness on top of the model's
 // propagation estimate.
-func (c *Controller) decide(at time.Time, model Model, tolerated, pd float64) Decision {
+func (c *Controller) decide(at time.Time, model Model, tolerated, pd float64, reachable int) Decision {
 	d := Decision{At: at, Model: model, WriteLevel: wire.One}
 	d.Estimate = pd + (1-pd)*model.StaleReadProbability()
 	if (!model.Valid() && pd <= 0) || tolerated >= d.Estimate {
@@ -474,7 +483,35 @@ func (c *Controller) decide(at time.Time, model Model, tolerated, pd float64) De
 		}
 		d.Level = wire.LevelForCount(d.Xn, c.cfg.N)
 	}
+	// Availability clamp, applied last so it wins over the divergence hold:
+	// commanding a level that blocks for more replicas than the failure
+	// detectors believe reachable cannot add consistency — every such
+	// operation just fails after its deadline (see Decision.AvailabilityClamp).
+	if reachable > 0 && reachable < c.cfg.N {
+		if d.Level.BlockFor(c.cfg.N) > reachable {
+			d.AvailabilityClamp = true
+			d.Level = strongestServable(c.cfg.N, reachable)
+			if d.Xn > reachable {
+				d.Xn = reachable
+			}
+		}
+		if d.WriteLevel.BlockFor(c.cfg.N) > reachable {
+			d.AvailabilityClamp = true
+			d.WriteLevel = wire.One
+		}
+	}
 	return d
+}
+
+// strongestServable returns the strongest consistency level whose replica
+// fan-in fits within reachable live replicas under replication factor rf.
+func strongestServable(rf, reachable int) wire.ConsistencyLevel {
+	for _, l := range []wire.ConsistencyLevel{wire.All, wire.Quorum, wire.Three, wire.Two} {
+		if l.BlockFor(rf) <= reachable {
+			return l
+		}
+	}
+	return wire.One
 }
 
 // propagation resolves the Tp input from the cluster-wide mean write size.
@@ -504,12 +541,23 @@ func (c *Controller) propagationWith(obs Observation, avgw float64) time.Duratio
 // hook for a Monitor.
 func (c *Controller) Observe(obs Observation) {
 	tp := c.propagation(obs)
+	// Reachable replicas under the monitor's best liveness view: each down
+	// member is conservatively assumed to replicate the keys in question
+	// (exact when RF spans the membership, worst-case otherwise). Zero —
+	// no detector wired, or all members alive — disables the clamp.
+	reachable := 0
+	if obs.AliveMembers > 0 && obs.AliveMembers < obs.Members {
+		reachable = c.cfg.N - (obs.Members - obs.AliveMembers)
+		if reachable < 1 {
+			reachable = 1
+		}
+	}
 	global := c.decide(obs.At, Model{
 		N:       c.cfg.N,
 		LambdaR: obs.ReadRate,
 		LambdaW: obs.WriteInterval,
 		Tp:      tp,
-	}, c.cfg.Policy.ToleratedStaleRate, c.divergenceStaleness(obs.Divergence))
+	}, c.cfg.Policy.ToleratedStaleRate, c.divergenceStaleness(obs.Divergence), reachable)
 
 	c.mu.Lock()
 	// Per-group decisions: measured group rates when the monitor reports
@@ -536,7 +584,7 @@ func (c *Controller) Observe(obs Observation) {
 			}
 		}
 		tol := c.groupToleranceLocked(g)
-		groupDs[g] = c.decide(obs.At, model, tol, c.divergenceStaleness(div))
+		groupDs[g] = c.decide(obs.At, model, tol, c.divergenceStaleness(div), reachable)
 		demanded := groupDs[g].Level
 		if c.sessionOKLocked(g) && groupDs[g].Level != wire.One {
 			// Session-flagged group: any tighter-than-ONE demand is served by
@@ -570,6 +618,18 @@ func (c *Controller) Observe(obs Observation) {
 				e.From = demanded.String()
 				e.To = wire.Session.String()
 				e.Detail = "session-flagged group served at SESSION instead of demanded level"
+				events = append(events, e)
+			}
+			if nd.AvailabilityClamp != old.last.AvailabilityClamp {
+				e := base
+				e.Kind = obspkg.EventAvailabilityClamp
+				e.From = old.level.String()
+				e.To = nd.Level.String()
+				if nd.AvailabilityClamp {
+					e.Detail = fmt.Sprintf("only %d of %d replicas reachable", reachable, c.cfg.N)
+				} else {
+					e.Detail = "membership recovered, clamp released"
+				}
 				events = append(events, e)
 			}
 			if nd.DivergenceHold != old.last.DivergenceHold {

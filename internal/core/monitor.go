@@ -48,6 +48,18 @@ type Observation struct {
 	Window time.Duration
 	// Nodes is how many nodes reported stats this round.
 	Nodes int
+	// Members is the cluster membership size the monitor polls.
+	Members int
+	// AliveMembers is the best liveness view any reporting node holds: the
+	// MAX of per-node failure-detector alive counts this round. The max —
+	// not the min or mean — because under a partition each side reports
+	// only what it can reach, and the best-connected member approximates
+	// the main component the controller's commands must be servable in;
+	// letting a cut-off minority's view of 1 drag the estimate down would
+	// needlessly degrade consistency for the majority. Zero when no node
+	// reports a liveness count (no detector wired), which disables the
+	// controller's availability clamp.
+	AliveMembers int
 	// Groups carries per-key-group arrival rates, indexed by group id,
 	// when the polled nodes report per-group counters. Rates use the same
 	// scope (per-node average vs cluster total) as ReadRate/WriteInterval,
@@ -373,6 +385,12 @@ func (m *Monitor) closeRound() {
 		Divergence:  float64(dRepAge) / 1000 / window.Seconds() / scale,
 		Window:      window,
 		Nodes:       len(r.stats),
+		Members:     len(m.cfg.Nodes),
+	}
+	for _, s := range r.stats {
+		if int(s.AliveMembers) > obs.AliveMembers {
+			obs.AliveMembers = int(s.AliveMembers)
+		}
 	}
 	if dWrites > 0 {
 		obs.WriteInterval = window.Seconds() * scale / float64(dWrites)

@@ -132,6 +132,32 @@ func TestMonitorSurvivesDeadNodes(t *testing.T) {
 	}
 }
 
+func TestMonitorAggregatesAliveMembersAsMax(t *testing.T) {
+	var last Observation
+	s, c, mon := buildMonitored(t, time.Second, func(o Observation) { last = o })
+	mon.Start()
+	s.RunFor(3 * time.Second)
+	ids := c.NodeIDs()
+	n := len(ids)
+	if last.Members != n || last.AliveMembers != n {
+		t.Fatalf("healthy cluster: members=%d alive=%d, want %d/%d", last.Members, last.AliveMembers, n, n)
+	}
+	// Converged partition view: the majority side sees n-2 members, the
+	// minority sees 2. The observation takes the MAX across reports — the
+	// best-connected member's view — so the minority's collapsed count
+	// must not drag it below the majority component's size.
+	c.SetPartitionView(ids[:n-2], ids[n-2:])
+	s.RunFor(3 * time.Second)
+	if last.AliveMembers != n-2 {
+		t.Fatalf("partitioned: alive=%d, want majority view %d", last.AliveMembers, n-2)
+	}
+	c.ClearPartitionView()
+	s.RunFor(3 * time.Second)
+	if last.AliveMembers != n {
+		t.Fatalf("healed: alive=%d, want %d", last.AliveMembers, n)
+	}
+}
+
 func TestControllerDecisionScheme(t *testing.T) {
 	ctl := NewController(ControllerConfig{
 		Policy: Policy{Name: "Harmony-20%", ToleratedStaleRate: 0.2},

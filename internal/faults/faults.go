@@ -1,0 +1,371 @@
+// Package faults is the unified fault-injection plane: one Injector that
+// impairs traffic identically whichever fabric carries it. It wraps any
+// transport.Sender — the simulated bus in BuildSim/BuildReal clusters, the
+// TCP endpoint inside a live server process — and applies per-directed-pair
+// rules (drop, added delay, duplication, reordering) plus symmetric or
+// asymmetric partitions on the outbound path. Because every member's sends
+// go through its own injector, cutting a live cluster apart only requires
+// telling each member which peers it may no longer talk to; the admin
+// endpoint's POST /faults does exactly that, so the bench driver can
+// partition real processes mid-run with the same Update documents the
+// simulator consumes.
+//
+// The injector is outbound-only by design: a directed rule (A→B) models an
+// asymmetric link, and a symmetric fault is just the rule installed on both
+// sides. Impaired frames are re-posted through the runtime (sim.Runtime), so
+// injected delay composes with whatever latency the underlying fabric adds
+// and virtual-time experiments stay deterministic.
+package faults
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// Wildcard matches any endpoint in a rule's From or To position.
+const Wildcard = "*"
+
+// Rule describes the impairments applied to one directed peer pair. The
+// zero Rule is a no-op.
+type Rule struct {
+	// Drop is the probability in [0,1] that a frame is silently discarded.
+	Drop float64 `json:"drop,omitempty"`
+	// Delay is added to every surviving frame's delivery.
+	Delay time.Duration `json:"delay,omitempty"`
+	// Jitter adds a further uniform random [0,Jitter) to each delivery.
+	Jitter time.Duration `json:"jitter,omitempty"`
+	// Duplicate is the probability a surviving frame is delivered twice
+	// (the copy takes an independent delay draw, so it may arrive first).
+	Duplicate float64 `json:"duplicate,omitempty"`
+	// Reorder is the probability a surviving frame is held back by an extra
+	// random multiple of Delay+Jitter so frames sent after it overtake it.
+	Reorder float64 `json:"reorder,omitempty"`
+}
+
+func (r Rule) zero() bool {
+	return r.Drop == 0 && r.Delay == 0 && r.Jitter == 0 && r.Duplicate == 0 && r.Reorder == 0
+}
+
+// PartitionSpec names the two sides of a network cut. Sends from A-side to
+// B-side endpoints are blocked; unless Asymmetric is set, B→A is blocked
+// too. Endpoints on neither side are unaffected. One side may be the
+// Wildcard, meaning "everyone not on the other side".
+type PartitionSpec struct {
+	A          []string `json:"a"`
+	B          []string `json:"b"`
+	Asymmetric bool     `json:"asymmetric,omitempty"`
+}
+
+// RuleUpdate binds a Rule to a directed pair; From/To may be Wildcard.
+type RuleUpdate struct {
+	From string `json:"from"`
+	To   string `json:"to"`
+	Rule
+}
+
+// Update is one fault-plane command — the JSON document POST /faults accepts
+// and scenario steps replay. Fields apply in order: Clear, Heal, Set,
+// Partition, Scenario.
+type Update struct {
+	// Clear removes every rule and partition (scenarios keep running).
+	Clear bool `json:"clear,omitempty"`
+	// Heal removes all partitions, leaving rules in place.
+	Heal bool `json:"heal,omitempty"`
+	// Set installs (or, for zero rules, removes) directed-pair rules.
+	Set []RuleUpdate `json:"set,omitempty"`
+	// Partition installs a network cut.
+	Partition *PartitionSpec `json:"partition,omitempty"`
+	// Scenario starts a named scenario schedule (see Register).
+	Scenario string `json:"scenario,omitempty"`
+}
+
+// Stats counts what the injector has done to traffic.
+type Stats struct {
+	Dropped    uint64 `json:"dropped"`    // frames discarded by Drop rules
+	Cut        uint64 `json:"cut"`        // frames blocked by partitions
+	Delayed    uint64 `json:"delayed"`    // frames delivered late
+	Duplicated uint64 `json:"duplicated"` // extra copies delivered
+	Reordered  uint64 `json:"reordered"`  // frames held for overtaking
+}
+
+// State is the injector's externally visible configuration, served by
+// GET /faults and embedded in /status.
+type State struct {
+	Rules      []RuleUpdate    `json:"rules,omitempty"`
+	Partitions []PartitionSpec `json:"partitions,omitempty"`
+	Stats      Stats           `json:"stats"`
+}
+
+type pairKey struct{ from, to string }
+
+// Injector wraps a Sender and applies the installed fault rules to every
+// outbound frame. The fast path — no rules, no partitions — is a single
+// atomic load on top of the wrapped Send, so an injector can sit under
+// every fabric permanently and cost nothing until armed.
+type Injector struct {
+	rt   sim.Runtime
+	next transport.Sender
+
+	armed atomic.Bool // true while any rule or partition is installed
+
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[pairKey]Rule
+	cuts  map[pairKey]bool
+	parts []PartitionSpec
+
+	dropped    atomic.Uint64
+	cut        atomic.Uint64
+	delayed    atomic.Uint64
+	duplicated atomic.Uint64
+	reordered  atomic.Uint64
+}
+
+// New wraps next. The seed drives drop/duplicate/jitter draws; injectors on
+// different members should use different seeds.
+func New(rt sim.Runtime, seed int64, next transport.Sender) *Injector {
+	return &Injector{
+		rt:    rt,
+		next:  next,
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[pairKey]Rule),
+		cuts:  make(map[pairKey]bool),
+	}
+}
+
+// Send implements transport.Sender.
+func (in *Injector) Send(from, to ring.NodeID, m wire.Message) {
+	if !in.armed.Load() {
+		in.next.Send(from, to, m)
+		return
+	}
+	in.mu.Lock()
+	if in.cuts[pairKey{string(from), string(to)}] {
+		in.mu.Unlock()
+		in.cut.Add(1)
+		return
+	}
+	r, ok := in.ruleFor(string(from), string(to))
+	if !ok || r.zero() {
+		in.mu.Unlock()
+		in.next.Send(from, to, m)
+		return
+	}
+	if r.Drop > 0 && in.rng.Float64() < r.Drop {
+		in.mu.Unlock()
+		in.dropped.Add(1)
+		return
+	}
+	d := in.draw(r)
+	dup := r.Duplicate > 0 && in.rng.Float64() < r.Duplicate
+	var dupDelay time.Duration
+	if dup {
+		dupDelay = in.draw(r)
+	}
+	in.mu.Unlock()
+
+	in.deliver(from, to, m, d)
+	if dup {
+		in.duplicated.Add(1)
+		in.deliver(from, to, m, dupDelay)
+	}
+}
+
+// draw computes one delivery's injected delay under rule r. Caller holds mu
+// (for the rng).
+func (in *Injector) draw(r Rule) time.Duration {
+	d := r.Delay
+	if r.Jitter > 0 {
+		d += time.Duration(in.rng.Int63n(int64(r.Jitter)))
+	}
+	if r.Reorder > 0 && in.rng.Float64() < r.Reorder {
+		// Hold the frame back far enough that later sends overtake it: an
+		// extra 1–4x of the rule's own latency scale (floor 1ms so a pure
+		// reorder rule with no delay still reorders).
+		scale := r.Delay + r.Jitter
+		if scale <= 0 {
+			scale = time.Millisecond
+		}
+		d += scale + time.Duration(in.rng.Int63n(int64(3*scale)))
+		in.reordered.Add(1)
+	}
+	return d
+}
+
+func (in *Injector) deliver(from, to ring.NodeID, m wire.Message, d time.Duration) {
+	if d <= 0 {
+		in.next.Send(from, to, m)
+		return
+	}
+	in.delayed.Add(1)
+	in.rt.After(d, func() { in.next.Send(from, to, m) })
+}
+
+// ruleFor resolves the effective rule for a directed pair. Precedence:
+// exact, from→*, *→to, *→*. Caller holds mu.
+func (in *Injector) ruleFor(from, to string) (Rule, bool) {
+	if r, ok := in.rules[pairKey{from, to}]; ok {
+		return r, true
+	}
+	if r, ok := in.rules[pairKey{from, Wildcard}]; ok {
+		return r, true
+	}
+	if r, ok := in.rules[pairKey{Wildcard, to}]; ok {
+		return r, true
+	}
+	r, ok := in.rules[pairKey{Wildcard, Wildcard}]
+	return r, ok
+}
+
+// SetRule installs (or removes, for the zero Rule) one directed-pair rule.
+func (in *Injector) SetRule(from, to string, r Rule) {
+	in.mu.Lock()
+	if r.zero() {
+		delete(in.rules, pairKey{from, to})
+	} else {
+		in.rules[pairKey{from, to}] = r
+	}
+	in.rearm()
+	in.mu.Unlock()
+}
+
+// Partition installs a cut. Membership lists every endpoint the injector's
+// owner knows about; it resolves Wildcard sides ("everyone else").
+func (in *Injector) Partition(p PartitionSpec, membership []string) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	a, b := resolveSides(p, membership)
+	for _, x := range a {
+		for _, y := range b {
+			in.cuts[pairKey{x, y}] = true
+			if !p.Asymmetric {
+				in.cuts[pairKey{y, x}] = true
+			}
+		}
+	}
+	in.parts = append(in.parts, p)
+	in.rearm()
+}
+
+// resolveSides expands a Wildcard side to "membership minus the other side".
+func resolveSides(p PartitionSpec, membership []string) (a, b []string) {
+	a, b = p.A, p.B
+	other := func(side []string) []string {
+		in := make(map[string]bool, len(side))
+		for _, s := range side {
+			in[s] = true
+		}
+		var out []string
+		for _, m := range membership {
+			if !in[m] {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	if len(a) == 1 && a[0] == Wildcard {
+		a = other(b)
+	}
+	if len(b) == 1 && b[0] == Wildcard {
+		b = other(a)
+	}
+	return a, b
+}
+
+// Heal removes every partition, leaving rules installed.
+func (in *Injector) Heal() {
+	in.mu.Lock()
+	in.cuts = make(map[pairKey]bool)
+	in.parts = nil
+	in.rearm()
+	in.mu.Unlock()
+}
+
+// Clear removes every rule and partition.
+func (in *Injector) Clear() {
+	in.mu.Lock()
+	in.rules = make(map[pairKey]Rule)
+	in.cuts = make(map[pairKey]bool)
+	in.parts = nil
+	in.rearm()
+	in.mu.Unlock()
+}
+
+// rearm recomputes the fast-path flag. Caller holds mu.
+func (in *Injector) rearm() {
+	in.armed.Store(len(in.rules) > 0 || len(in.cuts) > 0)
+}
+
+// Apply executes one Update. Membership resolves Wildcard partition sides
+// and parameterizes scenarios; it may be nil when neither is used.
+func (in *Injector) Apply(u Update, membership []string) error {
+	if u.Clear {
+		in.Clear()
+	}
+	if u.Heal {
+		in.Heal()
+	}
+	for _, s := range u.Set {
+		in.SetRule(s.From, s.To, s.Rule)
+	}
+	if u.Partition != nil {
+		in.Partition(*u.Partition, membership)
+	}
+	if u.Scenario != "" {
+		return in.StartScenario(u.Scenario, membership)
+	}
+	return nil
+}
+
+// Stats snapshots the impairment counters.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Dropped:    in.dropped.Load(),
+		Cut:        in.cut.Load(),
+		Delayed:    in.delayed.Load(),
+		Duplicated: in.duplicated.Load(),
+		Reordered:  in.reordered.Load(),
+	}
+}
+
+// Snapshot reports the installed configuration and counters.
+func (in *Injector) Snapshot() State {
+	in.mu.Lock()
+	st := State{Stats: Stats{}}
+	for k, r := range in.rules {
+		st.Rules = append(st.Rules, RuleUpdate{From: k.from, To: k.to, Rule: r})
+	}
+	st.Partitions = append(st.Partitions, in.parts...)
+	in.mu.Unlock()
+	sortRules(st.Rules)
+	st.Stats = in.Stats()
+	return st
+}
+
+func sortRules(rs []RuleUpdate) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := rs[j-1], rs[j]
+			if a.From < b.From || (a.From == b.From && a.To <= b.To) {
+				break
+			}
+			rs[j-1], rs[j] = b, a
+		}
+	}
+}
+
+var _ transport.Sender = (*Injector)(nil)
+
+// String renders a rule compactly for logs.
+func (r Rule) String() string {
+	return fmt.Sprintf("drop=%.2f delay=%s jitter=%s dup=%.2f reorder=%.2f",
+		r.Drop, r.Delay, r.Jitter, r.Duplicate, r.Reorder)
+}

@@ -1,0 +1,352 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"harmony/internal/ring"
+	"harmony/internal/sim"
+	"harmony/internal/transport"
+	"harmony/internal/wire"
+)
+
+// recorder collects deliveries per destination with arrival times.
+type recorder struct {
+	mu   sync.Mutex
+	rt   sim.Runtime
+	got  map[ring.NodeID][]wire.Message
+	when map[ring.NodeID][]time.Time
+}
+
+func newRecorder(rt sim.Runtime) *recorder {
+	return &recorder{rt: rt, got: map[ring.NodeID][]wire.Message{}, when: map[ring.NodeID][]time.Time{}}
+}
+
+func (r *recorder) sender() transport.Sender {
+	return sendFunc(func(from, to ring.NodeID, m wire.Message) {
+		r.mu.Lock()
+		r.got[to] = append(r.got[to], m)
+		r.when[to] = append(r.when[to], r.rt.Now())
+		r.mu.Unlock()
+	})
+}
+
+func (r *recorder) count(to ring.NodeID) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.got[to])
+}
+
+type sendFunc func(from, to ring.NodeID, m wire.Message)
+
+func (f sendFunc) Send(from, to ring.NodeID, m wire.Message) { f(from, to, m) }
+
+func ping(id uint64) wire.Message { return wire.Ping{ID: id} }
+
+func TestUnarmedPassThrough(t *testing.T) {
+	s := sim.New(1)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	for i := 0; i < 100; i++ {
+		in.Send("a", "b", ping(uint64(i)))
+	}
+	if rec.count("b") != 100 {
+		t.Fatalf("delivered %d of 100 with no rules", rec.count("b"))
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("counters moved with no rules: %+v", st)
+	}
+}
+
+func TestDropRuleIsDirected(t *testing.T) {
+	s := sim.New(2)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	in.SetRule("a", "b", Rule{Drop: 1})
+	for i := 0; i < 50; i++ {
+		in.Send("a", "b", ping(uint64(i)))
+		in.Send("b", "a", ping(uint64(i)))
+	}
+	if rec.count("b") != 0 {
+		t.Fatalf("a->b delivered %d frames through a 100%% drop rule", rec.count("b"))
+	}
+	if rec.count("a") != 50 {
+		t.Fatalf("reverse direction impaired: %d of 50", rec.count("a"))
+	}
+	if st := in.Stats(); st.Dropped != 50 {
+		t.Fatalf("dropped = %d, want 50", st.Dropped)
+	}
+	// Removing the rule (zero Rule) restores pass-through.
+	in.SetRule("a", "b", Rule{})
+	in.Send("a", "b", ping(99))
+	if rec.count("b") != 1 {
+		t.Fatal("rule removal did not restore delivery")
+	}
+}
+
+func TestDelayDefersDelivery(t *testing.T) {
+	s := sim.New(3)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	in.SetRule("a", "b", Rule{Delay: 40 * time.Millisecond})
+	start := s.Now()
+	in.Send("a", "b", ping(1))
+	if rec.count("b") != 0 {
+		t.Fatal("delayed frame delivered synchronously")
+	}
+	s.RunUntilIdle(100)
+	if rec.count("b") != 1 {
+		t.Fatal("delayed frame never delivered")
+	}
+	if got := rec.when["b"][0].Sub(start); got < 40*time.Millisecond {
+		t.Fatalf("delivered after %s, want >= 40ms", got)
+	}
+}
+
+func TestDuplicateDeliversTwice(t *testing.T) {
+	s := sim.New(4)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	in.SetRule("a", "b", Rule{Duplicate: 1})
+	for i := 0; i < 20; i++ {
+		in.Send("a", "b", ping(uint64(i)))
+	}
+	s.RunUntilIdle(1000)
+	if rec.count("b") != 40 {
+		t.Fatalf("delivered %d frames, want 40 (every frame duplicated)", rec.count("b"))
+	}
+	if st := in.Stats(); st.Duplicated != 20 {
+		t.Fatalf("duplicated = %d, want 20", st.Duplicated)
+	}
+}
+
+func TestReorderOvertakes(t *testing.T) {
+	s := sim.New(5)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	// Reorder every frame with a latency scale, so consecutive sends at
+	// the same instant land shuffled.
+	in.SetRule("a", "b", Rule{Delay: time.Millisecond, Jitter: 10 * time.Millisecond, Reorder: 0.5})
+	for i := 0; i < 64; i++ {
+		in.Send("a", "b", ping(uint64(i)))
+	}
+	s.RunUntilIdle(10_000)
+	if rec.count("b") != 64 {
+		t.Fatalf("delivered %d of 64", rec.count("b"))
+	}
+	inOrder := true
+	for i, m := range rec.got["b"] {
+		if m.(wire.Ping).ID != uint64(i) {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("64 reordered frames arrived in exact send order")
+	}
+}
+
+func TestWildcardPrecedence(t *testing.T) {
+	s := sim.New(6)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	in.SetRule(Wildcard, Wildcard, Rule{Drop: 1})
+	in.SetRule("a", "b", Rule{Delay: time.Millisecond}) // exact beats wildcard
+	in.Send("a", "b", ping(1))
+	in.Send("a", "c", ping(2)) // falls to *->*: dropped
+	s.RunUntilIdle(100)
+	if rec.count("b") != 1 || rec.count("c") != 0 {
+		t.Fatalf("precedence wrong: b=%d c=%d", rec.count("b"), rec.count("c"))
+	}
+}
+
+func TestSymmetricAndAsymmetricPartition(t *testing.T) {
+	s := sim.New(7)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	in.Partition(PartitionSpec{A: []string{"n1", "n2"}, B: []string{"n3"}}, nil)
+	in.Send("n1", "n3", ping(1))
+	in.Send("n3", "n2", ping(2))
+	in.Send("n1", "n2", ping(3)) // same side: unaffected
+	if rec.count("n3") != 0 || rec.count("n2") != 1 {
+		t.Fatalf("symmetric cut leaked: n3=%d n2=%d", rec.count("n3"), rec.count("n2"))
+	}
+	if st := in.Stats(); st.Cut != 2 {
+		t.Fatalf("cut = %d, want 2", st.Cut)
+	}
+	in.Heal()
+	in.Send("n1", "n3", ping(4))
+	if rec.count("n3") != 1 {
+		t.Fatal("heal did not restore delivery")
+	}
+
+	// Asymmetric: n1->n3 blocked, n3->n1 flows.
+	in.Partition(PartitionSpec{A: []string{"n1"}, B: []string{"n3"}, Asymmetric: true}, nil)
+	in.Send("n1", "n3", ping(5))
+	in.Send("n3", "n1", ping(6))
+	if rec.count("n3") != 1 {
+		t.Fatal("asymmetric cut leaked n1->n3")
+	}
+	if rec.count("n1") != 1 {
+		t.Fatal("asymmetric cut blocked the open direction")
+	}
+}
+
+func TestWildcardPartitionSide(t *testing.T) {
+	s := sim.New(8)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	members := []string{"n1", "n2", "n3", "n4"}
+	in.Partition(PartitionSpec{A: []string{"n4"}, B: []string{Wildcard}}, members)
+	in.Send("n4", "n1", ping(1))
+	in.Send("n2", "n4", ping(2))
+	in.Send("n1", "n2", ping(3))
+	if rec.count("n1") != 0 || rec.count("n4") != 0 {
+		t.Fatal("wildcard isolation leaked")
+	}
+	if rec.count("n2") != 1 {
+		t.Fatal("wildcard isolation cut an unrelated pair")
+	}
+}
+
+func TestApplyUpdateAndSnapshot(t *testing.T) {
+	s := sim.New(9)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	err := in.Apply(Update{
+		Set:       []RuleUpdate{{From: "a", To: "b", Rule: Rule{Drop: 0.5}}},
+		Partition: &PartitionSpec{A: []string{"x"}, B: []string{"y"}},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := in.Snapshot()
+	if len(st.Rules) != 1 || st.Rules[0].From != "a" || st.Rules[0].Drop != 0.5 {
+		t.Fatalf("snapshot rules = %+v", st.Rules)
+	}
+	if len(st.Partitions) != 1 {
+		t.Fatalf("snapshot partitions = %+v", st.Partitions)
+	}
+	if err := in.Apply(Update{Clear: true}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := in.Snapshot(); len(st.Rules) != 0 || len(st.Partitions) != 0 {
+		t.Fatal("clear left state behind")
+	}
+}
+
+func TestScenarioSchedulesSteps(t *testing.T) {
+	Register(Scenario{
+		Name: "test-cut-then-heal",
+		Steps: []Step{
+			{After: 0, Update: Update{Partition: &PartitionSpec{A: []string{"a"}, B: []string{"b"}}}},
+			{After: 100 * time.Millisecond, Update: Update{Heal: true}},
+		},
+	})
+	s := sim.New(10)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	if err := in.Apply(Update{Scenario: "test-cut-then-heal"}, nil); err != nil {
+		t.Fatal(err)
+	}
+	s.RunFor(10 * time.Millisecond)
+	in.Send("a", "b", ping(1))
+	if rec.count("b") != 0 {
+		t.Fatal("scenario cut not applied")
+	}
+	s.RunFor(200 * time.Millisecond)
+	in.Send("a", "b", ping(2))
+	if rec.count("b") != 1 {
+		t.Fatal("scenario heal not applied")
+	}
+	if _, ok := Lookup("flaky-network"); !ok {
+		t.Fatal("builtin scenario missing")
+	}
+	if err := in.Apply(Update{Scenario: "no-such"}, nil); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+func TestHTTPHandlerRoundTrip(t *testing.T) {
+	s := sim.New(11)
+	rec := newRecorder(s)
+	in := New(s, 7, rec.sender())
+	h := Handler{Inj: in, Membership: []string{"n1", "n2", "n3"}}
+
+	body, _ := json.Marshal(Update{Partition: &PartitionSpec{A: []string{"n1"}, B: []string{Wildcard}}})
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/faults", bytes.NewReader(body)))
+	if w.Code != 200 {
+		t.Fatalf("POST status %d: %s", w.Code, w.Body.String())
+	}
+	in.Send("n1", "n2", ping(1))
+	if rec.count("n2") != 0 {
+		t.Fatal("posted partition not applied")
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("GET", "/faults", nil))
+	var st State
+	if err := json.Unmarshal(w.Body.Bytes(), &st); err != nil {
+		t.Fatalf("GET body: %v", err)
+	}
+	if len(st.Partitions) != 1 || st.Stats.Cut != 1 {
+		t.Fatalf("GET state = %+v", st)
+	}
+
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/faults", strings.NewReader("{bad")))
+	if w.Code != 400 {
+		t.Fatalf("bad JSON status %d", w.Code)
+	}
+
+	body, _ = json.Marshal(Update{Heal: true})
+	w = httptest.NewRecorder()
+	h.ServeHTTP(w, httptest.NewRequest("POST", "/faults", bytes.NewReader(body)))
+	if w.Code != 200 {
+		t.Fatalf("heal status %d", w.Code)
+	}
+	in.Send("n1", "n2", ping(2))
+	if rec.count("n2") != 1 {
+		t.Fatal("posted heal not applied")
+	}
+}
+
+// TestConcurrentSendsUnderMutation pins -race cleanliness: senders on many
+// goroutines while rules and partitions churn.
+func TestConcurrentSendsUnderMutation(t *testing.T) {
+	rt := sim.NewRealRuntime()
+	defer rt.Stop()
+	rec := newRecorder(rt)
+	in := New(rt, 7, rec.sender())
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				in.Send(ring.NodeID("a"), ring.NodeID("b"), ping(uint64(i)))
+			}
+		}(g)
+	}
+	for i := 0; i < 200; i++ {
+		in.SetRule("a", "b", Rule{Drop: 0.1, Delay: time.Microsecond})
+		in.Partition(PartitionSpec{A: []string{"a"}, B: []string{"c"}}, nil)
+		in.Heal()
+		in.Clear()
+		_ = in.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -1,0 +1,97 @@
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Step is one timed action of a scenario: After the scenario start, apply
+// the Update.
+type Step struct {
+	After  time.Duration `json:"after"`
+	Update Update        `json:"update"`
+}
+
+// Scenario is a named, replayable fault schedule. Scenarios run on the
+// injector's runtime, so in the simulator they execute in virtual time and
+// on a live node in wall time — the same schedule either way.
+type Scenario struct {
+	Name  string `json:"name"`
+	Doc   string `json:"doc"`
+	Steps []Step `json:"steps"`
+}
+
+var (
+	scenarioMu sync.Mutex
+	scenarios  = map[string]Scenario{}
+)
+
+// Register adds (or replaces) a named scenario.
+func Register(s Scenario) {
+	scenarioMu.Lock()
+	scenarios[s.Name] = s
+	scenarioMu.Unlock()
+}
+
+// Lookup returns a registered scenario.
+func Lookup(name string) (Scenario, bool) {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// Scenarios lists registered scenario names, sorted.
+func Scenarios() []string {
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	out := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// StartScenario schedules a registered scenario's steps on the injector's
+// runtime. Steps already underway when the injector is cleared still fire —
+// a scenario is a script, not a transaction — so tests that need a clean
+// slate should let the schedule drain first.
+func (in *Injector) StartScenario(name string, membership []string) error {
+	sc, ok := Lookup(name)
+	if !ok {
+		return fmt.Errorf("faults: unknown scenario %q", name)
+	}
+	for _, step := range sc.Steps {
+		u := step.Update
+		if u.Scenario != "" {
+			return fmt.Errorf("faults: scenario %q nests scenario %q", name, u.Scenario)
+		}
+		in.rt.After(step.After, func() { _ = in.Apply(u, membership) })
+	}
+	return nil
+}
+
+func init() {
+	// flaky-network: light random loss and latency on every pair — the
+	// baseline "bad but functional" condition retries must absorb.
+	Register(Scenario{
+		Name: "flaky-network",
+		Doc:  "2% loss, 5ms±15ms extra latency, 1% duplicates on all pairs",
+		Steps: []Step{{Update: Update{Set: []RuleUpdate{{
+			From: Wildcard, To: Wildcard,
+			Rule: Rule{Drop: 0.02, Delay: 5 * time.Millisecond, Jitter: 15 * time.Millisecond, Duplicate: 0.01},
+		}}}}},
+	})
+	// lossy-burst: 30s of heavy one-way loss, then clean.
+	Register(Scenario{
+		Name: "lossy-burst",
+		Doc:  "25% loss everywhere for 30s, then clear",
+		Steps: []Step{
+			{Update: Update{Set: []RuleUpdate{{From: Wildcard, To: Wildcard, Rule: Rule{Drop: 0.25}}}}},
+			{After: 30 * time.Second, Update: Update{Clear: true}},
+		},
+	})
+}

@@ -24,6 +24,11 @@ type AdminConfig struct {
 	// Status backs GET /status: it is invoked per request and its result
 	// marshalled as JSON. Implementations return a plain data struct.
 	Status func() any
+	// Faults, when non-nil, backs /faults (GET snapshot, POST update) —
+	// the runtime fault-injection control surface. Nil serves 404, unlike
+	// the read-only surfaces above: probing tools must be able to tell
+	// "no fault plane" apart from "empty fault plane".
+	Faults http.Handler
 }
 
 // Admin is a running admin HTTP endpoint.
@@ -79,6 +84,9 @@ func StartAdmin(addr string, cfg AdminConfig) (*Admin, error) {
 			cfg.Trace.WriteJSONL(w, since)
 		}
 	})
+	if cfg.Faults != nil {
+		mux.Handle("/faults", cfg.Faults)
+	}
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

@@ -23,6 +23,10 @@ const (
 	// breaches its tolerance.
 	EventDivergenceHold    = "divergence-hold"
 	EventDivergenceRelease = "divergence-release"
+	// EventAvailabilityClamp records the controller lowering a group's
+	// commanded level because the failure detector reports too few live
+	// members to serve it: From is the demanded level, To the clamped one.
+	EventAvailabilityClamp = "availability-clamp"
 	// EventSession records a group being served at the SESSION tier instead
 	// of the level the estimator demanded (From carries the overridden
 	// level).

@@ -142,6 +142,7 @@ func (s *Server) clusterCollector(base []obs.Label) obs.Collector {
 		c("harmony_read_timeouts_total", "Coordinated reads that timed out.", m.ReadTimeouts)
 		c("harmony_write_timeouts_total", "Coordinated writes that timed out.", m.WriteTimeouts)
 		c("harmony_unavailable_total", "Operations failed fast for lack of live replicas.", m.Unavailable)
+		c("harmony_overloaded_total", "Operations shed at the coordinator's in-flight bound.", m.Overloaded)
 		c("harmony_repair_rows_total", "Rows anti-entropy healed on this node.", m.RepairRows)
 		c("harmony_shadow_samples_total", "Reads carrying the dual-read staleness probe.", m.ShadowSamples)
 		c("harmony_shadow_stale_total", "Shadow probes that observed a stale value.", m.ShadowStale)

@@ -9,6 +9,7 @@ package server
 import (
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net"
 	"os"
@@ -18,6 +19,7 @@ import (
 	"time"
 
 	"harmony/internal/cluster"
+	"harmony/internal/faults"
 	"harmony/internal/gossip"
 	"harmony/internal/obs"
 	"harmony/internal/ring"
@@ -130,10 +132,15 @@ type Config struct {
 	HotKeys int64
 	// KeySampleLimit enables per-key access sampling (regrouping input).
 	KeySampleLimit int
+	// MaxInFlight bounds concurrently coordinated operations on this node;
+	// excess requests are shed fail-fast with wire.ErrOverloaded. Zero
+	// means unlimited.
+	MaxInFlight int
 	// AdminAddr, when non-empty, serves the admin HTTP endpoint on this
 	// address: /metrics (Prometheus text), /status (JSON snapshot),
-	// /trace (control-loop + node event JSONL), /debug/pprof/* and
-	// /debug/vars. Use ":0" for an ephemeral port (see Server.AdminAddr).
+	// /trace (control-loop + node event JSONL), /faults (fault-injection
+	// control), /debug/pprof/* and /debug/vars. Use ":0" for an ephemeral
+	// port (see Server.AdminAddr).
 	AdminAddr string
 	// LogLevel filters node diagnostics: "debug", "info" (default),
 	// "warn", "error". An unknown value is a construction error.
@@ -148,6 +155,9 @@ type Server struct {
 	cfg       Config
 	rt        *sim.RealRuntime
 	tcp       *transport.TCPNode
+	faults    *faults.Injector
+	members   []string
+	memberIDs []ring.NodeID
 	gossiper  *gossip.Gossiper
 	node      *cluster.Node
 	commitLog io.Closer
@@ -261,6 +271,19 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.tcp = tcp
 
+	// Every outbound frame — gossip and cluster alike — leaves through the
+	// fault injector, so a POST /faults partition severs this node exactly
+	// the way the simulated injector severs a sim node (gossip included:
+	// peers across the cut go DOWN, hints queue, fail-fast kicks in).
+	// Unarmed it costs one atomic load per send.
+	h := fnv.New64a()
+	h.Write([]byte(cfg.ID))
+	s.faults = faults.New(s.rt, int64(h.Sum64()), tcp)
+	for _, m := range cfg.Members {
+		s.members = append(s.members, string(m.ID))
+		s.memberIDs = append(s.memberIDs, m.ID)
+	}
+
 	s.gossiper = gossip.New(gossip.Config{
 		ID:       cfg.ID,
 		Peers:    peerIDs,
@@ -276,7 +299,7 @@ func New(cfg Config) (*Server, error) {
 				m.PeerRecovered(peer)
 			}
 		},
-	}, s.rt, tcp)
+	}, s.rt, s.faults)
 
 	ccfg := cluster.Config{
 		ID:               cfg.ID,
@@ -287,7 +310,9 @@ func New(cfg Config) (*Server, error) {
 		HintQueueLimit:   cfg.HintQueueLimit,
 		Engine:           engineOpts,
 		KeySampleLimit:   cfg.KeySampleLimit,
+		MaxInFlight:      cfg.MaxInFlight,
 		Alive:            s.gossiper.Alive,
+		AliveCount:       s.aliveMembers,
 		OpHist:           s.opHist,
 		Trace:            s.trace,
 	}
@@ -299,7 +324,7 @@ func New(cfg Config) (*Server, error) {
 		ccfg.Groups = 2
 		ccfg.GroupFn = HotColdGroupFn(cfg.HotKeys)
 	}
-	s.node = cluster.New(ccfg, s.rt, tcp)
+	s.node = cluster.New(ccfg, s.rt, s.faults)
 
 	if cfg.DataDir != "" {
 		// Recovery already ran inside cluster.New → storage.Open: the keydir
@@ -332,6 +357,7 @@ func New(cfg Config) (*Server, error) {
 			Registry: s.buildRegistry(),
 			Trace:    s.trace,
 			Status:   func() any { return s.status() },
+			Faults:   faults.Handler{Inj: s.faults, Membership: s.members},
 		})
 		if err != nil {
 			s.Close()
@@ -359,11 +385,30 @@ func HotColdGroupFn(hotKeys int64) func(key []byte) int {
 // Addr is the transport's bound listen address.
 func (s *Server) Addr() net.Addr { return s.tcp.Addr() }
 
+// aliveMembers counts cluster members (self included — the detector always
+// believes in itself) the gossip detector currently holds UP. It feeds
+// StatsResponse.AliveMembers so the monitor, and through it the
+// controller's availability clamp, sees each side of a partition shrink to
+// the members it can actually reach.
+func (s *Server) aliveMembers() int {
+	n := 0
+	for _, id := range s.memberIDs {
+		if s.gossiper.Alive(id) {
+			n++
+		}
+	}
+	return n
+}
+
 // Node exposes the cluster node (tests, embedders).
 func (s *Server) Node() *cluster.Node { return s.node }
 
 // Transport exposes the TCP endpoint (stats).
 func (s *Server) Transport() *transport.TCPNode { return s.tcp }
+
+// Faults exposes the node's fault-injection plane (tests, embedders); the
+// admin endpoint drives the same injector via POST /faults.
+func (s *Server) Faults() *faults.Injector { return s.faults }
 
 // AdminAddr is the admin endpoint's bound address ("" when disabled) —
 // useful with Config.AdminAddr ":0".
@@ -437,6 +482,7 @@ func Main(args []string) int {
 		repairEvery = fs.Duration("repair-interval", time.Second, "anti-entropy scheduler cadence")
 		hotKeys     = fs.Int64("hot-keys", 0, "two-group telemetry split: YCSB key index < hot-keys is group 0")
 		sampleLimit = fs.Int("key-sample-limit", 0, "per-key access samples on stats responses (0 disables)")
+		maxInFlight = fs.Int("max-inflight", 0, "bound on concurrently coordinated ops; excess shed with 'overloaded' (0 = unlimited)")
 		adminAddr   = fs.String("admin-addr", "", "admin HTTP endpoint (/metrics /status /trace /debug/pprof); empty disables")
 		logLevel    = fs.String("log-level", "info", "log verbosity: debug, info, warn, error")
 	)
@@ -476,6 +522,7 @@ func Main(args []string) int {
 		RepairInterval:   *repairEvery,
 		HotKeys:          *hotKeys,
 		KeySampleLimit:   *sampleLimit,
+		MaxInFlight:      *maxInFlight,
 		AdminAddr:        *adminAddr,
 		LogLevel:         *logLevel,
 	})

@@ -70,11 +70,12 @@ func entriesLen(es []GossipEntry) int {
 func bodySize(m Message) (int, error) {
 	switch v := m.(type) {
 	case ReadRequest:
-		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + 2 + clockLen(v.Token), nil
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + 2 + clockLen(v.Token) + uvarintLen(v.DeadlineMs), nil
 	case ReadResponse:
 		return 1 + uvarintLen(v.ID) + 1 + valueLen(v.Value) + 2, nil
 	case WriteRequest:
-		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + bytesLen(v.Value) + 2, nil
+		return 1 + uvarintLen(v.ID) + bytesLen(v.Key) + bytesLen(v.Value) + 2 +
+			uvarintLen(v.DeadlineMs) + varintLen(v.TsHint), nil
 	case WriteResponse:
 		return 1 + uvarintLen(v.ID) + 1 + varintLen(v.Timestamp) + clockLen(v.Clock), nil
 	case ReplicaRead:
@@ -94,7 +95,7 @@ func bodySize(m Message) (int, error) {
 			uvarintLen(v.ReplicaOps) + uvarintLen(v.BytesRead) + uvarintLen(v.BytesWrit) +
 			uvarintLen(v.RepairsSent) + uvarintLen(v.HintsQueued) +
 			uvarintLen(v.RepairRows) + uvarintLen(v.RepairAgeMs) +
-			uvarintLen(v.RecoveredRows) +
+			uvarintLen(v.RecoveredRows) + uvarintLen(v.AliveMembers) +
 			uvarintLen(uint64(len(v.Groups)))
 		for _, g := range v.Groups {
 			n += uvarintLen(g.Reads) + uvarintLen(g.Writes) + uvarintLen(g.BytesWritten) +
@@ -362,6 +363,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.byte(byte(v.Level))
 		w.bool(v.Shadow)
 		w.clock(v.Token)
+		w.uvarint(v.DeadlineMs)
 	case ReadResponse:
 		w.uvarint(v.ID)
 		w.bool(v.Found)
@@ -374,6 +376,8 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.bytes(v.Value)
 		w.bool(v.Delete)
 		w.byte(byte(v.Level))
+		w.uvarint(v.DeadlineMs)
+		w.varint(v.TsHint)
 	case WriteResponse:
 		w.uvarint(v.ID)
 		w.bool(v.OK)
@@ -410,6 +414,7 @@ func Encode(dst []byte, m Message) ([]byte, error) {
 		w.uvarint(v.RepairRows)
 		w.uvarint(v.RepairAgeMs)
 		w.uvarint(v.RecoveredRows)
+		w.uvarint(v.AliveMembers)
 		w.uvarint(uint64(len(v.Groups)))
 		for _, g := range v.Groups {
 			w.uvarint(g.Reads)
@@ -555,6 +560,9 @@ func decodeBody(body []byte, share bool) (Message, error) {
 		if m.Token, err = r.rClock(); err != nil {
 			return nil, err
 		}
+		if m.DeadlineMs, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case KindReadResponse:
 		var m ReadResponse
@@ -595,6 +603,12 @@ func decodeBody(body []byte, share bool) (Message, error) {
 			return nil, err
 		}
 		m.Level = ConsistencyLevel(lb)
+		if m.DeadlineMs, err = r.rUvarint(); err != nil {
+			return nil, err
+		}
+		if m.TsHint, err = r.rVarint(); err != nil {
+			return nil, err
+		}
 		return m, nil
 	case KindWriteResponse:
 		var m WriteResponse
@@ -673,7 +687,7 @@ func decodeBody(body []byte, share bool) (Message, error) {
 		if m.ID, err = r.rUvarint(); err != nil {
 			return nil, err
 		}
-		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued, &m.RepairRows, &m.RepairAgeMs, &m.RecoveredRows}
+		fields := []*uint64{&m.Reads, &m.Writes, &m.ReplicaOps, &m.BytesRead, &m.BytesWrit, &m.RepairsSent, &m.HintsQueued, &m.RepairRows, &m.RepairAgeMs, &m.RecoveredRows, &m.AliveMembers}
 		for _, f := range fields {
 			if *f, err = r.rUvarint(); err != nil {
 				return nil, err

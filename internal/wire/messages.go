@@ -200,6 +200,12 @@ type ReadRequest struct {
 	// with a version covering the token (read-your-writes + monotonic
 	// reads) or widen the read until one is found.
 	Token []ClockEntry
+	// DeadlineMs is the client's remaining per-op budget in milliseconds at
+	// send time. Relative (not an absolute wall time) so it needs no clock
+	// agreement between client and coordinator. The coordinator clamps its
+	// own op timeout to it and sheds work it cannot finish in time; zero
+	// means no client deadline.
+	DeadlineMs uint64
 }
 
 // ReadResponse is the coordinator's reply to a ReadRequest.
@@ -223,6 +229,15 @@ type WriteRequest struct {
 	Value  []byte
 	Delete bool
 	Level  ConsistencyLevel
+	// DeadlineMs is the client's remaining per-op budget in milliseconds at
+	// send time (see ReadRequest.DeadlineMs); zero means none.
+	DeadlineMs uint64
+	// TsHint, when nonzero, is the mutation timestamp the coordinator must
+	// stamp instead of generating its own. Retrying clients reuse the first
+	// attempt's hint so a replayed write carries the identical timestamp and
+	// LWW-collapses into the original application instead of appearing as a
+	// second, newer write.
+	TsHint int64
 }
 
 // WriteResponse acknowledges a WriteRequest.
@@ -302,6 +317,14 @@ type StatsResponse struct {
 	// as "how much pre-crash state a restarted node brought back itself"
 	// versus rows anti-entropy had to heal (RepairRows).
 	RecoveredRows uint64
+	// AliveMembers is how many cluster members (including itself) this
+	// node's failure detector currently believes are up. Zero means the
+	// node has no liveness source wired (the monitor then skips the
+	// availability clamp). During a partition each side reports only the
+	// members it can still reach, which lets the controller stop
+	// commanding consistency levels the reachable replica count cannot
+	// serve.
+	AliveMembers uint64
 	// Groups carries per-key-group operation counters, indexed by group id
 	// (the node's GroupFn assigns keys to groups). Empty when the node
 	// tallies a single implicit group; the aggregate counters above always
@@ -492,6 +515,10 @@ const (
 	ErrTimeout
 	ErrUnavailable
 	ErrBadRequest
+	// ErrOverloaded is the coordinator's fail-fast reply when its bounded
+	// in-flight op budget is exhausted: load is shed immediately instead of
+	// queueing work that would time out anyway.
+	ErrOverloaded
 )
 
 func (e ErrorCode) String() string {
@@ -502,6 +529,8 @@ func (e ErrorCode) String() string {
 		return "unavailable"
 	case ErrBadRequest:
 		return "bad-request"
+	case ErrOverloaded:
+		return "overloaded"
 	}
 	return "unknown"
 }

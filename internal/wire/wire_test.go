@@ -13,6 +13,11 @@ import (
 func allSampleMessages() []Message {
 	return []Message{
 		ReadRequest{ID: 1, Key: []byte("k1"), Level: Quorum, Shadow: true},
+		ReadRequest{ID: 28, Key: []byte("dk"), Level: One, DeadlineMs: 1500},
+		WriteRequest{ID: 29, Key: []byte("wk"), Value: []byte("wv"), Level: Quorum,
+			DeadlineMs: 750, TsHint: 1348500000000000000},
+		WriteRequest{ID: 30, Key: []byte("wk2"), Delete: true, Level: One, TsHint: -3},
+		Error{ID: 31, Code: ErrOverloaded, Msg: "coordinator at capacity"},
 		ReadResponse{ID: 2, Found: true, Value: Value{Data: []byte("v"), Timestamp: 12345}, Stale: true, Achieved: Two},
 		WriteRequest{ID: 3, Key: []byte("k2"), Value: []byte("payload"), Level: One},
 		WriteRequest{ID: 4, Key: []byte("k3"), Delete: true, Level: All},
@@ -41,7 +46,8 @@ func allSampleMessages() []Message {
 			Entries: []GroupAssign{{Key: []byte("user0000000001"), Group: 0}, {Key: []byte("user0000000002"), Group: 1}}},
 		GroupUpdate{Epoch: 1, Tolerances: []float64{0.5}},
 		StatsResponse{ID: 17, RepairRows: 1 << 33, RepairAgeMs: 123456, RecoveredRows: 1 << 21,
-			Groups: []GroupCounters{{Reads: 4, RepairRows: 9, RepairAgeMs: 8000}}},
+			AliveMembers: 5,
+			Groups:       []GroupCounters{{Reads: 4, RepairRows: 9, RepairAgeMs: 8000}}},
 		TreeRequest{ID: 18, Ranges: []TokenRange{{Start: 1, End: 2}, {Start: 1 << 63, End: 5}}},
 		TreeRequest{ID: 19},
 		TreeResponse{ID: 20, Trees: []RangeTree{
@@ -111,9 +117,9 @@ func TestDecodeGarbageNeverPanics(t *testing.T) {
 }
 
 func TestRoundTripPropertyReadRequest(t *testing.T) {
-	if err := quick.Check(func(id uint64, key []byte, lvl uint8, shadow bool) bool {
+	if err := quick.Check(func(id uint64, key []byte, lvl uint8, shadow bool, deadline uint64) bool {
 		level := ConsistencyLevel(lvl%5 + 1)
-		in := ReadRequest{ID: id, Key: key, Level: level, Shadow: shadow}
+		in := ReadRequest{ID: id, Key: key, Level: level, Shadow: shadow, DeadlineMs: deadline}
 		b, err := Encode(nil, in)
 		if err != nil {
 			return false
@@ -124,7 +130,7 @@ func TestRoundTripPropertyReadRequest(t *testing.T) {
 		}
 		got := out.(ReadRequest)
 		return got.ID == in.ID && bytes.Equal(got.Key, in.Key) &&
-			got.Level == in.Level && got.Shadow == in.Shadow
+			got.Level == in.Level && got.Shadow == in.Shadow && got.DeadlineMs == in.DeadlineMs
 	}, nil); err != nil {
 		t.Fatal(err)
 	}

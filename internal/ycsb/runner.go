@@ -66,6 +66,11 @@ type RunConfig struct {
 	// hotspot experiments (the popularity distribution keeps its shape
 	// while the hot range jumps elsewhere in the keyspace).
 	KeyOffset int64
+	// Coordinators restricts the thread drivers to this coordinator set
+	// (threads stagger their round-robin start over it). Nil keeps the
+	// default — every cluster node coordinates. Partition experiments pin
+	// a runner's load to one side of a cut with this.
+	Coordinators []ring.NodeID
 }
 
 // Report summarizes a completed run.
@@ -236,7 +241,10 @@ func NewRunner(cfg RunConfig, s *sim.Sim, c *cluster.Cluster) (*Runner, error) {
 	if prefix == "" {
 		prefix = "ycsb"
 	}
-	coords := c.NodeIDs()
+	coords := cfg.Coordinators
+	if len(coords) == 0 {
+		coords = c.NodeIDs()
+	}
 	for i := 0; i < cfg.Threads; i++ {
 		id := ring.NodeID(fmt.Sprintf("%s-%d", prefix, i))
 		// Stagger coordinator round-robin start per thread.
